@@ -1,0 +1,31 @@
+//! End-to-end sweep benchmark: the per-scenario cost of the full §6.2
+//! experiment loop (all eight methods on one scenario), which is what the
+//! wall-clock of `full_evaluation --scale paper` is made of.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emigre_bench::world;
+use emigre_core::Method;
+use emigre_eval::runner::run_one;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scenario_all_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let w = world(600, 1e-6);
+    let g = &w.hin.graph;
+    let s = w.scenarios[0];
+    group.bench_function("one_scenario_all_8_methods", |b| {
+        b.iter(|| {
+            for m in Method::paper_methods() {
+                black_box(run_one(g, &w.cfg, s, m));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_all_methods);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Explainer-method benchmarks — the micro-benchmark behind Table 5's
+//! runtime ordering. Expected: Incremental ≪ Powerset ≪ Exhaustive (per
+//! mode), Exhaustive-direct faster than Exhaustive, brute force slowest on
+//! unsolvable scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emigre_bench::world;
+use emigre_core::{Explainer, Method};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explainers");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let w = world(800, 1e-6);
+    let g = &w.hin.graph;
+    let explainer = Explainer::new(w.cfg.clone());
+    let s = w.scenarios[0];
+
+    for method in Method::paper_methods() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| b.iter(|| black_box(explainer.explain(g, s.user, s.wni, m))),
+        );
+    }
+    for method in [Method::Combined, Method::CombinedMinimal] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| b.iter(|| black_box(explainer.explain(g, s.user, s.wni, m))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    // The fixed per-question cost every method pays: recommendation list +
+    // two reverse pushes.
+    let w = world(800, 1e-6);
+    let g = &w.hin.graph;
+    let explainer = Explainer::new(w.cfg.clone());
+    let s = w.scenarios[0];
+    c.bench_function("explain_context_build", |b| {
+        b.iter(|| black_box(explainer.context(g, s.user, s.wni).ok()))
+    });
+}
+
+criterion_group!(benches, bench_methods, bench_context_build);
+criterion_main!(benches);

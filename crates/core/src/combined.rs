@@ -1,0 +1,236 @@
+//! Combined Add+Remove mode — the paper's future-work extension.
+//!
+//! Section 6.4 ("Out Of Scope Item") observes that some Why-Not questions
+//! cannot be answered by additions alone or removals alone, and Section 7
+//! proposes mixing past and future actions as future work. This module
+//! implements that extension with the same machinery as the single modes:
+//!
+//! 1. build both search spaces;
+//! 2. merge their candidates into one descending-contribution list (each
+//!    candidate remembers which mode it came from);
+//! 3. run the Incremental accumulation over the merged list, CHECKing once
+//!    the shared dominance threshold is crossed;
+//! 4. optionally (the `minimal` flag) run a Powerset-style pass over the
+//!    merged positive pool to shrink the explanation.
+//!
+//! The resulting [`Explanation`] has `mode == None` and can contain both
+//! added and removed edges.
+
+use crate::combinations::{binomial, Combinations};
+use crate::context::ExplainContext;
+use crate::explanation::{Action, Explanation, Mode};
+use crate::failure::{classify_failure, ExplainFailure, FailureReason};
+use crate::search::{add_search_space, remove_search_space, Candidate};
+use crate::tester::Tester;
+use emigre_hin::{EdgeKey, GraphView};
+
+/// One merged candidate: the action plus the mode it originated from.
+#[derive(Debug, Clone, Copy)]
+struct MergedCandidate {
+    candidate: Candidate,
+    mode: Mode,
+}
+
+fn to_action(user: emigre_hin::NodeId, mc: &MergedCandidate) -> Action {
+    let edge = EdgeKey::new(user, mc.candidate.node, mc.candidate.etype);
+    match mc.mode {
+        Mode::Remove => Action::remove(edge, mc.candidate.weight),
+        Mode::Add => Action::add(edge, mc.candidate.weight),
+    }
+}
+
+/// Runs the combined mode. With `minimal = false` this is the fast
+/// incremental variant; with `minimal = true` a powerset pass over the
+/// merged pool favours smaller explanations.
+pub fn combined<G: GraphView>(
+    ctx: &ExplainContext<'_, G>,
+    minimal: bool,
+) -> Result<Explanation, ExplainFailure> {
+    let remove_space = remove_search_space(ctx);
+    let add_space = add_search_space(ctx);
+    let tau = remove_space.tau;
+    let removable = remove_space.removable_actions;
+
+    let mut merged: Vec<MergedCandidate> = remove_space
+        .candidates
+        .iter()
+        .map(|&candidate| MergedCandidate {
+            candidate,
+            mode: Mode::Remove,
+        })
+        .chain(add_space.candidates.iter().map(|&candidate| MergedCandidate {
+            candidate,
+            mode: Mode::Add,
+        }))
+        .collect();
+    merged.sort_by(|a, b| {
+        b.candidate
+            .contribution
+            .partial_cmp(&a.candidate.contribution)
+            .expect("finite contributions")
+            .then_with(|| a.candidate.node.cmp(&b.candidate.node))
+    });
+
+    let tester = Tester::new(ctx);
+    let result = if minimal {
+        powerset_pass(ctx, &tester, &merged, tau)
+    } else {
+        incremental_pass(ctx, &tester, &merged, tau)
+    };
+
+    result.ok_or_else(|| {
+        let failure = classify_failure(ctx, Mode::Remove, removable, tester.checks_performed(), false);
+        // A combined-mode failure is never "out of scope for a single
+        // mode" — both modes were explored.
+        match failure.reason {
+            FailureReason::OutOfScope { .. } => ExplainFailure {
+                reason: FailureReason::BudgetExhausted {
+                    checks_performed: tester.checks_performed(),
+                },
+                ..failure
+            },
+            _ => failure,
+        }
+    })
+}
+
+fn incremental_pass<G: GraphView>(
+    ctx: &ExplainContext<'_, G>,
+    tester: &Tester<'_, '_, G>,
+    merged: &[MergedCandidate],
+    tau0: f64,
+) -> Option<Explanation> {
+    let mut tau = tau0;
+    let slack = crate::search::tau_slack(tau0);
+    let mut actions: Vec<Action> = Vec::new();
+    for mc in merged {
+        if mc.candidate.contribution <= 0.0 {
+            break;
+        }
+        actions.push(to_action(ctx.user, mc));
+        tau -= mc.candidate.contribution;
+        if tau <= slack {
+            if tester.budget_exhausted() {
+                return None;
+            }
+            if tester.test(&actions) {
+                return Some(Explanation {
+                    mode: None,
+                    actions,
+                    new_top: ctx.wni,
+                    checks_performed: tester.checks_performed(),
+                    verified: true,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn powerset_pass<G: GraphView>(
+    ctx: &ExplainContext<'_, G>,
+    tester: &Tester<'_, '_, G>,
+    merged: &[MergedCandidate],
+    tau0: f64,
+) -> Option<Explanation> {
+    let pool: Vec<&MergedCandidate> = merged
+        .iter()
+        .filter(|mc| mc.candidate.contribution > 0.0)
+        .take(ctx.cfg.max_subset_candidates)
+        .collect();
+    let mut enumerated = 0usize;
+    for size in 1..=pool.len() {
+        if enumerated.saturating_add(binomial(pool.len(), size))
+            > ctx.cfg.max_enumerated_subsets
+        {
+            return None;
+        }
+        for idx in Combinations::new(pool.len(), size) {
+            enumerated += 1;
+            let sum: f64 = idx.iter().map(|&i| pool[i].candidate.contribution).sum();
+            if tau0 - sum > crate::search::tau_slack(tau0) {
+                continue;
+            }
+            if tester.budget_exhausted() {
+                return None;
+            }
+            let actions: Vec<Action> = idx.iter().map(|&i| to_action(ctx.user, pool[i])).collect();
+            if tester.test(&actions) {
+                return Some(Explanation {
+                    mode: None,
+                    actions,
+                    new_top: ctx.wni,
+                    checks_performed: tester.checks_performed(),
+                    verified: true,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmigreConfig;
+    use crate::incremental::incremental;
+    use emigre_hin::{Hin, NodeId};
+    use emigre_ppr::{PprConfig, TransitionModel};
+    use emigre_rec::RecConfig;
+
+    /// A scenario solvable in both single modes — combined must also solve
+    /// it.
+    fn easy_fixture() -> (Hin, EmigreConfig, NodeId, NodeId) {
+        let mut g = Hin::new();
+        let user_t = g.registry_mut().node_type("user");
+        let item_t = g.registry_mut().node_type("item");
+        let rated = g.registry_mut().edge_type("rated");
+        let u = g.add_node(user_t, Some("u"));
+        let r1 = g.add_node(item_t, Some("r1"));
+        let rec = g.add_node(item_t, Some("rec"));
+        let wni = g.add_node(item_t, Some("wni"));
+        let b = g.add_node(item_t, Some("b"));
+        g.add_edge_bidirectional(u, r1, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(r1, rec, rated, 2.0).unwrap();
+        g.add_edge_bidirectional(r1, wni, rated, 0.5).unwrap();
+        g.add_edge_bidirectional(b, wni, rated, 2.0).unwrap();
+        let _ = rec;
+        let ppr = PprConfig {
+            transition: TransitionModel::Weighted,
+            epsilon: 1e-9,
+            ..PprConfig::default()
+        };
+        let cfg = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated);
+        (g, cfg, u, wni)
+    }
+
+    #[test]
+    fn combined_solves_whatever_single_modes_solve() {
+        let (g, cfg, u, wni) = easy_fixture();
+        let ctx = ExplainContext::build(&g, cfg, u, wni).unwrap();
+        let exp = combined(&ctx, false).expect("solvable scenario");
+        let tester = Tester::new(&ctx);
+        assert!(tester.test(&exp.actions));
+        assert_eq!(exp.mode, None);
+    }
+
+    #[test]
+    fn minimal_variant_not_larger_than_fast_variant() {
+        let (g, cfg, u, wni) = easy_fixture();
+        let ctx = ExplainContext::build(&g, cfg, u, wni).unwrap();
+        let fast = combined(&ctx, false).unwrap();
+        let min = combined(&ctx, true).unwrap();
+        assert!(min.size() <= fast.size());
+    }
+
+    #[test]
+    fn combined_not_worse_than_single_incremental() {
+        let (g, cfg, u, wni) = easy_fixture();
+        let ctx = ExplainContext::build(&g, cfg, u, wni).unwrap();
+        let single = incremental(&ctx, &crate::search::add_search_space(&ctx));
+        let comb = combined(&ctx, false);
+        if single.is_ok() {
+            assert!(comb.is_ok(), "combined failed where add-incremental succeeded");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared per-question state: the EMiGRe "framework" box of Figure 3.
+//!
+//! Building an explanation needs several PPR artefacts that are identical
+//! across modes and heuristics:
+//!
+//! * the user's recommendation list (yields `rec` and the target set `T`);
+//! * the user's forward-push state (reused by the dynamic CHECK);
+//! * `PPR(·, rec)` and `PPR(·, WNI)` columns via Reverse Local Push — the
+//!   inputs of the contribution equations (5) and (6).
+//!
+//! [`ExplainContext::build`] computes them once; every algorithm in this
+//! crate then borrows the context.
+
+use crate::config::EmigreConfig;
+use crate::question::{QuestionError, WhyNotQuestion};
+use emigre_hin::{GraphView, NodeId};
+use emigre_ppr::{ForwardPush, ReversePush};
+use emigre_rec::{PprRecommender, RecList, Recommender};
+
+/// Pre-computed state shared by every explanation algorithm for one
+/// `(user, WNI)` question.
+pub struct ExplainContext<'g, G: GraphView> {
+    pub graph: &'g G,
+    pub cfg: EmigreConfig,
+    pub user: NodeId,
+    /// The Why-Not item.
+    pub wni: NodeId,
+    /// The current top-1 recommendation.
+    pub rec: NodeId,
+    /// The user's top-`target_list_size` recommendation list (the target
+    /// set `T` of Algorithm 5; includes `rec`, may include `wni`).
+    pub rec_list: RecList,
+    /// Forward-push state personalised on the user (base graph).
+    pub user_push: ForwardPush,
+    /// `PPR(·, rec)` estimates for every node.
+    pub ppr_to_rec: ReversePush,
+    /// `PPR(·, wni)` estimates for every node.
+    pub ppr_to_wni: ReversePush,
+}
+
+impl<'g, G: GraphView> ExplainContext<'g, G> {
+    /// Validates the question, runs the recommender, and computes the PPR
+    /// columns. Fails if the question is malformed (Definition 4.1) or the
+    /// user has no recommendation at all.
+    pub fn build(
+        graph: &'g G,
+        cfg: EmigreConfig,
+        user: NodeId,
+        wni: NodeId,
+    ) -> Result<Self, QuestionError> {
+        cfg.validate();
+        // Cheap structural validation first (bounds, typing, interaction).
+        WhyNotQuestion::validate(graph, &cfg, user, wni, None)?;
+
+        let recommender = PprRecommender::new(cfg.rec);
+        let user_push = ForwardPush::compute(graph, &cfg.rec.ppr, user);
+        // Same zero-score floor as the CHECK step (see
+        // [`crate::tester::score_floor`]): vacuous candidates never enter
+        // the target list.
+        let floor = crate::tester::score_floor(&cfg);
+        let candidates = recommender
+            .candidates(graph, user)
+            .into_iter()
+            .filter(|n| user_push.estimates[n.index()] > floor);
+        let rec_list =
+            RecList::from_scores(&user_push.estimates, candidates, cfg.target_list_size);
+        let rec = rec_list
+            .top()
+            .ok_or(QuestionError::InvalidUser(user))?;
+        // Re-validate now that the recommendation is known.
+        WhyNotQuestion::validate(graph, &cfg, user, wni, Some(rec))?;
+
+        let ppr_to_rec = ReversePush::compute(graph, &cfg.rec.ppr, rec);
+        let ppr_to_wni = ReversePush::compute(graph, &cfg.rec.ppr, wni);
+        Ok(ExplainContext {
+            graph,
+            cfg,
+            user,
+            wni,
+            rec,
+            rec_list,
+            user_push,
+            ppr_to_rec,
+            ppr_to_wni,
+        })
+    }
+
+    /// `PPR(n, rec)` for a candidate node `n`.
+    #[inline]
+    pub fn ppr_n_rec(&self, n: NodeId) -> f64 {
+        self.ppr_to_rec.estimate(n)
+    }
+
+    /// `PPR(n, WNI)` for a candidate node `n`.
+    #[inline]
+    pub fn ppr_n_wni(&self, n: NodeId) -> f64 {
+        self.ppr_to_wni.estimate(n)
+    }
+
+    /// The target set `T` of Algorithm 5: the recommendation list without
+    /// the Why-Not item itself.
+    pub fn targets(&self) -> Vec<NodeId> {
+        self.rec_list
+            .items()
+            .into_iter()
+            .filter(|&t| t != self.wni)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::Hin;
+    use emigre_ppr::{PprConfig, TransitionModel};
+    use emigre_rec::RecConfig;
+
+    /// Book-shop toy graph: user rated two items, two fresh items compete.
+    fn setup() -> (Hin, EmigreConfig, NodeId, NodeId, NodeId) {
+        let mut g = Hin::new();
+        let user_t = g.registry_mut().node_type("user");
+        let item_t = g.registry_mut().node_type("item");
+        let rated = g.registry_mut().edge_type("rated");
+        let u = g.add_node(user_t, Some("u"));
+        let seen1 = g.add_node(item_t, None);
+        let seen2 = g.add_node(item_t, None);
+        let close = g.add_node(item_t, None);
+        let far = g.add_node(item_t, None);
+        g.add_edge_bidirectional(u, seen1, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(u, seen2, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(seen1, close, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(seen2, close, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(seen2, far, rated, 0.2).unwrap();
+        let ppr = PprConfig {
+            transition: TransitionModel::Weighted,
+            epsilon: 1e-9,
+            ..PprConfig::default()
+        };
+        let cfg = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated);
+        (g, cfg, u, close, far)
+    }
+
+    #[test]
+    fn context_identifies_rec_and_targets() {
+        let (g, cfg, u, close, far) = setup();
+        let ctx = ExplainContext::build(&g, cfg, u, far).unwrap();
+        assert_eq!(ctx.rec, close);
+        assert_eq!(ctx.wni, far);
+        assert!(ctx.rec_list.contains(far));
+        let targets = ctx.targets();
+        assert!(targets.contains(&close));
+        assert!(!targets.contains(&far));
+    }
+
+    #[test]
+    fn asking_about_the_recommendation_fails() {
+        let (g, cfg, u, close, _) = setup();
+        let err = match ExplainContext::build(&g, cfg, u, close) {
+            Err(e) => e,
+            Ok(_) => panic!("expected AlreadyRecommended"),
+        };
+        assert_eq!(err, QuestionError::AlreadyRecommended(close));
+    }
+
+    #[test]
+    fn ppr_columns_are_consistent_with_push_state() {
+        let (g, cfg, u, _, far) = setup();
+        let ctx = ExplainContext::build(&g, cfg, u, far).unwrap();
+        // Forward estimate of PPR(u, rec) ≈ reverse estimate at u.
+        let fwd = ctx.user_push.estimate(ctx.rec);
+        let rev = ctx.ppr_n_rec(u);
+        assert!((fwd - rev).abs() < 1e-6, "{fwd} vs {rev}");
+    }
+
+    #[test]
+    fn rec_outscores_wni_initially() {
+        let (g, cfg, u, _, far) = setup();
+        let ctx = ExplainContext::build(&g, cfg, u, far).unwrap();
+        assert!(ctx.user_push.estimate(ctx.rec) > ctx.user_push.estimate(ctx.wni));
+    }
+}

@@ -1,0 +1,285 @@
+//! The public entry point: [`Explainer`] and the method registry.
+
+use crate::brute::brute_force;
+use crate::combined::combined;
+use crate::config::EmigreConfig;
+use crate::context::ExplainContext;
+use crate::exhaustive::{exhaustive, exhaustive_direct};
+use crate::explanation::{Explanation, Mode};
+use crate::failure::ExplainFailure;
+use crate::incremental::incremental;
+use crate::powerset::powerset;
+use crate::question::QuestionError;
+use crate::search::{add_search_space, remove_search_space};
+use emigre_hin::{GraphView, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every explanation method of the paper's evaluation (§6.2), plus the
+/// combined-mode extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// `add_Incremental` — Incremental heuristic, Add mode.
+    AddIncremental,
+    /// `add_Powerset` — Powerset heuristic, Add mode.
+    AddPowerset,
+    /// `add_ex` — Exhaustive Comparison, Add mode.
+    AddExhaustive,
+    /// `remove_Incremental` — Incremental heuristic, Remove mode.
+    RemoveIncremental,
+    /// `remove_Powerset` — Powerset heuristic, Remove mode.
+    RemovePowerset,
+    /// `remove_ex` — Exhaustive Comparison, Remove mode.
+    RemoveExhaustive,
+    /// `remove_ex_direct` — Exhaustive without the CHECK (baseline).
+    RemoveExhaustiveDirect,
+    /// `remove_brute` — brute force over all removal subsets (baseline).
+    RemoveBruteForce,
+    /// Combined Add+Remove extension (fast incremental variant).
+    Combined,
+    /// Combined Add+Remove extension (size-minimising variant).
+    CombinedMinimal,
+}
+
+impl Method {
+    /// All methods in the paper's reporting order (Figs. 4–6, Table 5),
+    /// without the extensions.
+    pub fn paper_methods() -> [Method; 8] {
+        [
+            Method::AddIncremental,
+            Method::AddPowerset,
+            Method::AddExhaustive,
+            Method::RemoveIncremental,
+            Method::RemovePowerset,
+            Method::RemoveExhaustive,
+            Method::RemoveExhaustiveDirect,
+            Method::RemoveBruteForce,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::AddIncremental => "add_Incremental",
+            Method::AddPowerset => "add_Powerset",
+            Method::AddExhaustive => "add_ex",
+            Method::RemoveIncremental => "remove_Incremental",
+            Method::RemovePowerset => "remove_Powerset",
+            Method::RemoveExhaustive => "remove_ex",
+            Method::RemoveExhaustiveDirect => "remove_ex_direct",
+            Method::RemoveBruteForce => "remove_brute",
+            Method::Combined => "combined",
+            Method::CombinedMinimal => "combined_minimal",
+        }
+    }
+
+    /// The mode the method searches in (`None` for combined).
+    pub fn mode(&self) -> Option<Mode> {
+        match self {
+            Method::AddIncremental | Method::AddPowerset | Method::AddExhaustive => {
+                Some(Mode::Add)
+            }
+            Method::RemoveIncremental
+            | Method::RemovePowerset
+            | Method::RemoveExhaustive
+            | Method::RemoveExhaustiveDirect
+            | Method::RemoveBruteForce => Some(Mode::Remove),
+            Method::Combined | Method::CombinedMinimal => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Top-level errors: either the question itself is malformed, or the search
+/// ended without an explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplainError {
+    InvalidQuestion(QuestionError),
+    NotFound(ExplainFailure),
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::InvalidQuestion(e) => write!(f, "invalid why-not question: {e}"),
+            ExplainError::NotFound(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
+
+/// The EMiGRe framework facade (paper Fig. 3): validates the Why-Not
+/// question, builds the shared context, runs the selected method.
+#[derive(Debug, Clone)]
+pub struct Explainer {
+    cfg: EmigreConfig,
+}
+
+impl Explainer {
+    pub fn new(cfg: EmigreConfig) -> Self {
+        cfg.validate();
+        Explainer { cfg }
+    }
+
+    pub fn config(&self) -> &EmigreConfig {
+        &self.cfg
+    }
+
+    /// Builds the shared per-question context (recommendation list, PPR
+    /// columns). Reuse it via [`Explainer::explain_with_context`] when
+    /// running several methods on the same question — the evaluation
+    /// harness does exactly that.
+    pub fn context<'g, G: GraphView>(
+        &self,
+        graph: &'g G,
+        user: NodeId,
+        wni: NodeId,
+    ) -> Result<ExplainContext<'g, G>, QuestionError> {
+        ExplainContext::build(graph, self.cfg.clone(), user, wni)
+    }
+
+    /// One-shot API: builds the context and runs `method`.
+    pub fn explain<G: GraphView>(
+        &self,
+        graph: &G,
+        user: NodeId,
+        wni: NodeId,
+        method: Method,
+    ) -> Result<Explanation, ExplainError> {
+        let ctx = self
+            .context(graph, user, wni)
+            .map_err(ExplainError::InvalidQuestion)?;
+        Self::explain_with_context(&ctx, method).map_err(ExplainError::NotFound)
+    }
+
+    /// Runs `method` against a pre-built context.
+    pub fn explain_with_context<G: GraphView>(
+        ctx: &ExplainContext<'_, G>,
+        method: Method,
+    ) -> Result<Explanation, ExplainFailure> {
+        match method {
+            Method::AddIncremental => incremental(ctx, &add_search_space(ctx)),
+            Method::AddPowerset => powerset(ctx, &add_search_space(ctx)),
+            Method::AddExhaustive => exhaustive(ctx, &add_search_space(ctx)),
+            Method::RemoveIncremental => incremental(ctx, &remove_search_space(ctx)),
+            Method::RemovePowerset => powerset(ctx, &remove_search_space(ctx)),
+            Method::RemoveExhaustive => exhaustive(ctx, &remove_search_space(ctx)),
+            Method::RemoveExhaustiveDirect => {
+                exhaustive_direct(ctx, &remove_search_space(ctx))
+            }
+            Method::RemoveBruteForce => brute_force(ctx, &remove_search_space(ctx)),
+            Method::Combined => combined(ctx, false),
+            Method::CombinedMinimal => combined(ctx, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::Hin;
+    use emigre_ppr::{PprConfig, TransitionModel};
+    use emigre_rec::RecConfig;
+
+    fn fixture() -> (Hin, EmigreConfig, NodeId, NodeId) {
+        let mut g = Hin::new();
+        let user_t = g.registry_mut().node_type("user");
+        let item_t = g.registry_mut().node_type("item");
+        let rated = g.registry_mut().edge_type("rated");
+        let u = g.add_node(user_t, Some("u"));
+        let r1 = g.add_node(item_t, Some("r1"));
+        let r2 = g.add_node(item_t, Some("r2"));
+        let rec = g.add_node(item_t, Some("rec"));
+        let wni = g.add_node(item_t, Some("wni"));
+        let b = g.add_node(item_t, Some("b"));
+        g.add_edge_bidirectional(u, r1, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(u, r2, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(r1, rec, rated, 2.0).unwrap();
+        g.add_edge_bidirectional(r2, wni, rated, 0.5).unwrap();
+        g.add_edge_bidirectional(b, wni, rated, 2.0).unwrap();
+        let _ = rec;
+        let ppr = PprConfig {
+            transition: TransitionModel::Weighted,
+            epsilon: 1e-9,
+            ..PprConfig::default()
+        };
+        let cfg = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated);
+        (g, cfg, u, wni)
+    }
+
+    #[test]
+    fn every_method_returns_consistent_results() {
+        let (g, cfg, u, wni) = fixture();
+        let explainer = Explainer::new(cfg);
+        let ctx = explainer.context(&g, u, wni).unwrap();
+        let all = [
+            Method::AddIncremental,
+            Method::AddPowerset,
+            Method::AddExhaustive,
+            Method::RemoveIncremental,
+            Method::RemovePowerset,
+            Method::RemoveExhaustive,
+            Method::RemoveExhaustiveDirect,
+            Method::RemoveBruteForce,
+            Method::Combined,
+            Method::CombinedMinimal,
+        ];
+        for method in all {
+            match Explainer::explain_with_context(&ctx, method) {
+                Ok(exp) => {
+                    assert_eq!(exp.new_top, wni, "{method}: wrong target");
+                    if exp.verified {
+                        let tester = crate::tester::Tester::new(&ctx);
+                        assert!(tester.test(&exp.actions), "{method}: broken CHECK");
+                    }
+                    if let Some(mode) = method.mode() {
+                        assert_eq!(exp.mode, Some(mode), "{method}: wrong mode tag");
+                    }
+                }
+                Err(failure) => {
+                    // A failure is acceptable for remove-mode methods here,
+                    // but must carry a meta-explanation.
+                    let _ = failure.reason;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_api_matches_context_api() {
+        let (g, cfg, u, wni) = fixture();
+        let explainer = Explainer::new(cfg);
+        let one_shot = explainer.explain(&g, u, wni, Method::AddPowerset);
+        let ctx = explainer.context(&g, u, wni).unwrap();
+        let ctxed = Explainer::explain_with_context(&ctx, Method::AddPowerset);
+        match (one_shot, ctxed) {
+            (Ok(a), Ok(b)) => assert_eq!(a.actions, b.actions),
+            (Err(ExplainError::NotFound(a)), Err(b)) => assert_eq!(a.reason, b.reason),
+            other => panic!("inconsistent results: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_question_is_reported_as_such() {
+        let (g, cfg, u, _) = fixture();
+        let explainer = Explainer::new(cfg);
+        let err = explainer
+            .explain(&g, u, NodeId(1), Method::AddIncremental)
+            .unwrap_err();
+        assert!(matches!(err, ExplainError::InvalidQuestion(_)));
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(Method::AddExhaustive.label(), "add_ex");
+        assert_eq!(Method::RemoveBruteForce.label(), "remove_brute");
+        assert_eq!(Method::paper_methods().len(), 8);
+        assert_eq!(Method::AddPowerset.to_string(), "add_Powerset");
+    }
+}

@@ -1,0 +1,267 @@
+//! Why-Not explanations (paper Definition 4.2).
+
+use crate::config::EmigreConfig;
+use emigre_hin::{EdgeKey, GraphDelta, Hin, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two single-mode search spaces of Definition 4.2: remove existing
+/// user actions (`A⁻`) or add new ones (`A⁺`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    Remove,
+    Add,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Remove => write!(f, "remove"),
+            Mode::Add => write!(f, "add"),
+        }
+    }
+}
+
+/// One counterfactual action: a user-rooted edge that the explanation adds
+/// to or removes from the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    pub edge: EdgeKey,
+    /// Weight of the edge (existing weight for removals, configured weight
+    /// for additions).
+    pub weight: f64,
+    /// `true` = the edge is added (a suggested new action), `false` = the
+    /// edge is removed (a past action to undo).
+    pub added: bool,
+}
+
+impl Action {
+    pub fn remove(edge: EdgeKey, weight: f64) -> Self {
+        Action {
+            edge,
+            weight,
+            added: false,
+        }
+    }
+
+    pub fn add(edge: EdgeKey, weight: f64) -> Self {
+        Action {
+            edge,
+            weight,
+            added: true,
+        }
+    }
+}
+
+/// A verified Why-Not explanation: applying `actions` to the graph makes
+/// `new_top` (the Why-Not item) the top-1 recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// `Remove`, `Add`, or `None` for the combined mode extension (a mixed
+    /// explanation has actions of both kinds).
+    pub mode: Option<Mode>,
+    pub actions: Vec<Action>,
+    /// The item that becomes top-1 — always the Why-Not item, by the CHECK.
+    pub new_top: NodeId,
+    /// How many CHECK invocations the computation needed (reported by the
+    /// evaluation alongside runtime).
+    pub checks_performed: usize,
+    /// Whether the explanation passed the CHECK step. Every method sets
+    /// this except *Exhaustive-direct* (§6.2), the baseline that skips the
+    /// CHECK precisely to demonstrate its necessity.
+    pub verified: bool,
+}
+
+impl Explanation {
+    /// Number of counterfactual edges — the paper's *explanation size*
+    /// metric (Fig. 6).
+    pub fn size(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Builds the graph delta realising this explanation, mirroring each
+    /// edit when the configuration marks the graph as bidirectional.
+    pub fn to_delta(&self, cfg: &EmigreConfig) -> GraphDelta {
+        actions_to_delta(&self.actions, cfg)
+    }
+
+    /// Human-readable rendering in the style of the paper's running
+    /// example ("Had you not interacted with Candide and C, ...").
+    pub fn describe(&self, g: &Hin) -> String {
+        let removed: Vec<String> = self
+            .actions
+            .iter()
+            .filter(|a| !a.added)
+            .map(|a| g.display_name(a.edge.dst))
+            .collect();
+        let added: Vec<String> = self
+            .actions
+            .iter()
+            .filter(|a| a.added)
+            .map(|a| g.display_name(a.edge.dst))
+            .collect();
+        let target = g.display_name(self.new_top);
+        let mut parts = Vec::new();
+        if !removed.is_empty() {
+            parts.push(format!(
+                "you had not interacted with {}",
+                join_names(&removed)
+            ));
+        }
+        if !added.is_empty() {
+            parts.push(format!("you had interacted with {}", join_names(&added)));
+        }
+        format!(
+            "If {}, your top recommendation would be {}.",
+            parts.join(" and "),
+            target
+        )
+    }
+}
+
+/// Converts a set of actions into a [`GraphDelta`], mirroring both edge
+/// directions when configured (the paper's graphs are bidirectionalised, so
+/// undoing the action `(u, i)` removes `u→i` *and* `i→u`).
+pub fn actions_to_delta(actions: &[Action], cfg: &EmigreConfig) -> GraphDelta {
+    let mut d = GraphDelta::new();
+    for a in actions {
+        if a.added {
+            d.add_edge(a.edge, a.weight);
+            if cfg.bidirectional_actions {
+                d.add_edge(a.edge.reversed(), a.weight);
+            }
+        } else {
+            d.remove_edge(a.edge);
+            if cfg.bidirectional_actions {
+                d.remove_edge(a.edge.reversed());
+            }
+        }
+    }
+    d
+}
+
+fn join_names(names: &[String]) -> String {
+    match names.len() {
+        0 => String::new(),
+        1 => names[0].clone(),
+        _ => format!(
+            "{} and {}",
+            names[..names.len() - 1].join(", "),
+            names[names.len() - 1]
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::{EdgeTypeId, NodeTypeId};
+    use emigre_rec::RecConfig;
+
+    fn cfg(bidir: bool) -> EmigreConfig {
+        let mut c = EmigreConfig::new(RecConfig::new(NodeTypeId(1)), EdgeTypeId(0));
+        c.bidirectional_actions = bidir;
+        c
+    }
+
+    fn key(u: u32, v: u32) -> EdgeKey {
+        EdgeKey::new(NodeId(u), NodeId(v), EdgeTypeId(0))
+    }
+
+    #[test]
+    fn delta_mirrors_when_bidirectional() {
+        let e = Explanation {
+            mode: Some(Mode::Remove),
+            actions: vec![Action::remove(key(0, 1), 1.0)],
+            new_top: NodeId(5),
+            checks_performed: 1,
+            verified: true,
+        };
+        let d = e.to_delta(&cfg(true));
+        assert_eq!(d.removed().len(), 2);
+        assert!(d.removed().contains(&key(0, 1)));
+        assert!(d.removed().contains(&key(1, 0)));
+
+        let d = e.to_delta(&cfg(false));
+        assert_eq!(d.removed().len(), 1);
+    }
+
+    #[test]
+    fn add_actions_become_added_edges() {
+        let e = Explanation {
+            mode: Some(Mode::Add),
+            actions: vec![Action::add(key(0, 3), 2.0)],
+            new_top: NodeId(5),
+            checks_performed: 1,
+            verified: true,
+        };
+        let d = e.to_delta(&cfg(true));
+        assert_eq!(d.added().len(), 2);
+        assert!((d.added()[0].weight - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_counts_actions_not_mirrored_edges() {
+        let e = Explanation {
+            mode: Some(Mode::Remove),
+            actions: vec![
+                Action::remove(key(0, 1), 1.0),
+                Action::remove(key(0, 2), 1.0),
+            ],
+            new_top: NodeId(9),
+            checks_performed: 3,
+            verified: true,
+        };
+        assert_eq!(e.size(), 2);
+        assert_eq!(e.to_delta(&cfg(true)).len(), 4);
+    }
+
+    #[test]
+    fn describe_reads_like_the_paper() {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let u = g.add_node(nt, Some("Paul"));
+        let candide = g.add_node(nt, Some("Candide"));
+        let c_book = g.add_node(nt, Some("C"));
+        let hp = g.add_node(nt, Some("Harry Potter"));
+        let _ = u;
+        let e = Explanation {
+            mode: Some(Mode::Remove),
+            actions: vec![
+                Action::remove(EdgeKey::new(u, candide, EdgeTypeId(0)), 1.0),
+                Action::remove(EdgeKey::new(u, c_book, EdgeTypeId(0)), 1.0),
+            ],
+            new_top: hp,
+            checks_performed: 1,
+            verified: true,
+        };
+        let text = e.describe(&g);
+        assert_eq!(
+            text,
+            "If you had not interacted with Candide and C, your top recommendation would be Harry Potter."
+        );
+    }
+
+    #[test]
+    fn describe_mixed_mode() {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let u = g.add_node(nt, Some("Paul"));
+        let a = g.add_node(nt, Some("A"));
+        let b = g.add_node(nt, Some("B"));
+        let t = g.add_node(nt, Some("T"));
+        let e = Explanation {
+            mode: None,
+            actions: vec![
+                Action::remove(EdgeKey::new(u, a, EdgeTypeId(0)), 1.0),
+                Action::add(EdgeKey::new(u, b, EdgeTypeId(0)), 1.0),
+            ],
+            new_top: t,
+            checks_performed: 1,
+            verified: true,
+        };
+        let text = e.describe(&g);
+        assert!(text.contains("you had not interacted with A"));
+        assert!(text.contains("you had interacted with B"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Why-Not questions (paper Definition 4.1).
+//!
+//! A Why-Not question is an item `WNI` that (i) is a recommendable item,
+//! (ii) is not the current recommendation, and (iii) the user has not
+//! interacted with. Validation happens before any search is attempted so
+//! that malformed questions fail with a precise reason rather than an empty
+//! explanation.
+
+use crate::config::EmigreConfig;
+use emigre_hin::{GraphView, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated Why-Not question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhyNotQuestion {
+    pub user: NodeId,
+    pub item: NodeId,
+}
+
+/// Reasons a `(user, item)` pair is not a valid Why-Not question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuestionError {
+    /// The user node id is out of bounds or not a user-typed node pointing
+    /// anywhere — it has no PPR neighbourhood to explain.
+    InvalidUser(NodeId),
+    /// The Why-Not node is out of bounds.
+    NodeOutOfBounds(NodeId),
+    /// The Why-Not node is not of the configured item type.
+    NotAnItem(NodeId),
+    /// The user already interacted with the item (`(u, WNI) ∈ E`), so it can
+    /// never be recommended (Definition 4.1 requires `(u, WNI) ∉ E`).
+    AlreadyInteracted(NodeId),
+    /// The item IS the current top-1 recommendation — there is nothing to
+    /// explain.
+    AlreadyRecommended(NodeId),
+    /// The user and the Why-Not item are the same node.
+    SelfQuestion(NodeId),
+}
+
+impl fmt::Display for QuestionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuestionError::InvalidUser(n) => write!(f, "{n} is not a usable user node"),
+            QuestionError::NodeOutOfBounds(n) => write!(f, "{n} is out of bounds"),
+            QuestionError::NotAnItem(n) => write!(f, "{n} is not an item node"),
+            QuestionError::AlreadyInteracted(n) => {
+                write!(f, "user already interacted with {n}")
+            }
+            QuestionError::AlreadyRecommended(n) => {
+                write!(f, "{n} already is the top recommendation")
+            }
+            QuestionError::SelfQuestion(n) => write!(f, "{n} cannot ask why-not itself"),
+        }
+    }
+}
+
+impl std::error::Error for QuestionError {}
+
+impl WhyNotQuestion {
+    /// Validates a Why-Not question against the graph and configuration.
+    ///
+    /// `rec` is the user's current top-1 recommendation (computed by the
+    /// caller — typically [`crate::ExplainContext::build`] — so validation
+    /// does not need to re-run the recommender).
+    pub fn validate<G: GraphView>(
+        g: &G,
+        cfg: &EmigreConfig,
+        user: NodeId,
+        item: NodeId,
+        rec: Option<NodeId>,
+    ) -> Result<Self, QuestionError> {
+        let n = g.num_nodes() as u32;
+        if user.0 >= n {
+            return Err(QuestionError::InvalidUser(user));
+        }
+        if item.0 >= n {
+            return Err(QuestionError::NodeOutOfBounds(item));
+        }
+        if user == item {
+            return Err(QuestionError::SelfQuestion(user));
+        }
+        if g.node_type(item) != cfg.rec.item_type {
+            return Err(QuestionError::NotAnItem(item));
+        }
+        if g.has_any_edge(user, item) {
+            return Err(QuestionError::AlreadyInteracted(item));
+        }
+        if rec == Some(item) {
+            return Err(QuestionError::AlreadyRecommended(item));
+        }
+        Ok(WhyNotQuestion { user, item })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::Hin;
+    use emigre_rec::RecConfig;
+
+    fn setup() -> (Hin, EmigreConfig, NodeId, NodeId, NodeId) {
+        let mut g = Hin::new();
+        let user_t = g.registry_mut().node_type("user");
+        let item_t = g.registry_mut().node_type("item");
+        let rated = g.registry_mut().edge_type("rated");
+        let u = g.add_node(user_t, None);
+        let seen = g.add_node(item_t, None);
+        let fresh = g.add_node(item_t, None);
+        g.add_edge(u, seen, rated, 1.0).unwrap();
+        let cfg = EmigreConfig::new(RecConfig::new(item_t), rated);
+        (g, cfg, u, seen, fresh)
+    }
+
+    #[test]
+    fn valid_question_passes() {
+        let (g, cfg, u, _, fresh) = setup();
+        let q = WhyNotQuestion::validate(&g, &cfg, u, fresh, None).unwrap();
+        assert_eq!(q.user, u);
+        assert_eq!(q.item, fresh);
+    }
+
+    #[test]
+    fn interacted_item_rejected() {
+        let (g, cfg, u, seen, _) = setup();
+        assert_eq!(
+            WhyNotQuestion::validate(&g, &cfg, u, seen, None),
+            Err(QuestionError::AlreadyInteracted(seen))
+        );
+    }
+
+    #[test]
+    fn current_recommendation_rejected() {
+        let (g, cfg, u, _, fresh) = setup();
+        assert_eq!(
+            WhyNotQuestion::validate(&g, &cfg, u, fresh, Some(fresh)),
+            Err(QuestionError::AlreadyRecommended(fresh))
+        );
+    }
+
+    #[test]
+    fn non_item_rejected() {
+        let (g, cfg, u, _, _) = setup();
+        let other_user = NodeId(0); // u itself is a user
+        // ask why-not another user node
+        let mut g2 = g.clone();
+        let user_t = g2.registry().find_node_type("user").unwrap();
+        let v = g2.add_node(user_t, None);
+        assert_eq!(
+            WhyNotQuestion::validate(&g2, &cfg, u, v, None),
+            Err(QuestionError::NotAnItem(v))
+        );
+        let _ = other_user;
+    }
+
+    #[test]
+    fn bounds_and_self_checks() {
+        let (g, cfg, u, _, _) = setup();
+        assert_eq!(
+            WhyNotQuestion::validate(&g, &cfg, NodeId(99), NodeId(1), None),
+            Err(QuestionError::InvalidUser(NodeId(99)))
+        );
+        assert_eq!(
+            WhyNotQuestion::validate(&g, &cfg, u, NodeId(99), None),
+            Err(QuestionError::NodeOutOfBounds(NodeId(99)))
+        );
+        assert_eq!(
+            WhyNotQuestion::validate(&g, &cfg, u, u, None),
+            Err(QuestionError::SelfQuestion(u))
+        );
+    }
+}

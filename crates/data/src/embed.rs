@@ -1,0 +1,151 @@
+//! Deterministic text embeddings.
+//!
+//! The paper enriches its graph with review-review links weighted by the
+//! cosine similarity of Universal-Sentence-Encoder embeddings. Shipping a
+//! neural encoder is neither possible offline nor necessary: the graph
+//! algorithms only consume the *similarity structure*. [`Embedder`] hashes
+//! each token into a fixed-dimension unit vector and averages — reviews
+//! sharing vocabulary get high cosine similarity, disjoint reviews get ~0,
+//! exactly the structural signal the similarity edges need. The embedding
+//! is fully deterministic, so datasets are reproducible bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+/// Hashed bag-of-words sentence embedder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Embedder {
+    /// Embedding dimension (default 64 — plenty for similarity ranking).
+    pub dimension: usize,
+}
+
+impl Default for Embedder {
+    fn default() -> Self {
+        Embedder { dimension: 64 }
+    }
+}
+
+/// FNV-1a, the classic tiny string hash — stable across platforms and runs.
+fn fnv1a(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in token.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Embedder {
+    pub fn new(dimension: usize) -> Self {
+        assert!(dimension > 0, "embedding dimension must be positive");
+        Embedder { dimension }
+    }
+
+    /// Embeds a text into a unit vector (or the zero vector for texts with
+    /// no tokens). Tokenisation: lowercase alphanumeric runs.
+    pub fn embed(&self, text: &str) -> Vec<f64> {
+        let mut v = vec![0.0; self.dimension];
+        let mut any = false;
+        for token in text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+        {
+            let token = token.to_lowercase();
+            let h = fnv1a(&token);
+            let idx = (h % self.dimension as u64) as usize;
+            // Second hash bit decides the sign so vectors spread over the
+            // whole sphere instead of the positive orthant.
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx] += sign;
+            any = true;
+        }
+        if !any {
+            return v;
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    /// Cosine similarity of two embeddings (0 if either is the zero
+    /// vector).
+    pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Convenience: cosine similarity of two texts.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        Self::cosine(&self.embed(a), &self.embed(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_deterministic() {
+        let e = Embedder::default();
+        assert_eq!(e.embed("great book, loved it"), e.embed("great book, loved it"));
+    }
+
+    #[test]
+    fn embeddings_are_unit_vectors() {
+        let e = Embedder::default();
+        let v = e.embed("the quick brown fox");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let e = Embedder::default();
+        assert!((e.similarity("loved this novel", "loved this novel") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokenisation_normalises_case_and_punctuation() {
+        let e = Embedder::default();
+        assert!((e.similarity("Great Book!", "great book") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_texts_more_similar_than_disjoint() {
+        let e = Embedder::new(128);
+        let a = "wonderful fantasy adventure with dragons and wizards";
+        let b = "a fantasy adventure full of dragons";
+        let c = "terrible cable quality broke after two days";
+        assert!(e.similarity(a, b) > e.similarity(a, c));
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero_and_has_zero_similarity() {
+        let e = Embedder::default();
+        let z = e.embed("...");
+        assert!(z.iter().all(|&x| x == 0.0));
+        assert_eq!(e.similarity("...", "anything"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_rejects_mismatched_dimensions() {
+        Embedder::cosine(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn word_order_is_ignored() {
+        let e = Embedder::default();
+        assert!((e.similarity("alpha beta gamma", "gamma alpha beta") - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,292 @@
+//! The paper's worked examples as ready-made graphs.
+//!
+//! [`running_example`] reconstructs the book-recommendation graph of
+//! Figure 1: Paul follows two users, has read *Candide* and *C*, is
+//! recommended *Python*, and asks "Why not Harry Potter?". The paper does
+//! not publish the exact edge list, so this reconstruction was tuned (see
+//! DESIGN.md) until it reproduces every behaviour the paper derives from
+//! the figure:
+//!
+//! * Paul's top-1 recommendation is **Python** (node 16);
+//! * Fig. 1a — removing `(2,11)` *Candide* and `(2,14)` *C* makes
+//!   **Harry Potter** (8) the recommendation;
+//! * Fig. 1b — adding `(2,9)` *The Lord of the Rings* makes Harry Potter
+//!   the recommendation;
+//! * Fig. 2 — a PRINCE Why-counterfactual removes only `(2,14)` *C* and
+//!   lands on **The Alchemist** (12), *not* Harry Potter.
+//!
+//! [`popular_item_example`] builds the Fig. 7 situation: the recommended
+//! item is popular with everyone, so no subset of the user's own actions
+//! can demote it — the Remove mode must fail with the `PopularItem`
+//! meta-explanation.
+
+use emigre_core::EmigreConfig;
+use emigre_hin::{EdgeTypeId, Hin, NodeId};
+use emigre_ppr::{PprConfig, TransitionModel};
+use emigre_rec::RecConfig;
+
+/// The Figure 1 graph with named handles to every node the paper mentions.
+#[derive(Debug, Clone)]
+pub struct RunningExample {
+    pub graph: Hin,
+    pub config: EmigreConfig,
+    /// Paul — the target user (paper node 2).
+    pub paul: NodeId,
+    /// Users Paul follows (paper nodes 1 and 5).
+    pub alice: NodeId,
+    pub dave: NodeId,
+    /// *Candide* (11) and *C* (14) — Paul's past reads.
+    pub candide: NodeId,
+    pub c_book: NodeId,
+    /// *Python* (16) — the current recommendation.
+    pub python: NodeId,
+    /// *Harry Potter* (8) — the Why-Not item.
+    pub harry_potter: NodeId,
+    /// *The Lord of the Rings* (9) — the Fig. 1b suggested action.
+    pub lord_of_the_rings: NodeId,
+    /// *The Alchemist* (12) — PRINCE's replacement item (Fig. 2).
+    pub the_alchemist: NodeId,
+    /// Edge types.
+    pub follows: EdgeTypeId,
+    pub rated: EdgeTypeId,
+    pub belongs_to: EdgeTypeId,
+}
+
+/// Builds the Figure 1 running example.
+pub fn running_example() -> RunningExample {
+    let mut g = Hin::new();
+    let user_t = g.registry_mut().node_type("user");
+    let item_t = g.registry_mut().node_type("item");
+    let cat_t = g.registry_mut().node_type("category");
+    let follows = g.registry_mut().edge_type("follows");
+    let rated = g.registry_mut().edge_type("rated");
+    let belongs_to = g.registry_mut().edge_type("belongs-to");
+
+    // Users (paper nodes 1–5).
+    let alice = g.add_node(user_t, Some("Alice"));
+    let paul = g.add_node(user_t, Some("Paul"));
+    let bob = g.add_node(user_t, Some("Bob"));
+    let carol = g.add_node(user_t, Some("Carol"));
+    let dave = g.add_node(user_t, Some("Dave"));
+    // Books (paper nodes 6–17).
+    let les_miserables = g.add_node(item_t, Some("Les Miserables"));
+    let don_quixote = g.add_node(item_t, Some("Don Quixote"));
+    let harry_potter = g.add_node(item_t, Some("Harry Potter"));
+    let lord_of_the_rings = g.add_node(item_t, Some("The Lord of the Rings"));
+    let the_hobbit = g.add_node(item_t, Some("The Hobbit"));
+    let candide = g.add_node(item_t, Some("Candide"));
+    let the_alchemist = g.add_node(item_t, Some("The Alchemist"));
+    let eragon = g.add_node(item_t, Some("Eragon"));
+    let c_book = g.add_node(item_t, Some("C"));
+    let rust_book = g.add_node(item_t, Some("Rust"));
+    let python = g.add_node(item_t, Some("Python"));
+    let the_witcher = g.add_node(item_t, Some("The Witcher"));
+    // Categories (paper's blue nodes).
+    let classics = g.add_node(cat_t, Some("Classics"));
+    let programming = g.add_node(cat_t, Some("Programming"));
+    let fantasy = g.add_node(cat_t, Some("Fantasy"));
+
+    let mut link = |a: NodeId, b: NodeId, t: EdgeTypeId| {
+        g.add_edge_bidirectional(a, b, t, 1.0)
+            .expect("example edges are unique");
+    };
+
+    // Paul follows Alice and Dave; has read Candide and C.
+    link(paul, alice, follows);
+    link(paul, dave, follows);
+    link(paul, candide, rated);
+    link(paul, c_book, rated);
+    // Alice reads fantasy.
+    link(alice, harry_potter, rated);
+    link(alice, lord_of_the_rings, rated);
+    link(alice, the_hobbit, rated);
+    // Dave reads programming books and classics.
+    link(dave, python, rated);
+    link(dave, the_alchemist, rated);
+    link(dave, rust_book, rated);
+    link(dave, the_witcher, rated);
+    // Background readers.
+    link(bob, harry_potter, rated);
+    link(bob, the_alchemist, rated);
+    link(bob, les_miserables, rated);
+    link(carol, python, rated);
+    link(carol, eragon, rated);
+    link(carol, don_quixote, rated);
+    // Book-category edges.
+    for b in [les_miserables, don_quixote, candide, the_alchemist] {
+        link(b, classics, belongs_to);
+    }
+    for b in [harry_potter, lord_of_the_rings, the_hobbit, eragon, the_witcher] {
+        link(b, fantasy, belongs_to);
+    }
+    for b in [c_book, rust_book, python] {
+        link(b, programming, belongs_to);
+    }
+
+    // The paper's experimental restriction: explanations use user-item
+    // edges only. Weighted transitions on a weight-1 graph are uniform,
+    // matching the figure's unweighted reading.
+    let ppr = PprConfig {
+        transition: TransitionModel::Weighted,
+        epsilon: 1e-9,
+        ..PprConfig::default()
+    };
+    let config = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated)
+        .with_edge_types(vec![rated]);
+
+    RunningExample {
+        graph: g,
+        config,
+        paul,
+        alice,
+        dave,
+        candide,
+        c_book,
+        python,
+        harry_potter,
+        lord_of_the_rings,
+        the_alchemist,
+        follows,
+        rated,
+        belongs_to,
+    }
+}
+
+/// The Figure 7 graph: `popular` is rated by every other user, the niche
+/// Why-Not item by nobody relevant, so Remove mode cannot succeed.
+#[derive(Debug, Clone)]
+pub struct PopularItemExample {
+    pub graph: Hin,
+    pub config: EmigreConfig,
+    pub paul: NodeId,
+    /// The unbeatable popular recommendation (paper node 12).
+    pub popular: NodeId,
+    /// The hopeless Why-Not item (paper node 13).
+    pub niche: NodeId,
+    pub rated: EdgeTypeId,
+}
+
+/// Builds the Figure 7 popular-item example.
+pub fn popular_item_example() -> PopularItemExample {
+    let mut g = Hin::new();
+    let user_t = g.registry_mut().node_type("user");
+    let item_t = g.registry_mut().node_type("item");
+    let cat_t = g.registry_mut().node_type("category");
+    let rated = g.registry_mut().edge_type("rated");
+    let belongs_to = g.registry_mut().edge_type("belongs-to");
+
+    let paul = g.add_node(user_t, Some("Paul"));
+    let crowd: Vec<NodeId> = (0..6)
+        .map(|i| g.add_node(user_t, Some(&format!("crowd-{i}"))))
+        .collect();
+    let read_a = g.add_node(item_t, Some("read-a"));
+    let read_b = g.add_node(item_t, Some("read-b"));
+    let popular = g.add_node(item_t, Some("popular-hit"));
+    let niche = g.add_node(item_t, Some("niche-gem"));
+    let genre = g.add_node(cat_t, Some("genre"));
+
+    let mut link = |a: NodeId, b: NodeId, w: f64, t: EdgeTypeId| {
+        g.add_edge_bidirectional(a, b, t, w).expect("unique edges");
+    };
+    // Paul's modest history, all in the same genre as both candidates.
+    link(paul, read_a, 1.0, rated);
+    link(paul, read_b, 1.0, rated);
+    for b in [read_a, read_b, popular, niche] {
+        link(b, genre, 1.0, belongs_to);
+    }
+    // The crowd all read Paul's books AND the popular item: every path out
+    // of Paul's neighbourhood reinforces `popular`.
+    for &c in &crowd {
+        link(c, read_a, 1.0, rated);
+        link(c, read_b, 1.0, rated);
+        link(c, popular, 5.0, rated);
+    }
+
+    let ppr = PprConfig {
+        transition: TransitionModel::Weighted,
+        epsilon: 1e-9,
+        ..PprConfig::default()
+    };
+    let config = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated)
+        .with_edge_types(vec![rated]);
+    PopularItemExample {
+        graph: g,
+        config,
+        paul,
+        popular,
+        niche,
+        rated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_core::{Explainer, Method};
+
+    #[test]
+    fn paul_is_recommended_python() {
+        let ex = running_example();
+        let explainer = Explainer::new(ex.config.clone());
+        let ctx = explainer
+            .context(&ex.graph, ex.paul, ex.harry_potter)
+            .unwrap();
+        assert_eq!(ctx.rec, ex.python);
+    }
+
+    #[test]
+    fn figure_1a_remove_explanation() {
+        let ex = running_example();
+        let explainer = Explainer::new(ex.config.clone());
+        let exp = explainer
+            .explain(&ex.graph, ex.paul, ex.harry_potter, Method::RemovePowerset)
+            .expect("Fig. 1a explanation");
+        let mut removed: Vec<NodeId> = exp.actions.iter().map(|a| a.edge.dst).collect();
+        removed.sort();
+        let mut expected = vec![ex.candide, ex.c_book];
+        expected.sort();
+        assert_eq!(removed, expected, "must remove Candide and C");
+    }
+
+    #[test]
+    fn figure_1b_add_explanation() {
+        let ex = running_example();
+        let explainer = Explainer::new(ex.config.clone());
+        let exp = explainer
+            .explain(&ex.graph, ex.paul, ex.harry_potter, Method::AddPowerset)
+            .expect("Fig. 1b explanation");
+        assert_eq!(exp.size(), 1);
+        assert_eq!(exp.actions[0].edge.dst, ex.lord_of_the_rings);
+    }
+
+    #[test]
+    fn figure_2_prince_lands_elsewhere() {
+        let ex = running_example();
+        let explainer = Explainer::new(ex.config.clone());
+        let ctx = explainer
+            .context(&ex.graph, ex.paul, ex.harry_potter)
+            .unwrap();
+        let why = emigre_core::prince::prince(&ctx).expect("PRINCE counterfactual");
+        assert_eq!(why.actions.len(), 1);
+        assert_eq!(why.actions[0].edge.dst, ex.c_book, "PRINCE removes C");
+        assert_eq!(why.replacement, ex.the_alchemist);
+        assert_ne!(why.replacement, ex.harry_potter);
+    }
+
+    #[test]
+    fn popular_item_defeats_remove_mode() {
+        let ex = popular_item_example();
+        let explainer = Explainer::new(ex.config.clone());
+        let ctx = explainer.context(&ex.graph, ex.paul, ex.niche).unwrap();
+        assert_eq!(ctx.rec, ex.popular);
+        for method in [
+            Method::RemoveIncremental,
+            Method::RemovePowerset,
+            Method::RemoveExhaustive,
+            Method::RemoveBruteForce,
+        ] {
+            let res = Explainer::explain_with_context(&ctx, method);
+            assert!(res.is_err(), "{method} unexpectedly succeeded");
+        }
+    }
+}

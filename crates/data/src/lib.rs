@@ -1,0 +1,31 @@
+//! # emigre-data — datasets, embeddings and preprocessing
+//!
+//! The paper evaluates EMiGRe on the Amazon Customer Review dataset,
+//! preprocessed into a HIN ("Amazon Lite", §6.1). The original S3 bucket has
+//! been withdrawn by Amazon, so this crate provides (per DESIGN.md §3):
+//!
+//! * [`synth`] — a synthetic Amazon-style review generator calibrated to the
+//!   paper's Table 4 degree statistics (users / items / categories /
+//!   reviews, power-law item popularity, 1–5 star ratings, review text);
+//! * [`embed`] — a deterministic hashed bag-of-words sentence embedder
+//!   standing in for Google's Universal Sentence Encoder, used to create
+//!   the review-review cosine-similarity edges;
+//! * [`pipeline`] — the preprocessing steps of §6.1: keep ratings > 3,
+//!   build the typed graph (`rated`, `reviewed`, `has-review`,
+//!   `belongs-to`, `similar-to`), bidirectionalise, sample moderately
+//!   active users and extract their four-hop neighbourhood;
+//! * [`examples`] — the paper's running example (Fig. 1: Paul, *Python*,
+//!   *Harry Potter*) and the popular-item example of Fig. 7, both tuned so
+//!   that the paper's headline explanations hold exactly;
+//! * [`loader`] — a TSV loader for the real Amazon review format, so the
+//!   pipeline can run on the original data where available.
+
+pub mod embed;
+pub mod examples;
+pub mod loader;
+pub mod pipeline;
+pub mod synth;
+
+pub use embed::Embedder;
+pub use pipeline::{AmazonHin, PreprocessConfig};
+pub use synth::{SynthConfig, SynthDataset};

@@ -1,0 +1,186 @@
+//! Minimal command-line parsing shared by every experiment binary.
+//!
+//! All binaries accept the same knobs so a quick run and the paper-scale
+//! run differ only in flags:
+//!
+//! ```text
+//! --scale quick|medium|paper   dataset + sweep size preset (default: medium)
+//! --users N                    override number of sampled users
+//! --wni N                      override Why-Not items per user (list positions 2..)
+//! --seed N                     dataset/sampling seed
+//! --epsilon X                  push threshold (default 1e-6 for sweeps)
+//! --paper-epsilon              use the paper's ε = 2.7e-8
+//! --max-checks N               CHECK budget per explanation attempt
+//! --threads N                  worker threads (default: all cores)
+//! --out DIR                    CSV/JSON output directory (default target/experiments)
+//! ```
+
+use std::path::PathBuf;
+
+/// Sweep/dataset size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: tiny graph, 12 users × 3 WNIs.
+    Quick,
+    /// A couple of minutes: mid-size graph, 40 users × 5 WNIs.
+    Medium,
+    /// The paper's design: Table-4-scale graph, 100 users × 9 WNIs.
+    Paper,
+}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct EvalArgs {
+    pub scale: Scale,
+    pub users: Option<usize>,
+    pub wni_per_user: Option<usize>,
+    pub seed: u64,
+    pub epsilon: f64,
+    /// Override of the per-attempt CHECK budget (None = per-scale default).
+    pub max_checks: Option<usize>,
+    pub threads: usize,
+    pub out_dir: PathBuf,
+}
+
+impl Default for EvalArgs {
+    fn default() -> Self {
+        EvalArgs {
+            scale: Scale::Medium,
+            users: None,
+            wni_per_user: None,
+            seed: 42,
+            epsilon: 1e-6,
+            max_checks: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            out_dir: PathBuf::from("target/experiments"),
+        }
+    }
+}
+
+impl EvalArgs {
+    /// Parses `std::env::args`-style strings; exits with usage on error.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = EvalArgs::default();
+        let mut it = args.into_iter();
+        let _argv0 = it.next();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = match value("--scale").as_str() {
+                        "quick" => Scale::Quick,
+                        "medium" => Scale::Medium,
+                        "paper" | "full" => Scale::Paper,
+                        other => {
+                            eprintln!("unknown scale {other:?} (quick|medium|paper)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--users" => out.users = Some(parse_num(&value("--users"))),
+                "--wni" => out.wni_per_user = Some(parse_num(&value("--wni"))),
+                "--seed" => out.seed = parse_num(&value("--seed")) as u64,
+                "--epsilon" => {
+                    out.epsilon = value("--epsilon").parse().unwrap_or_else(|_| {
+                        eprintln!("bad --epsilon");
+                        std::process::exit(2);
+                    })
+                }
+                "--paper-epsilon" => out.epsilon = 2.7e-8,
+                "--max-checks" => out.max_checks = Some(parse_num(&value("--max-checks"))),
+                "--threads" => out.threads = parse_num(&value("--threads")).max(1),
+                "--out" => out.out_dir = PathBuf::from(value("--out")),
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --scale quick|medium|paper  --users N  --wni N  --seed N \
+                         --epsilon X | --paper-epsilon  --max-checks N  --threads N  --out DIR"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other:?} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the real process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args())
+    }
+
+    /// Number of users to sweep (preset default unless overridden).
+    pub fn effective_users(&self) -> usize {
+        self.users.unwrap_or(match self.scale {
+            Scale::Quick => 12,
+            Scale::Medium => 40,
+            Scale::Paper => 100,
+        })
+    }
+
+    /// Why-Not items per user (list positions 2..2+n).
+    pub fn effective_wni(&self) -> usize {
+        self.wni_per_user.unwrap_or(match self.scale {
+            Scale::Quick => 3,
+            Scale::Medium => 5,
+            Scale::Paper => 9,
+        })
+    }
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument {s:?}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> EvalArgs {
+        EvalArgs::parse(
+            std::iter::once("bin".to_owned()).chain(args.iter().map(|s| s.to_string())),
+        )
+    }
+
+    #[test]
+    fn defaults_are_medium_scale() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Medium);
+        assert_eq!(a.effective_users(), 40);
+        assert_eq!(a.effective_wni(), 5);
+        assert_eq!(a.epsilon, 1e-6);
+    }
+
+    #[test]
+    fn paper_scale_matches_experimental_design() {
+        let a = parse(&["--scale", "paper"]);
+        assert_eq!(a.effective_users(), 100);
+        assert_eq!(a.effective_wni(), 9);
+    }
+
+    #[test]
+    fn overrides_beat_presets() {
+        let a = parse(&["--scale", "paper", "--users", "7", "--wni", "2", "--seed", "9"]);
+        assert_eq!(a.effective_users(), 7);
+        assert_eq!(a.effective_wni(), 2);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn paper_epsilon_flag() {
+        let a = parse(&["--paper-epsilon"]);
+        assert_eq!(a.epsilon, 2.7e-8);
+    }
+}

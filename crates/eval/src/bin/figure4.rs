@@ -1,0 +1,21 @@
+//! Reproduces **Figure 4**: explanation success rate per method.
+//!
+//! Expected shape (paper §6.3): Add mode ≫ Remove mode; Exhaustive Add the
+//! best overall (~75% in the paper); Remove-mode rates low because most
+//! scenarios have no remove-only solution.
+
+use emigre_eval::args::EvalArgs;
+use emigre_eval::harness::{standard_sweep, write_artifacts};
+use emigre_eval::report;
+
+fn main() {
+    let args = EvalArgs::from_env();
+    let sweep = standard_sweep(&args);
+    let rows = report::figure4(&sweep);
+    println!(
+        "{}",
+        report::bar_chart("Figure 4 — explanation success rate per method", &rows, "%", 100.0)
+    );
+    write_artifacts(&args, &sweep).expect("write artefacts");
+    println!("artefacts written to {}", args.out_dir.display());
+}

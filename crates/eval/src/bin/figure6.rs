@@ -1,0 +1,21 @@
+//! Reproduces **Figure 6**: average explanation size per method.
+//!
+//! Expected shape (paper §6.3): sizes are small overall; Add-mode sizes
+//! near 1 except Incremental; in Remove mode, Exhaustive and Powerset
+//! track the brute-force minimum while Incremental is the largest.
+
+use emigre_eval::args::EvalArgs;
+use emigre_eval::harness::{standard_sweep, write_artifacts};
+use emigre_eval::report;
+
+fn main() {
+    let args = EvalArgs::from_env();
+    let sweep = standard_sweep(&args);
+    let rows = report::figure6(&sweep);
+    println!(
+        "{}",
+        report::bar_chart("Figure 6 — average explanation size per method", &rows, " edges", 3.0)
+    );
+    write_artifacts(&args, &sweep).expect("write artefacts");
+    println!("artefacts written to {}", args.out_dir.display());
+}

@@ -1,0 +1,43 @@
+//! Reproduces **Figure 7**: the popular-item failure case.
+//!
+//! The recommended item draws its PPR from the whole crowd's actions, so
+//! no subset of the target user's own actions can demote it — every
+//! Remove-mode method must fail, and EMiGRe's meta-explanation labels the
+//! failure `PopularItem` (§6.4).
+
+use emigre_core::{Explainer, Method};
+use emigre_data::examples::popular_item_example;
+
+fn main() {
+    let ex = popular_item_example();
+    let g = &ex.graph;
+    let explainer = Explainer::new(ex.config.clone());
+    let ctx = explainer
+        .context(g, ex.paul, ex.niche)
+        .expect("valid question");
+
+    println!(
+        "Paul is recommended {:?}; asks why not {:?}.\n",
+        g.display_name(ctx.rec),
+        g.display_name(ex.niche)
+    );
+    for method in [
+        Method::RemoveIncremental,
+        Method::RemovePowerset,
+        Method::RemoveExhaustive,
+        Method::RemoveBruteForce,
+    ] {
+        match Explainer::explain_with_context(&ctx, method) {
+            Ok(exp) => println!("{:<22} unexpectedly succeeded: {}", method.label(), exp.describe(g)),
+            Err(failure) => println!("{:<22} failed — {}", method.label(), failure.reason),
+        }
+    }
+    println!();
+    match Explainer::explain_with_context(&ctx, Method::AddIncremental) {
+        Ok(exp) => println!(
+            "Add mode, by contrast, can escape the popularity trap:\n  {}",
+            exp.describe(g)
+        ),
+        Err(failure) => println!("add_Incremental also failed — {}", failure.reason),
+    }
+}

@@ -1,0 +1,21 @@
+//! Reproduces **Table 5**: average runtime per method — (a) general,
+//! (b) when an explanation is found, (c) when none is found.
+//!
+//! Absolute numbers are far below the paper's (native Rust vs Python on a
+//! 2010 Xeon); the *ordering* is what must hold: Incremental fastest,
+//! Powerset slower, Exhaustive Add slowest by a wide margin, brute force
+//! dominated by its not-found column, direct faster than checked
+//! Exhaustive.
+
+use emigre_eval::args::EvalArgs;
+use emigre_eval::harness::{standard_sweep, write_artifacts};
+use emigre_eval::report;
+
+fn main() {
+    let args = EvalArgs::from_env();
+    let sweep = standard_sweep(&args);
+    let rows = report::table5(&sweep);
+    println!("{}", report::table5_text(&rows));
+    write_artifacts(&args, &sweep).expect("write artefacts");
+    println!("artefacts written to {}", args.out_dir.display());
+}

@@ -1,0 +1,83 @@
+//! Glue used by the experiment binaries: build dataset → scenarios →
+//! sweep → artefact files.
+
+use crate::args::EvalArgs;
+use crate::dataset::build_dataset;
+use crate::report;
+use crate::runner::{run_sweep, SweepResult};
+use crate::scenario::generate_scenarios;
+use emigre_core::Method;
+use emigre_hin::GraphView;
+use std::fs;
+use std::path::Path;
+
+/// Builds the standard dataset for `args` and runs all eight paper methods
+/// over the §6.2 scenario set.
+pub fn standard_sweep(args: &EvalArgs) -> SweepResult {
+    let (hin, cfg) = build_dataset(args);
+    eprintln!(
+        "graph: {} nodes, {} edges; {} sampled users",
+        hin.graph.num_nodes(),
+        hin.graph.num_edges(),
+        hin.users.len()
+    );
+    let scenarios = generate_scenarios(&hin.graph, &cfg, &hin.users, args.effective_wni());
+    eprintln!(
+        "scenarios: {} ({} methods → {} runs on {} threads)",
+        scenarios.len(),
+        Method::paper_methods().len(),
+        scenarios.len() * Method::paper_methods().len(),
+        args.threads
+    );
+    run_sweep(
+        &hin.graph,
+        &cfg,
+        &scenarios,
+        &Method::paper_methods(),
+        args.threads,
+        true,
+    )
+}
+
+/// Writes the sweep's JSON + CSV artefacts into `args.out_dir`; returns the
+/// directory for the caller's message.
+pub fn write_artifacts(args: &EvalArgs, sweep: &SweepResult) -> std::io::Result<()> {
+    let dir: &Path = &args.out_dir;
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("sweep.json"), sweep.to_json())?;
+    fs::write(dir.join("summary.csv"), report::summary_csv(sweep))?;
+    fs::write(dir.join("records.csv"), report::records_csv(sweep))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Scale;
+
+    #[test]
+    fn quick_sweep_end_to_end() {
+        let args = EvalArgs {
+            scale: Scale::Quick,
+            users: Some(3),
+            wni_per_user: Some(2),
+            threads: 2,
+            // Loose push threshold and tight CHECK budget: this test
+            // checks plumbing, not approximation quality, and debug builds
+            // are ~50x slower.
+            epsilon: 1e-4,
+            max_checks: Some(200),
+            ..EvalArgs::default()
+        };
+        let sweep = standard_sweep(&args);
+        assert!(sweep.num_scenarios > 0);
+        assert_eq!(
+            sweep.records.len(),
+            sweep.num_scenarios * Method::paper_methods().len()
+        );
+        // Every figure renders.
+        assert!(!report::figure4(&sweep).is_empty());
+        assert!(!report::figure6(&sweep).is_empty());
+        assert!(!report::table5(&sweep).is_empty());
+    }
+}

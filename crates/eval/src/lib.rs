@@ -1,0 +1,31 @@
+//! # emigre-eval — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6):
+//!
+//! | Artefact | Binary | Library entry point |
+//! |---|---|---|
+//! | Table 4 (graph statistics) | `table4` | [`dataset::build_dataset`] + `emigre_hin::stats` |
+//! | Fig. 4 (success rate per method) | `figure4` | [`report::figure4`] |
+//! | Fig. 5 (remove success vs brute force) | `figure5` | [`report::figure5`] |
+//! | Fig. 6 (average explanation size) | `figure6` | [`report::figure6`] |
+//! | Table 5 (average runtime a/b/c) | `table5` | [`report::table5`] |
+//! | Tables 1–3 + Figs. 1–2 (running example) | `running_example` | [`emigre_data::examples`] |
+//! | Fig. 7 (popular-item failure) | `figure7` | [`emigre_data::examples`] |
+//! | everything at once | `full_evaluation` | [`runner::run_sweep`] |
+//!
+//! The experimental design follows §6.2: for every sampled user, compute
+//! the top-10 recommendation list; each list entry except the first becomes
+//! one `(user, Why-Not item)` scenario; every scenario is solved with all
+//! eight methods; success rate, runtime and explanation size are
+//! aggregated per method.
+
+pub mod args;
+pub mod harness;
+pub mod dataset;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use args::EvalArgs;
+pub use runner::{MethodOutcome, RunRecord, SweepResult};
+pub use scenario::Scenario;

@@ -1,0 +1,209 @@
+//! Immutable compressed-sparse-row snapshot of a graph view.
+//!
+//! The experiment sweeps run thousands of PPR computations against the same
+//! base graph. [`CsrGraph`] freezes any [`GraphView`] into two contiguous
+//! CSR arrays (forward and reverse) so those computations iterate adjacency
+//! with unit-stride memory access instead of chasing per-node `Vec`s.
+
+use crate::types::{EdgeTypeId, NodeId, NodeTypeId, TypeRegistry};
+use crate::view::GraphView;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CsrEdge {
+    node: u32,
+    etype: EdgeTypeId,
+    weight: f64,
+}
+
+/// An immutable CSR snapshot implementing [`GraphView`].
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    node_types: Vec<NodeTypeId>,
+    registry: TypeRegistry,
+    out_offsets: Vec<u32>,
+    out_edges: Vec<CsrEdge>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<CsrEdge>,
+    out_weight_sums: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Freezes any [`GraphView`] into a CSR snapshot. O(V + E).
+    pub fn from_view<G: GraphView>(g: &G) -> Self {
+        let n = g.num_nodes();
+        let mut node_types = Vec::with_capacity(n);
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut out_edges = Vec::new();
+        let mut in_edges = Vec::new();
+        let mut out_weight_sums = Vec::with_capacity(n);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            node_types.push(g.node_type(id));
+            let mut wsum = 0.0;
+            g.for_each_out(id, |dst, et, w| {
+                out_edges.push(CsrEdge {
+                    node: dst.0,
+                    etype: et,
+                    weight: w,
+                });
+                wsum += w;
+            });
+            out_weight_sums.push(wsum);
+            out_offsets.push(out_edges.len() as u32);
+            g.for_each_in(id, |src, et, w| {
+                in_edges.push(CsrEdge {
+                    node: src.0,
+                    etype: et,
+                    weight: w,
+                });
+            });
+            in_offsets.push(in_edges.len() as u32);
+        }
+        CsrGraph {
+            node_types,
+            registry: g.registry().clone(),
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            out_weight_sums,
+        }
+    }
+
+    #[inline]
+    fn out_range(&self, n: NodeId) -> std::ops::Range<usize> {
+        self.out_offsets[n.index()] as usize..self.out_offsets[n.index() + 1] as usize
+    }
+
+    #[inline]
+    fn in_range(&self, n: NodeId) -> std::ops::Range<usize> {
+        self.in_offsets[n.index()] as usize..self.in_offsets[n.index() + 1] as usize
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    fn node_type(&self, n: NodeId) -> NodeTypeId {
+        self.node_types[n.index()]
+    }
+
+    fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    fn for_each_out<F: FnMut(NodeId, EdgeTypeId, f64)>(&self, n: NodeId, mut f: F) {
+        for e in &self.out_edges[self.out_range(n)] {
+            f(NodeId(e.node), e.etype, e.weight);
+        }
+    }
+
+    fn for_each_in<F: FnMut(NodeId, EdgeTypeId, f64)>(&self, n: NodeId, mut f: F) {
+        for e in &self.in_edges[self.in_range(n)] {
+            f(NodeId(e.node), e.etype, e.weight);
+        }
+    }
+
+    fn out_degree(&self, n: NodeId) -> usize {
+        self.out_range(n).len()
+    }
+
+    fn in_degree(&self, n: NodeId) -> usize {
+        self.in_range(n).len()
+    }
+
+    fn out_weight_sum(&self, n: NodeId) -> f64 {
+        self.out_weight_sums[n.index()]
+    }
+
+    fn num_edges(&self) -> usize {
+        self.out_edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Hin;
+
+    fn sample() -> Hin {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let f = g.registry_mut().edge_type("f");
+        let a = g.add_node(nt, None);
+        let b = g.add_node(nt, None);
+        let c = g.add_node(nt, None);
+        g.add_edge(a, b, et, 1.0).unwrap();
+        g.add_edge(a, c, f, 2.5).unwrap();
+        g.add_edge(b, c, et, 0.5).unwrap();
+        g.add_edge(c, a, et, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_hin() {
+        let g = sample();
+        let c = CsrGraph::from_view(&g);
+        assert_eq!(c.num_nodes(), g.num_nodes());
+        assert_eq!(c.num_edges(), g.num_edges());
+        for u in g.node_ids() {
+            assert_eq!(c.node_type(u), g.node_type(u));
+            assert_eq!(c.out_degree(u), g.out_degree(u));
+            assert_eq!(c.in_degree(u), g.in_degree(u));
+            assert!((c.out_weight_sum(u) - g.out_weight_sum(u)).abs() < 1e-12);
+            let mut hin_out = Vec::new();
+            g.for_each_out(u, |v, t, w| hin_out.push((v, t, w.to_bits())));
+            let mut csr_out = Vec::new();
+            c.for_each_out(u, |v, t, w| csr_out.push((v, t, w.to_bits())));
+            hin_out.sort();
+            csr_out.sort();
+            assert_eq!(hin_out, csr_out);
+            let mut hin_in = Vec::new();
+            g.for_each_in(u, |v, t, w| hin_in.push((v, t, w.to_bits())));
+            let mut csr_in = Vec::new();
+            c.for_each_in(u, |v, t, w| csr_in.push((v, t, w.to_bits())));
+            hin_in.sort();
+            csr_in.sort();
+            assert_eq!(hin_in, csr_in);
+        }
+    }
+
+    #[test]
+    fn csr_has_edge_and_registry() {
+        let g = sample();
+        let c = CsrGraph::from_view(&g);
+        let et = c.registry().find_edge_type("e").unwrap();
+        let f = c.registry().find_edge_type("f").unwrap();
+        assert!(c.has_edge(NodeId(0), NodeId(1), et));
+        assert!(c.has_edge(NodeId(0), NodeId(2), f));
+        assert!(!c.has_edge(NodeId(1), NodeId(0), et));
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let g = Hin::new();
+        let c = CsrGraph::from_view(&g);
+        assert_eq!(c.num_nodes(), 0);
+        assert_eq!(c.num_edges(), 0);
+    }
+
+    #[test]
+    fn delta_over_csr_composes() {
+        use crate::delta::GraphDelta;
+        use crate::types::EdgeKey;
+        let g = sample();
+        let c = CsrGraph::from_view(&g);
+        let et = c.registry().find_edge_type("e").unwrap();
+        let mut d = GraphDelta::new();
+        d.remove_edge(EdgeKey::new(NodeId(0), NodeId(1), et));
+        let v = d.overlay(&c);
+        assert!(!v.has_edge(NodeId(0), NodeId(1), et));
+        assert_eq!(v.out_degree(NodeId(0)), 1);
+    }
+}

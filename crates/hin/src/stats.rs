@@ -1,0 +1,201 @@
+//! Per-node-type degree statistics (the paper's Table 4).
+//!
+//! The paper characterises its preprocessed graph with, per node type, the
+//! node count, the average degree and the standard deviation of the degree,
+//! where a node's degree is "the number of edges connected to" it. Because
+//! the paper's graph is bidirectionalised, two conventions are possible:
+//! counting distinct undirected connections (out-degree on a symmetric
+//! graph) or counting every incident directed edge (in + out). Both are
+//! supported; callers pick the one matching Table 4's magnitudes.
+
+use crate::types::NodeTypeId;
+use crate::view::GraphView;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Degree statistics for one node type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeTypeStats {
+    pub type_name: String,
+    pub num_nodes: usize,
+    /// Mean of (in-degree + out-degree) / divisor (see [`DegreeStats`]).
+    pub avg_degree: f64,
+    /// Population standard deviation of the same quantity.
+    pub degree_std: f64,
+    pub min_degree: usize,
+    pub max_degree: usize,
+}
+
+/// Degree statistics for every node type of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    pub per_type: Vec<NodeTypeStats>,
+    pub total_nodes: usize,
+    pub total_edges: usize,
+}
+
+impl DegreeStats {
+    /// Computes statistics over a graph view.
+    ///
+    /// `count_both_directions = false` counts only outgoing edges per node
+    /// (on a bidirectionalised graph this equals the number of distinct
+    /// undirected connections, matching Table 4); `true` counts in + out.
+    pub fn compute<G: GraphView>(g: &G, count_both_directions: bool) -> Self {
+        let reg = g.registry();
+        let ntypes = reg.num_node_types();
+        let mut degrees: Vec<Vec<usize>> = vec![Vec::new(); ntypes];
+        for i in 0..g.num_nodes() {
+            let n = NodeId(i as u32);
+            let d = if count_both_directions {
+                g.out_degree(n) + g.in_degree(n)
+            } else {
+                g.out_degree(n)
+            };
+            degrees[g.node_type(n).index()].push(d);
+        }
+        let per_type = (0..ntypes)
+            .map(|t| {
+                let ds = &degrees[t];
+                let count = ds.len();
+                let (mean, std) = mean_std(ds);
+                NodeTypeStats {
+                    type_name: reg.node_type_name(NodeTypeId(t as u16)).to_owned(),
+                    num_nodes: count,
+                    avg_degree: mean,
+                    degree_std: std,
+                    min_degree: ds.iter().copied().min().unwrap_or(0),
+                    max_degree: ds.iter().copied().max().unwrap_or(0),
+                }
+            })
+            .collect();
+        DegreeStats {
+            per_type,
+            total_nodes: g.num_nodes(),
+            total_edges: g.num_edges(),
+        }
+    }
+
+    /// Looks up the statistics row for a named node type.
+    pub fn for_type(&self, name: &str) -> Option<&NodeTypeStats> {
+        self.per_type.iter().find(|s| s.type_name == name)
+    }
+
+    /// Renders an ASCII table in the shape of the paper's Table 4.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<12} {:>10} {:>16} {:>12} {:>6} {:>6}\n",
+            "Node Type", "# of Nodes", "Average Degree", "Degree STD", "Min", "Max"
+        ));
+        for row in &self.per_type {
+            s.push_str(&format!(
+                "{:<12} {:>10} {:>16.2} {:>12.2} {:>6} {:>6}\n",
+                row.type_name,
+                row.num_nodes,
+                row.avg_degree,
+                row.degree_std,
+                row.min_degree,
+                row.max_degree
+            ));
+        }
+        s.push_str(&format!(
+            "total: {} nodes, {} directed edges\n",
+            self.total_nodes, self.total_edges
+        ));
+        s
+    }
+}
+
+/// Population mean and standard deviation of a set of degrees.
+fn mean_std(xs: &[usize]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = xs
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Hin;
+
+    fn sample() -> Hin {
+        let mut g = Hin::new();
+        let user = g.registry_mut().node_type("user");
+        let item = g.registry_mut().node_type("item");
+        let rated = g.registry_mut().edge_type("rated");
+        let u1 = g.add_node(user, None);
+        let u2 = g.add_node(user, None);
+        let i1 = g.add_node(item, None);
+        let i2 = g.add_node(item, None);
+        let i3 = g.add_node(item, None);
+        g.add_edge_bidirectional(u1, i1, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(u1, i2, rated, 1.0).unwrap();
+        g.add_edge_bidirectional(u2, i1, rated, 1.0).unwrap();
+        let _ = i3; // isolated item
+        g
+    }
+
+    #[test]
+    fn out_degree_convention() {
+        let g = sample();
+        let st = DegreeStats::compute(&g, false);
+        let users = st.for_type("user").unwrap();
+        assert_eq!(users.num_nodes, 2);
+        assert!((users.avg_degree - 1.5).abs() < 1e-12); // degrees 2 and 1
+        assert_eq!(users.max_degree, 2);
+        assert_eq!(users.min_degree, 1);
+        let items = st.for_type("item").unwrap();
+        assert_eq!(items.num_nodes, 3);
+        // degrees 2, 1, 0
+        assert!((items.avg_degree - 1.0).abs() < 1e-12);
+        assert_eq!(items.min_degree, 0);
+    }
+
+    #[test]
+    fn both_directions_doubles_on_symmetric_graph() {
+        let g = sample();
+        let one = DegreeStats::compute(&g, false);
+        let both = DegreeStats::compute(&g, true);
+        for (a, b) in one.per_type.iter().zip(&both.per_type) {
+            assert!((b.avg_degree - 2.0 * a.avg_degree).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn std_is_population_std() {
+        let g = sample();
+        let st = DegreeStats::compute(&g, false);
+        let users = st.for_type("user").unwrap();
+        // degrees {2, 1}: mean 1.5, population std 0.5
+        assert!((users.degree_std - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_types() {
+        let g = sample();
+        let st = DegreeStats::compute(&g, false);
+        let t = st.to_table();
+        assert!(t.contains("user"));
+        assert!(t.contains("item"));
+        assert!(t.contains("directed edges"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Hin::new();
+        let st = DegreeStats::compute(&g, false);
+        assert_eq!(st.total_nodes, 0);
+        assert!(st.per_type.is_empty());
+    }
+}

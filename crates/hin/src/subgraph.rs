@@ -1,0 +1,177 @@
+//! k-hop neighbourhood extraction.
+//!
+//! The paper's "Amazon-Lite" graph is built by sampling 100 moderately
+//! active users and extracting the union of their four-hop neighbourhoods
+//! from the full review graph (§6.1). [`khop_subgraph`] implements the
+//! induced-subgraph extraction with a node-id remapping table so downstream
+//! results can be translated back to the original graph.
+
+use crate::graph::Hin;
+use crate::types::NodeId;
+use crate::view::GraphView;
+use std::collections::VecDeque;
+
+/// Result of an induced-subgraph extraction.
+#[derive(Debug, Clone)]
+pub struct SubgraphResult {
+    /// The induced subgraph (shares the parent's type registry).
+    pub graph: Hin,
+    /// `to_sub[original.index()] = Some(new_id)` for retained nodes.
+    pub to_sub: Vec<Option<NodeId>>,
+    /// `to_original[new.index()] = original_id`.
+    pub to_original: Vec<NodeId>,
+}
+
+impl SubgraphResult {
+    /// Maps an original node id into the subgraph, if retained.
+    pub fn map(&self, original: NodeId) -> Option<NodeId> {
+        self.to_sub.get(original.index()).copied().flatten()
+    }
+
+    /// Maps a subgraph node id back to the original graph.
+    pub fn unmap(&self, sub: NodeId) -> NodeId {
+        self.to_original[sub.index()]
+    }
+}
+
+/// Collects every node within `hops` edges of any seed, traversing edges in
+/// both directions (a node is a neighbour whether it points at the frontier
+/// or the frontier points at it), then builds the induced subgraph over the
+/// collected node set.
+pub fn khop_subgraph(g: &Hin, seeds: &[NodeId], hops: usize) -> SubgraphResult {
+    let n = g.num_nodes();
+    // dist[i] = hop distance if visited.
+    let mut dist: Vec<Option<usize>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for &s in seeds {
+        if s.index() < n && dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued nodes have distances");
+        if d == hops {
+            continue;
+        }
+        let mut visit = |v: NodeId| {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(d + 1);
+                queue.push_back(v);
+            }
+        };
+        g.for_each_out(u, |v, _, _| visit(v));
+        g.for_each_in(u, |v, _, _| visit(v));
+    }
+
+    // Build the induced subgraph with dense renumbering in original order.
+    let mut to_sub: Vec<Option<NodeId>> = vec![None; n];
+    let mut to_original: Vec<NodeId> = Vec::new();
+    let mut sub = Hin::with_registry(g.registry().clone());
+    for i in 0..n {
+        if dist[i].is_some() {
+            let orig = NodeId(i as u32);
+            let new_id = sub.add_node(g.node_type(orig), g.label(orig));
+            to_sub[i] = Some(new_id);
+            to_original.push(orig);
+        }
+    }
+    for i in 0..n {
+        let Some(su) = to_sub[i] else { continue };
+        let orig = NodeId(i as u32);
+        g.for_each_out(orig, |v, et, w| {
+            if let Some(sv) = to_sub[v.index()] {
+                sub.add_edge(su, sv, et, w)
+                    .expect("induced edges are unique and valid");
+            }
+        });
+    }
+    SubgraphResult {
+        graph: sub,
+        to_sub,
+        to_original,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EdgeTypeId;
+
+    /// Path graph 0 -> 1 -> 2 -> 3 -> 4 plus a reverse edge 4 -> 0.
+    fn path() -> (Hin, Vec<NodeId>, EdgeTypeId) {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let nodes: Vec<_> = (0..5).map(|_| g.add_node(nt, None)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], et, 1.0).unwrap();
+        }
+        g.add_edge(nodes[4], nodes[0], et, 1.0).unwrap();
+        (g, nodes, et)
+    }
+
+    #[test]
+    fn zero_hops_keeps_only_seeds() {
+        let (g, n, _) = path();
+        let r = khop_subgraph(&g, &[n[2]], 0);
+        assert_eq!(r.graph.num_nodes(), 1);
+        assert_eq!(r.graph.num_edges(), 0);
+        assert_eq!(r.unmap(NodeId(0)), n[2]);
+    }
+
+    #[test]
+    fn one_hop_includes_in_and_out_neighbors() {
+        let (g, n, _) = path();
+        let r = khop_subgraph(&g, &[n[2]], 1);
+        // neighbours of 2: out 3, in 1.
+        let kept: Vec<_> = (0..5).filter(|i| r.map(n[*i]).is_some()).collect();
+        assert_eq!(kept, vec![1, 2, 3]);
+        assert_eq!(r.graph.num_edges(), 2); // 1->2 and 2->3 induced
+    }
+
+    #[test]
+    fn full_reach_reproduces_graph() {
+        let (g, n, _) = path();
+        let r = khop_subgraph(&g, &[n[0]], 10);
+        assert_eq!(r.graph.num_nodes(), g.num_nodes());
+        assert_eq!(r.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn multiple_seeds_union() {
+        let (g, n, _) = path();
+        let r = khop_subgraph(&g, &[n[0], n[4]], 0);
+        assert_eq!(r.graph.num_nodes(), 2);
+        // edge 4 -> 0 is induced
+        assert_eq!(r.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let (g, n, _) = path();
+        let r = khop_subgraph(&g, &[n[1]], 1);
+        for i in 0..r.graph.num_nodes() {
+            let sub = NodeId(i as u32);
+            assert_eq!(r.map(r.unmap(sub)), Some(sub));
+        }
+        assert_eq!(r.map(n[4]), None);
+    }
+
+    #[test]
+    fn labels_and_types_preserved() {
+        let mut g = Hin::new();
+        let user = g.registry_mut().node_type("user");
+        let item = g.registry_mut().node_type("item");
+        let et = g.registry_mut().edge_type("rated");
+        let u = g.add_node(user, Some("paul"));
+        let i = g.add_node(item, Some("book"));
+        g.add_edge(u, i, et, 2.0).unwrap();
+        let r = khop_subgraph(&g, &[u], 1);
+        let su = r.map(u).unwrap();
+        let si = r.map(i).unwrap();
+        assert_eq!(r.graph.label(su), Some("paul"));
+        assert_eq!(r.graph.node_type(si), item);
+        assert_eq!(r.graph.edge_weight(su, si, et), Some(2.0));
+    }
+}

@@ -1,0 +1,235 @@
+//! Identifier and type-registry primitives shared across the workspace.
+//!
+//! Node and type identifiers are small transparent newtypes so that indices
+//! into the graph's internal vectors cannot be confused with each other, at
+//! zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node inside a [`crate::Hin`]. Dense, starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's position in the graph's dense node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Interned identifier of a *node* type (e.g. `user`, `item`, `category`).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeTypeId(pub u16);
+
+/// Interned identifier of an *edge* type (e.g. `rated`, `belongs-to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeTypeId(pub u16);
+
+impl NodeTypeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeTypeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Fully-qualified identity of a directed edge: `(source, destination, type)`.
+///
+/// The HIN allows at most one edge per key, so an `EdgeKey` uniquely
+/// addresses an edge for removal, lookup and counterfactual overlays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeKey {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub etype: EdgeTypeId,
+}
+
+impl EdgeKey {
+    pub fn new(src: NodeId, dst: NodeId, etype: EdgeTypeId) -> Self {
+        EdgeKey { src, dst, etype }
+    }
+
+    /// The same edge in the opposite direction (used when mirroring edges in
+    /// the bidirectional preprocessing step of the paper's Section 6.1).
+    pub fn reversed(self) -> Self {
+        EdgeKey {
+            src: self.dst,
+            dst: self.src,
+            etype: self.etype,
+        }
+    }
+}
+
+impl fmt::Display for EdgeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {}, t{})", self.src, self.dst, self.etype.0)
+    }
+}
+
+/// Interning registry mapping human-readable node/edge type names to the
+/// dense [`NodeTypeId`] / [`EdgeTypeId`] identifiers stored in the graph.
+///
+/// The paper's mapping θ (Definition 3.1) assigns each node and edge exactly
+/// one type; the registry is the θ codomain. Registries are cheap to clone
+/// and are embedded in [`crate::Hin`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TypeRegistry {
+    node_types: Vec<String>,
+    edge_types: Vec<String>,
+}
+
+impl TypeRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns (or retrieves) a node type by name.
+    pub fn node_type(&mut self, name: &str) -> NodeTypeId {
+        if let Some(pos) = self.node_types.iter().position(|n| n == name) {
+            return NodeTypeId(pos as u16);
+        }
+        assert!(
+            self.node_types.len() < u16::MAX as usize,
+            "too many node types"
+        );
+        self.node_types.push(name.to_owned());
+        NodeTypeId((self.node_types.len() - 1) as u16)
+    }
+
+    /// Interns (or retrieves) an edge type by name.
+    pub fn edge_type(&mut self, name: &str) -> EdgeTypeId {
+        if let Some(pos) = self.edge_types.iter().position(|n| n == name) {
+            return EdgeTypeId(pos as u16);
+        }
+        assert!(
+            self.edge_types.len() < u16::MAX as usize,
+            "too many edge types"
+        );
+        self.edge_types.push(name.to_owned());
+        EdgeTypeId((self.edge_types.len() - 1) as u16)
+    }
+
+    /// Looks up an already-interned node type without interning.
+    pub fn find_node_type(&self, name: &str) -> Option<NodeTypeId> {
+        self.node_types
+            .iter()
+            .position(|n| n == name)
+            .map(|p| NodeTypeId(p as u16))
+    }
+
+    /// Looks up an already-interned edge type without interning.
+    pub fn find_edge_type(&self, name: &str) -> Option<EdgeTypeId> {
+        self.edge_types
+            .iter()
+            .position(|n| n == name)
+            .map(|p| EdgeTypeId(p as u16))
+    }
+
+    /// Human-readable name of a node type.
+    pub fn node_type_name(&self, id: NodeTypeId) -> &str {
+        &self.node_types[id.index()]
+    }
+
+    /// Human-readable name of an edge type.
+    pub fn edge_type_name(&self, id: EdgeTypeId) -> &str {
+        &self.edge_types[id.index()]
+    }
+
+    pub fn num_node_types(&self) -> usize {
+        self.node_types.len()
+    }
+
+    pub fn num_edge_types(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    /// Iterator over all node type ids.
+    pub fn node_type_ids(&self) -> impl Iterator<Item = NodeTypeId> + '_ {
+        (0..self.node_types.len() as u16).map(NodeTypeId)
+    }
+
+    /// Iterator over all edge type ids.
+    pub fn edge_type_ids(&self) -> impl Iterator<Item = EdgeTypeId> + '_ {
+        (0..self.edge_types.len() as u16).map(EdgeTypeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn registry_interns_and_reuses() {
+        let mut reg = TypeRegistry::new();
+        let user = reg.node_type("user");
+        let item = reg.node_type("item");
+        assert_ne!(user, item);
+        assert_eq!(reg.node_type("user"), user);
+        assert_eq!(reg.node_type_name(item), "item");
+        assert_eq!(reg.num_node_types(), 2);
+    }
+
+    #[test]
+    fn registry_edge_types_independent_of_node_types() {
+        let mut reg = TypeRegistry::new();
+        let rated = reg.edge_type("rated");
+        reg.node_type("rated"); // same name, different namespace
+        assert_eq!(reg.find_edge_type("rated"), Some(rated));
+        assert_eq!(reg.num_edge_types(), 1);
+        assert_eq!(reg.num_node_types(), 1);
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let reg = TypeRegistry::new();
+        assert_eq!(reg.find_node_type("ghost"), None);
+        assert_eq!(reg.find_edge_type("ghost"), None);
+    }
+
+    #[test]
+    fn edge_key_reverse_is_involutive() {
+        let k = EdgeKey::new(NodeId(1), NodeId(2), EdgeTypeId(0));
+        assert_eq!(k.reversed().reversed(), k);
+        assert_ne!(k.reversed(), k);
+    }
+
+    #[test]
+    fn type_id_iterators_cover_all() {
+        let mut reg = TypeRegistry::new();
+        reg.node_type("a");
+        reg.node_type("b");
+        reg.edge_type("x");
+        assert_eq!(reg.node_type_ids().count(), 2);
+        assert_eq!(reg.edge_type_ids().count(), 1);
+    }
+}

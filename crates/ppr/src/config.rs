@@ -1,0 +1,139 @@
+//! Hyper-parameters of the PPR engines.
+
+use crate::transition::TransitionModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by every PPR engine.
+///
+/// Defaults follow the paper's experimental setting (§6.1): teleportation
+/// probability α = 0.15, RecWalk mix β = 0.5. The paper runs local push with
+/// ε = 2.7e-8; the default here is 1e-7, which keeps the same approximation
+/// regime while letting the full experiment sweep finish in reasonable time
+/// — the eval binaries accept `--paper-epsilon` to use the exact value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PprConfig {
+    /// Teleportation probability α: at each step the surfer returns to the
+    /// seed with probability α and follows an out-edge with probability 1−α.
+    pub alpha: f64,
+    /// Local-push residual threshold ε: nodes whose |residual| exceeds ε are
+    /// pushed; when none remain, estimates are within the invariant bound.
+    pub epsilon: f64,
+    /// Hard cap on power-iteration rounds.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance for power iteration.
+    pub tolerance: f64,
+    /// How a node distributes its random-walk mass over its out-edges.
+    pub transition: TransitionModel,
+}
+
+impl Default for PprConfig {
+    fn default() -> Self {
+        PprConfig {
+            alpha: 0.15,
+            epsilon: 1e-7,
+            max_iterations: 200,
+            tolerance: 1e-12,
+            transition: TransitionModel::RecWalk { beta: 0.5 },
+        }
+    }
+}
+
+impl PprConfig {
+    /// The paper's exact hyper-parameters: α = 0.15, β = 0.5, ε = 2.7e-8.
+    pub fn paper() -> Self {
+        PprConfig {
+            epsilon: 2.7e-8,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the config with a different teleportation probability.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Returns the config with a different push threshold.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Returns the config with a different transition model.
+    pub fn with_transition(mut self, transition: TransitionModel) -> Self {
+        self.transition = transition;
+        self
+    }
+
+    /// Panics if the configuration is not usable (sanity net for
+    /// user-supplied values).
+    pub fn validate(&self) {
+        assert!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha must be in (0, 1), got {}",
+            self.alpha
+        );
+        assert!(
+            self.epsilon > 0.0 && self.epsilon.is_finite(),
+            "epsilon must be positive, got {}",
+            self.epsilon
+        );
+        assert!(self.max_iterations > 0, "max_iterations must be positive");
+        assert!(
+            self.tolerance > 0.0 && self.tolerance.is_finite(),
+            "tolerance must be positive, got {}",
+            self.tolerance
+        );
+        if let TransitionModel::RecWalk { beta } = self.transition {
+            assert!(
+                (0.0..=1.0).contains(&beta),
+                "beta must be in [0, 1], got {beta}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_hyperparameters() {
+        let c = PprConfig::default();
+        assert_eq!(c.alpha, 0.15);
+        assert_eq!(c.transition, TransitionModel::RecWalk { beta: 0.5 });
+        c.validate();
+    }
+
+    #[test]
+    fn paper_config_uses_paper_epsilon() {
+        let c = PprConfig::paper();
+        assert_eq!(c.epsilon, 2.7e-8);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = PprConfig::default()
+            .with_alpha(0.2)
+            .with_epsilon(1e-5)
+            .with_transition(TransitionModel::Uniform);
+        assert_eq!(c.alpha, 0.2);
+        assert_eq!(c.epsilon, 1e-5);
+        assert_eq!(c.transition, TransitionModel::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        PprConfig::default().with_alpha(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_panics() {
+        PprConfig::default()
+            .with_transition(TransitionModel::RecWalk { beta: 2.0 })
+            .validate();
+    }
+}

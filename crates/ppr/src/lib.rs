@@ -1,0 +1,43 @@
+//! # emigre-ppr — Personalized PageRank engines
+//!
+//! The EMiGRe paper scores user-item relevance with Personalized PageRank
+//! (PPR, Jeh & Widom) over a Heterogeneous Information Network, and keeps it
+//! tractable with the **Forward Local Push** and **Reverse Local Push**
+//! approximations of Zhang, Lofgren & Goel (KDD'16), including their
+//! dynamic-graph updates. This crate implements all of it:
+//!
+//! * [`power`] — dense power iteration; the exact reference every
+//!   approximation is validated against;
+//! * [`forward`] — Forward Local Push from a source node, maintaining the
+//!   invariant of the paper's Eq. (3):
+//!   `PPR(s,t) = p(t) + Σ_x r(x)·PPR(x,t)`;
+//! * [`reverse`] — Reverse Local Push towards a target node, maintaining the
+//!   invariant of Eq. (4): `PPR(s,t) = p(s) + Σ_x PPR(s,x)·r(x)`;
+//! * [`dynamic`] — closed-form residual repair after an edge insertion or
+//!   deletion, so push states survive graph updates without recomputation;
+//! * [`monte_carlo`] — α-terminated random-walk estimation, the sampling
+//!   engine Zhang et al. pair with reverse push;
+//! * [`transition`] — the random-walk transition models (weighted, uniform,
+//!   and the RecWalk-style β-mix the paper configures with β = 0.5);
+//! * [`topk`] — deterministic top-k extraction with exclusion sets.
+//!
+//! All engines are generic over [`emigre_hin::GraphView`], so they run
+//! unchanged on the base graph, CSR snapshots, and counterfactual
+//! [`emigre_hin::DeltaView`] overlays.
+
+pub mod config;
+pub mod dynamic;
+pub mod forward;
+pub mod monte_carlo;
+pub mod power;
+pub mod reverse;
+pub mod topk;
+pub mod transition;
+
+pub use config::PprConfig;
+pub use forward::ForwardPush;
+pub use monte_carlo::ppr_monte_carlo;
+pub use power::ppr_power;
+pub use reverse::ReversePush;
+pub use topk::{rank_of, top_k};
+pub use transition::{transition_row, TransitionModel};

@@ -1,0 +1,191 @@
+//! Monte-Carlo PPR estimation.
+//!
+//! The third classic PPR engine besides power iteration and local push —
+//! and the one Zhang, Lofgren & Goel pair with Reverse Local Push in their
+//! hybrid estimator. A walk starting at the seed terminates with
+//! probability α at every step; the stationary teleport identity
+//! `PPR(s,t) = Pr[an α-terminated walk from s ends at t]` makes endpoint
+//! frequencies an unbiased estimator. Accuracy is `O(1/√W)` in the number
+//! of walks, so this engine suits *coarse, whole-vector* estimates —
+//! complementary to reverse push, which gives sharp estimates for a single
+//! target.
+//!
+//! Consistent with the rest of the crate, dangling nodes absorb the walk:
+//! a walk asked to continue from a node with no out-edges is discarded
+//! (contributes no endpoint), matching the sub-stochastic transition
+//! convention of [`crate::transition`].
+
+use crate::config::PprConfig;
+use emigre_hin::{GraphView, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Monte-Carlo estimation run.
+#[derive(Debug, Clone)]
+pub struct MonteCarloEstimate {
+    /// `estimates[t] ≈ PPR(seed, t)`.
+    pub estimates: Vec<f64>,
+    /// Number of walks simulated.
+    pub walks: usize,
+    /// Walks discarded at dangling nodes (their mass leaks, exactly like
+    /// the analytic engines).
+    pub absorbed: usize,
+}
+
+/// Simulates `walks` α-terminated random walks from `seed` and returns the
+/// endpoint-frequency estimate of the PPR vector. Deterministic in
+/// `rng_seed`.
+pub fn ppr_monte_carlo<G: GraphView>(
+    g: &G,
+    cfg: &PprConfig,
+    seed: NodeId,
+    walks: usize,
+    rng_seed: u64,
+) -> MonteCarloEstimate {
+    cfg.validate();
+    assert!(walks > 0, "need at least one walk");
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mut counts = vec![0u32; g.num_nodes()];
+    let mut absorbed = 0usize;
+
+    'walks: for _ in 0..walks {
+        let mut at = seed;
+        loop {
+            if rng.gen_bool(cfg.alpha) {
+                counts[at.index()] += 1;
+                continue 'walks;
+            }
+            match step(g, cfg, at, &mut rng) {
+                Some(next) => at = next,
+                None => {
+                    absorbed += 1;
+                    continue 'walks;
+                }
+            }
+        }
+    }
+
+    let norm = walks as f64;
+    MonteCarloEstimate {
+        estimates: counts.into_iter().map(|c| f64::from(c) / norm).collect(),
+        walks,
+        absorbed,
+    }
+}
+
+/// One transition sampled from the configured model; `None` at dangling
+/// nodes.
+fn step<G: GraphView, R: Rng>(g: &G, cfg: &PprConfig, at: NodeId, rng: &mut R) -> Option<NodeId> {
+    let deg = g.out_degree(at);
+    if deg == 0 {
+        return None;
+    }
+    // Inverse-CDF sampling over the transition row. Out-degrees in review
+    // graphs are small, so the linear scan beats alias-table setup.
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    let mut chosen = None;
+    let wsum = g.out_weight_sum(at);
+    g.for_each_out(at, |v, _, w| {
+        if chosen.is_none() {
+            acc += cfg.transition.edge_probability(w, wsum, deg);
+            if x < acc {
+                chosen = Some(v);
+            }
+        }
+    });
+    // Rounding can leave x marginally above the final cumulative sum; the
+    // last edge is the correct bucket then.
+    chosen.or_else(|| {
+        let mut last = None;
+        g.for_each_out(at, |v, _, _| last = Some(v));
+        last
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::ppr_power;
+    use crate::transition::TransitionModel;
+    use emigre_hin::Hin;
+
+    fn cfg() -> PprConfig {
+        PprConfig {
+            transition: TransitionModel::Weighted,
+            tolerance: 1e-13,
+            ..PprConfig::default()
+        }
+    }
+
+    fn ring(n: usize) -> Hin {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let nodes: Vec<_> = (0..n).map(|_| g.add_node(nt, None)).collect();
+        for i in 0..n {
+            g.add_edge_bidirectional(nodes[i], nodes[(i + 1) % n], et, 1.0 + (i % 3) as f64)
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn estimates_converge_to_power_iteration() {
+        let g = ring(8);
+        let c = cfg();
+        let exact = ppr_power(&g, &c, NodeId(0));
+        let mc = ppr_monte_carlo(&g, &c, NodeId(0), 200_000, 7);
+        for t in 0..8 {
+            assert!(
+                (mc.estimates[t] - exact[t]).abs() < 0.01,
+                "t={t}: mc {} vs exact {}",
+                mc.estimates[t],
+                exact[t]
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_form_a_distribution_without_dangling() {
+        let g = ring(6);
+        let mc = ppr_monte_carlo(&g, &cfg(), NodeId(2), 50_000, 1);
+        let sum: f64 = mc.estimates.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum {sum}");
+        assert_eq!(mc.absorbed, 0);
+    }
+
+    #[test]
+    fn deterministic_in_rng_seed() {
+        let g = ring(5);
+        let a = ppr_monte_carlo(&g, &cfg(), NodeId(0), 10_000, 42);
+        let b = ppr_monte_carlo(&g, &cfg(), NodeId(0), 10_000, 42);
+        assert_eq!(a.estimates, b.estimates);
+        let c = ppr_monte_carlo(&g, &cfg(), NodeId(0), 10_000, 43);
+        assert_ne!(a.estimates, c.estimates);
+    }
+
+    #[test]
+    fn dangling_nodes_absorb_walks() {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let a = g.add_node(nt, None);
+        let b = g.add_node(nt, None); // dangling
+        g.add_edge(a, b, et, 1.0).unwrap();
+        let c = cfg();
+        let mc = ppr_monte_carlo(&g, &c, a, 100_000, 9);
+        assert!(mc.absorbed > 0);
+        let exact = ppr_power(&g, &c, a);
+        assert!((mc.estimates[0] - exact[0]).abs() < 0.01);
+        assert!((mc.estimates[1] - exact[1]).abs() < 0.01);
+        assert!(mc.estimates.iter().sum::<f64>() < 1.0);
+    }
+
+    #[test]
+    fn seed_mass_is_at_least_alpha() {
+        let g = ring(7);
+        let mc = ppr_monte_carlo(&g, &cfg(), NodeId(3), 100_000, 3);
+        assert!(mc.estimates[3] > 0.13, "got {}", mc.estimates[3]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Reverse Local Push (RLP).
+//!
+//! Approximates the PPR *column* `PPR(·, t)` — the importance of target `t`
+//! seen from every possible source — by pushing mass backwards through
+//! incoming edges. The state maintains the paper's Eq. (4) invariant:
+//!
+//! ```text
+//! PPR(s,t) = p(s) + Σ_x PPR(s,x) · r(x)      ∀ s
+//! ```
+//!
+//! EMiGRe uses RLP twice: rooted at the current recommendation `rec` and at
+//! the Why-Not item `WNI`, one run each yields `PPR(n, rec)` and
+//! `PPR(n, WNI)` for *every* candidate neighbour `n` simultaneously — the
+//! inputs of the contribution equations (5) and (6). The Add-mode search
+//! space (Algorithm 2, line 8) is exactly the support of the RLP estimates
+//! rooted at `WNI`.
+
+use crate::config::PprConfig;
+use emigre_hin::{GraphView, NodeId};
+use std::collections::VecDeque;
+
+/// State of a Reverse Local Push towards one target node.
+#[derive(Debug, Clone)]
+pub struct ReversePush {
+    /// The target `t` whose column is approximated.
+    pub target: NodeId,
+    /// Estimates `p(s) ≈ PPR(s, target)`.
+    pub estimates: Vec<f64>,
+    /// Residuals `r(x)` of Eq. (4).
+    pub residuals: Vec<f64>,
+    /// Total push operations performed over the state's lifetime.
+    pub pushes: usize,
+}
+
+impl ReversePush {
+    /// Runs RLP towards `target` to convergence.
+    pub fn compute<G: GraphView>(g: &G, cfg: &PprConfig, target: NodeId) -> Self {
+        cfg.validate();
+        let n = g.num_nodes();
+        let mut state = ReversePush {
+            target,
+            estimates: vec![0.0; n],
+            residuals: vec![0.0; n],
+            pushes: 0,
+        };
+        state.residuals[target.index()] = 1.0;
+        state.push_until_converged(g, cfg);
+        state
+    }
+
+    /// Pushes until every |residual| ≤ ε.
+    pub fn push_until_converged<G: GraphView>(&mut self, g: &G, cfg: &PprConfig) {
+        let eps = cfg.epsilon;
+        let n = self.residuals.len();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut queued = vec![false; n];
+        for (i, &r) in self.residuals.iter().enumerate() {
+            if r.abs() > eps {
+                queue.push_back(i as u32);
+                queued[i] = true;
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            queued[v as usize] = false;
+            let r = self.residuals[v as usize];
+            if r.abs() <= eps {
+                continue;
+            }
+            self.residuals[v as usize] = 0.0;
+            self.estimates[v as usize] += cfg.alpha * r;
+            self.pushes += 1;
+            let spread = (1.0 - cfg.alpha) * r;
+            // Push backwards: every in-neighbour u gains (1−α)·W(u,v)·r.
+            let vid = NodeId(v);
+            let residuals = &mut self.residuals;
+            g.for_each_in(vid, |u, _, w| {
+                let deg = g.out_degree(u);
+                debug_assert!(deg > 0, "in-edge implies out-edge at source");
+                let wsum = g.out_weight_sum(u);
+                let p = cfg.transition.edge_probability(w, wsum, deg);
+                let ui = u.index();
+                residuals[ui] += spread * p;
+                if residuals[ui].abs() > eps && !queued[ui] {
+                    queued[ui] = true;
+                    queue.push_back(ui as u32);
+                }
+            });
+        }
+    }
+
+    /// Estimated `PPR(s, target)`.
+    #[inline]
+    pub fn estimate(&self, s: NodeId) -> f64 {
+        self.estimates[s.index()]
+    }
+
+    /// Nodes with a non-zero estimate, i.e. the sources from which the
+    /// target is (locally) reachable — EMiGRe's Add-mode candidate pool.
+    pub fn support(&self) -> Vec<NodeId> {
+        self.estimates
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Sum of |residuals|.
+    pub fn residual_mass(&self) -> f64 {
+        self.residuals.iter().map(|r| r.abs()).sum()
+    }
+
+    /// Repairs the Eq. (4) invariant after the transition row of `node`
+    /// changed.
+    ///
+    /// The unique residual pairing with estimates `p` is
+    /// `r = e_t − (p − (1−α)·W·p)/α`, so a change to row `u` shifts only
+    /// `r(u)`, by `(1−α)/α · Σ_v ΔW(u,v)·p(v)`.
+    pub fn repair_row_change(
+        &mut self,
+        cfg: &PprConfig,
+        node: NodeId,
+        old_row: &[(NodeId, f64)],
+        new_row: &[(NodeId, f64)],
+    ) {
+        let mut dot_new = 0.0;
+        for &(v, p) in new_row {
+            dot_new += p * self.estimates[v.index()];
+        }
+        let mut dot_old = 0.0;
+        for &(v, p) in old_row {
+            dot_old += p * self.estimates[v.index()];
+        }
+        self.residuals[node.index()] += (1.0 - cfg.alpha) / cfg.alpha * (dot_new - dot_old);
+    }
+
+    /// Repairs residuals for every changed transition row between two graph
+    /// views and pushes to convergence on the new view.
+    pub fn repair_and_push<GOld: GraphView, GNew: GraphView>(
+        &mut self,
+        old_g: &GOld,
+        new_g: &GNew,
+        touched: &[NodeId],
+        cfg: &PprConfig,
+    ) {
+        for &u in touched {
+            let old_row = crate::transition::transition_row(old_g, cfg.transition, u);
+            let new_row = crate::transition::transition_row(new_g, cfg.transition, u);
+            self.repair_row_change(cfg, u, &old_row, &new_row);
+        }
+        self.push_until_converged(new_g, cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::ppr_power;
+    use crate::transition::TransitionModel;
+    use emigre_hin::Hin;
+
+    fn cfg(eps: f64) -> PprConfig {
+        PprConfig {
+            transition: TransitionModel::Weighted,
+            epsilon: eps,
+            tolerance: 1e-14,
+            max_iterations: 10_000,
+            ..PprConfig::default()
+        }
+    }
+
+    fn ring_with_chords(n: usize) -> Hin {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let nodes: Vec<_> = (0..n).map(|_| g.add_node(nt, None)).collect();
+        for i in 0..n {
+            g.add_edge(nodes[i], nodes[(i + 1) % n], et, 1.0).unwrap();
+            g.add_edge(nodes[i], nodes[(i + 3) % n], et, 2.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn estimates_converge_to_exact_column() {
+        let g = ring_with_chords(12);
+        let c = cfg(1e-10);
+        let rp = ReversePush::compute(&g, &c, NodeId(5));
+        for s in 0..12 {
+            let exact = ppr_power(&g, &c, NodeId(s as u32))[5];
+            assert!(
+                (rp.estimates[s] - exact).abs() < 1e-6,
+                "s={s}: {} vs {}",
+                rp.estimates[s],
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn invariant_holds_at_loose_epsilon() {
+        let g = ring_with_chords(10);
+        let c = cfg(1e-3);
+        let rp = ReversePush::compute(&g, &c, NodeId(7));
+        let tight = cfg(1e-10);
+        let exact_from: Vec<Vec<f64>> = (0..10)
+            .map(|x| ppr_power(&g, &tight, NodeId(x as u32)))
+            .collect();
+        for s in 0..10 {
+            let mut rhs = rp.estimates[s];
+            for x in 0..10 {
+                rhs += exact_from[s][x] * rp.residuals[x];
+            }
+            let lhs = exact_from[s][7];
+            assert!(
+                (lhs - rhs).abs() < 1e-9,
+                "invariant violated at s={s}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn support_excludes_sources_that_cannot_reach_target() {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let a = g.add_node(nt, None);
+        let b = g.add_node(nt, None);
+        let c = g.add_node(nt, None); // isolated from target's in-tree
+        g.add_edge(a, b, et, 1.0).unwrap();
+        g.add_edge(b, a, et, 1.0).unwrap();
+        g.add_edge(b, c, et, 1.0).unwrap(); // c is a sink reachable FROM b
+        let conf = cfg(1e-10);
+        let rp = ReversePush::compute(&g, &conf, b);
+        let support = rp.support();
+        assert!(support.contains(&a));
+        assert!(support.contains(&b));
+        assert!(!support.contains(&c), "c has no path to b");
+    }
+
+    #[test]
+    fn repair_after_edge_insertion_matches_exact() {
+        let mut g = ring_with_chords(10);
+        let c = cfg(1e-9);
+        let mut rp = ReversePush::compute(&g, &c, NodeId(6));
+        let et = g.registry().find_edge_type("e").unwrap();
+        let old = g.clone();
+        g.add_edge(NodeId(1), NodeId(6), et, 4.0).unwrap();
+        rp.repair_and_push(&old, &g, &[NodeId(1)], &c);
+        for s in 0..10 {
+            let exact = ppr_power(&g, &c, NodeId(s as u32))[6];
+            assert!(
+                (rp.estimates[s] - exact).abs() < 1e-6,
+                "s={s}: {} vs {}",
+                rp.estimates[s],
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn repair_after_edge_removal_matches_exact() {
+        let mut g = ring_with_chords(10);
+        let c = cfg(1e-9);
+        let mut rp = ReversePush::compute(&g, &c, NodeId(2));
+        let et = g.registry().find_edge_type("e").unwrap();
+        let old = g.clone();
+        g.remove_edge(NodeId(9), NodeId(2), et).unwrap();
+        rp.repair_and_push(&old, &g, &[NodeId(9)], &c);
+        for s in 0..10 {
+            let exact = ppr_power(&g, &c, NodeId(s as u32))[2];
+            assert!(
+                (rp.estimates[s] - exact).abs() < 1e-6,
+                "s={s}: {} vs {}",
+                rp.estimates[s],
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn target_estimate_at_least_alpha() {
+        let g = ring_with_chords(8);
+        let c = cfg(1e-8);
+        let rp = ReversePush::compute(&g, &c, NodeId(3));
+        assert!(rp.estimate(NodeId(3)) >= c.alpha - 1e-6);
+    }
+
+    #[test]
+    fn forward_and_reverse_agree_on_single_pair() {
+        let g = ring_with_chords(11);
+        let c = cfg(1e-10);
+        let fp = crate::forward::ForwardPush::compute(&g, &c, NodeId(2));
+        let rp = ReversePush::compute(&g, &c, NodeId(8));
+        assert!((fp.estimate(NodeId(8)) - rp.estimate(NodeId(2))).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,172 @@
+//! Random-walk transition models over a HIN.
+//!
+//! PPR is parameterised by a row-stochastic (or sub-stochastic) transition
+//! matrix `W`. The paper builds on RecWalk (Nikolakopoulos & Karypis) with a
+//! random-walk parameter β = 0.5; we realise this as a convex mix of the two
+//! natural transition kernels on a weighted graph: with probability β the
+//! surfer follows an out-edge proportionally to its *weight*, with
+//! probability 1−β it follows a *uniformly* random out-edge. β = 1 recovers
+//! the purely weighted walk, β = 0 the purely structural walk.
+//!
+//! Nodes without out-edges get an all-zero transition row (sub-stochastic
+//! `W`): walk mass that reaches a dangling node is absorbed. Every engine in
+//! this crate — power iteration and both push variants — shares this
+//! convention, so their results agree on any graph.
+
+use emigre_hin::{GraphView, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// How a node distributes random-walk mass over its out-edges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TransitionModel {
+    /// Probability proportional to edge weight: `W(u,v) = w(u,v) / Σ w(u,·)`.
+    Weighted,
+    /// Uniform over out-edges: `W(u,v) = 1 / deg_out(u)` (summing parallel
+    /// typed edges separately, like the weighted model does).
+    Uniform,
+    /// RecWalk-style mix: `β·weighted + (1−β)·uniform`.
+    RecWalk { beta: f64 },
+}
+
+impl TransitionModel {
+    /// Probability assigned to one out-edge of `u`, given that edge's weight
+    /// and `u`'s cached aggregates.
+    #[inline]
+    pub fn edge_probability(&self, weight: f64, weight_sum: f64, out_degree: usize) -> f64 {
+        match *self {
+            TransitionModel::Weighted => weight / weight_sum,
+            TransitionModel::Uniform => 1.0 / out_degree as f64,
+            TransitionModel::RecWalk { beta } => {
+                beta * (weight / weight_sum) + (1.0 - beta) / out_degree as f64
+            }
+        }
+    }
+
+    /// Invokes `f(v, prob)` for every out-edge of `u` with its transition
+    /// probability. Parallel edges (same endpoints, different types) are
+    /// reported separately; their probabilities sum as expected.
+    #[inline]
+    pub fn for_each_probability<G, F>(&self, g: &G, u: NodeId, mut f: F)
+    where
+        G: GraphView,
+        F: FnMut(NodeId, f64),
+    {
+        let deg = g.out_degree(u);
+        if deg == 0 {
+            return;
+        }
+        let wsum = g.out_weight_sum(u);
+        g.for_each_out(u, |v, _, w| {
+            f(v, self.edge_probability(w, wsum, deg));
+        });
+    }
+}
+
+/// Materialises one transition row as `(destination, probability)` pairs.
+/// Parallel edges to the same destination are merged.
+pub fn transition_row<G: GraphView>(g: &G, model: TransitionModel, u: NodeId) -> Vec<(NodeId, f64)> {
+    let mut row: Vec<(NodeId, f64)> = Vec::with_capacity(g.out_degree(u));
+    model.for_each_probability(g, u, |v, p| {
+        if let Some(entry) = row.iter_mut().find(|(n, _)| *n == v) {
+            entry.1 += p;
+        } else {
+            row.push((v, p));
+        }
+    });
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::Hin;
+
+    fn star() -> (Hin, NodeId, Vec<NodeId>) {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let hub = g.add_node(nt, None);
+        let leaves: Vec<_> = (0..3).map(|_| g.add_node(nt, None)).collect();
+        g.add_edge(hub, leaves[0], et, 1.0).unwrap();
+        g.add_edge(hub, leaves[1], et, 2.0).unwrap();
+        g.add_edge(hub, leaves[2], et, 1.0).unwrap();
+        (g, hub, leaves)
+    }
+
+    fn row_sum(row: &[(NodeId, f64)]) -> f64 {
+        row.iter().map(|(_, p)| p).sum()
+    }
+
+    #[test]
+    fn weighted_rows_are_weight_proportional() {
+        let (g, hub, leaves) = star();
+        let row = transition_row(&g, TransitionModel::Weighted, hub);
+        assert!((row_sum(&row) - 1.0).abs() < 1e-12);
+        let p1 = row.iter().find(|(n, _)| *n == leaves[1]).unwrap().1;
+        let p0 = row.iter().find(|(n, _)| *n == leaves[0]).unwrap().1;
+        assert!((p1 - 0.5).abs() < 1e-12);
+        assert!((p0 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_rows_ignore_weights() {
+        let (g, hub, _) = star();
+        let row = transition_row(&g, TransitionModel::Uniform, hub);
+        for (_, p) in &row {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recwalk_interpolates() {
+        let (g, hub, leaves) = star();
+        let row = transition_row(&g, TransitionModel::RecWalk { beta: 0.5 }, hub);
+        assert!((row_sum(&row) - 1.0).abs() < 1e-12);
+        let p1 = row.iter().find(|(n, _)| *n == leaves[1]).unwrap().1;
+        // 0.5·0.5 + 0.5·(1/3)
+        assert!((p1 - (0.25 + 1.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recwalk_extremes_match_pure_models() {
+        let (g, hub, _) = star();
+        let w = transition_row(&g, TransitionModel::Weighted, hub);
+        let rw1 = transition_row(&g, TransitionModel::RecWalk { beta: 1.0 }, hub);
+        let u = transition_row(&g, TransitionModel::Uniform, hub);
+        let rw0 = transition_row(&g, TransitionModel::RecWalk { beta: 0.0 }, hub);
+        for ((a, pa), (b, pb)) in w.iter().zip(&rw1) {
+            assert_eq!(a, b);
+            assert!((pa - pb).abs() < 1e-12);
+        }
+        for ((a, pa), (b, pb)) in u.iter().zip(&rw0) {
+            assert_eq!(a, b);
+            assert!((pa - pb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dangling_node_has_empty_row() {
+        let (g, _, leaves) = star();
+        let row = transition_row(&g, TransitionModel::Weighted, leaves[0]);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_merge_in_row() {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let e1 = g.registry_mut().edge_type("rated");
+        let e2 = g.registry_mut().edge_type("reviewed");
+        let a = g.add_node(nt, None);
+        let b = g.add_node(nt, None);
+        let c = g.add_node(nt, None);
+        g.add_edge(a, b, e1, 1.0).unwrap();
+        g.add_edge(a, b, e2, 1.0).unwrap();
+        g.add_edge(a, c, e1, 2.0).unwrap();
+        let row = transition_row(&g, TransitionModel::Weighted, a);
+        assert_eq!(row.len(), 2);
+        let pb = row.iter().find(|(n, _)| *n == b).unwrap().1;
+        assert!((pb - 0.5).abs() < 1e-12);
+        assert!((row_sum(&row) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Item-kNN collaborative-filtering baseline.
+//!
+//! The paper's related-work section situates PPR recommendation among
+//! score-based collaborative filtering (item-kNN, SLIM, matrix
+//! factorisation). This module provides the classic item-based
+//! neighbourhood model as a comparison recommender: items are similar when
+//! the same users interacted with them (cosine over co-interaction
+//! counts), and a candidate item scores by its similarity to the user's
+//! history restricted to the `k` nearest neighbours per item.
+//!
+//! Besides serving as a baseline, it demonstrates that the EMiGRe Why-Not
+//! machinery is recommender-*specific*: the contribution equations lean on
+//! PPR columns, so a kNN recommender would need its own search space — the
+//! adaptation hook the paper mentions ("can be adapted to other
+//! user-defined functions").
+
+use crate::{RecList, Recommender};
+use emigre_hin::{EdgeTypeId, GraphView, NodeId, NodeTypeId};
+use std::collections::HashMap;
+
+/// Precomputed item-item neighbourhood model.
+#[derive(Debug, Clone)]
+pub struct ItemKnn {
+    item_type: NodeTypeId,
+    /// Edge types treated as interactions (empty = all edges from users).
+    interaction_types: Vec<EdgeTypeId>,
+    k: usize,
+    /// `neighbours[item] = [(other_item, similarity)]`, descending, len ≤ k.
+    neighbours: HashMap<NodeId, Vec<(NodeId, f64)>>,
+}
+
+impl ItemKnn {
+    /// Builds the model from a graph: every user node's interactions with
+    /// items of `item_type` count. `k` bounds each item's neighbour list.
+    pub fn fit<G: GraphView>(
+        g: &G,
+        user_type: NodeTypeId,
+        item_type: NodeTypeId,
+        interaction_types: Vec<EdgeTypeId>,
+        k: usize,
+    ) -> Self {
+        assert!(k > 0, "k must be positive");
+        let users = g.nodes_of_type(user_type);
+        // Interaction lists per user; item interaction counts.
+        let mut item_degree: HashMap<NodeId, usize> = HashMap::new();
+        let mut baskets: Vec<Vec<NodeId>> = Vec::with_capacity(users.len());
+        for &u in &users {
+            let mut basket: Vec<NodeId> = Vec::new();
+            g.for_each_out(u, |v, et, _| {
+                if g.node_type(v) == item_type
+                    && (interaction_types.is_empty() || interaction_types.contains(&et))
+                    && !basket.contains(&v)
+                {
+                    basket.push(v);
+                }
+            });
+            for &i in &basket {
+                *item_degree.entry(i).or_insert(0) += 1;
+            }
+            baskets.push(basket);
+        }
+        // Co-interaction counts over all user baskets.
+        let mut co: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        for basket in &baskets {
+            for (a_idx, &a) in basket.iter().enumerate() {
+                for &b in &basket[a_idx + 1..] {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *co.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        // Cosine similarity and top-k truncation.
+        let mut neighbours: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+        for (&(a, b), &c) in &co {
+            let sim = c as f64
+                / ((item_degree[&a] as f64).sqrt() * (item_degree[&b] as f64).sqrt());
+            neighbours.entry(a).or_default().push((b, sim));
+            neighbours.entry(b).or_default().push((a, sim));
+        }
+        for list in neighbours.values_mut() {
+            list.sort_by(|x, y| {
+                y.1.partial_cmp(&x.1)
+                    .expect("finite similarity")
+                    .then(x.0.cmp(&y.0))
+            });
+            list.truncate(k);
+        }
+        ItemKnn {
+            item_type,
+            interaction_types,
+            k,
+            neighbours,
+        }
+    }
+
+    /// The item's nearest neighbours (≤ k), descending similarity.
+    pub fn neighbours_of(&self, item: NodeId) -> &[(NodeId, f64)] {
+        self.neighbours.get(&item).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn scores<G: GraphView>(&self, g: &G, user: NodeId) -> Vec<f64> {
+        let mut scores = vec![0.0; g.num_nodes()];
+        g.for_each_out(user, |j, et, _| {
+            if g.node_type(j) == self.item_type
+                && (self.interaction_types.is_empty() || self.interaction_types.contains(&et))
+            {
+                for &(i, sim) in self.neighbours_of(j) {
+                    scores[i.index()] += sim;
+                }
+            }
+        });
+        scores
+    }
+
+    fn candidates<G: GraphView>(&self, g: &G, user: NodeId) -> Vec<NodeId> {
+        let mut interacted: Vec<NodeId> = Vec::new();
+        g.for_each_out(user, |v, _, _| {
+            if !interacted.contains(&v) {
+                interacted.push(v);
+            }
+        });
+        (0..g.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&n| {
+                n != user && g.node_type(n) == self.item_type && !interacted.contains(&n)
+            })
+            .collect()
+    }
+
+    fn recommend<G: GraphView>(&self, g: &G, user: NodeId, k: usize) -> RecList {
+        let scores = self.scores(g, user);
+        // kNN scores are exactly zero outside the neighbourhood union;
+        // zero-score items are not genuine recommendations.
+        let candidates = self
+            .candidates(g, user)
+            .into_iter()
+            .filter(|n| scores[n.index()] > 0.0);
+        RecList::from_scores(&scores, candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::Hin;
+
+    /// Three users: two co-rate {a, b}, one rates {a, c}. Items a-b are
+    /// the strongest pair.
+    fn world() -> (Hin, NodeTypeId, NodeTypeId, Vec<NodeId>, Vec<NodeId>) {
+        let mut g = Hin::new();
+        let user_t = g.registry_mut().node_type("user");
+        let item_t = g.registry_mut().node_type("item");
+        let rated = g.registry_mut().edge_type("rated");
+        let users: Vec<_> = (0..3).map(|i| g.add_node(user_t, Some(&format!("u{i}")))).collect();
+        let items: Vec<_> = (0..3)
+            .map(|i| g.add_node(item_t, Some(&format!("i{i}"))))
+            .collect();
+        for &u in &users[..2] {
+            g.add_edge_bidirectional(u, items[0], rated, 1.0).unwrap();
+            g.add_edge_bidirectional(u, items[1], rated, 1.0).unwrap();
+        }
+        g.add_edge_bidirectional(users[2], items[0], rated, 1.0).unwrap();
+        g.add_edge_bidirectional(users[2], items[2], rated, 1.0).unwrap();
+        (g, user_t, item_t, users, items)
+    }
+
+    #[test]
+    fn cosine_similarities_are_correct() {
+        let (g, user_t, item_t, _, items) = world();
+        let knn = ItemKnn::fit(&g, user_t, item_t, vec![], 10);
+        // deg(a)=3, deg(b)=2, co(a,b)=2 → 2/√6; co(a,c)=1 → 1/√3.
+        let nb_a = knn.neighbours_of(items[0]);
+        let sim_ab = nb_a.iter().find(|(n, _)| *n == items[1]).unwrap().1;
+        let sim_ac = nb_a.iter().find(|(n, _)| *n == items[2]).unwrap().1;
+        assert!((sim_ab - 2.0 / 6f64.sqrt()).abs() < 1e-12);
+        assert!((sim_ac - 1.0 / 3f64.sqrt()).abs() < 1e-12);
+        assert!(sim_ab > sim_ac);
+    }
+
+    #[test]
+    fn recommends_co_rated_item() {
+        let (g, user_t, item_t, users, items) = world();
+        let knn = ItemKnn::fit(&g, user_t, item_t, vec![], 10);
+        // u2 rated {a, c}: the co-rated b should be recommended.
+        let top = knn.top1(&g, users[2]).map(|(n, _)| n);
+        assert_eq!(top, Some(items[1]));
+    }
+
+    #[test]
+    fn k_truncates_neighbour_lists() {
+        let (g, user_t, item_t, _, items) = world();
+        let knn = ItemKnn::fit(&g, user_t, item_t, vec![], 1);
+        assert!(knn.neighbours_of(items[0]).len() <= 1);
+    }
+
+    #[test]
+    fn zero_score_items_never_recommended() {
+        let (mut g, user_t, item_t, users, _) = world();
+        let rated = g.registry().find_edge_type("rated").unwrap();
+        let island = g.add_node(item_t, Some("island"));
+        let knn = ItemKnn::fit(&g, user_t, item_t, vec![rated], 10);
+        let list = knn.recommend(&g, users[0], 10);
+        assert!(!list.contains(island));
+    }
+
+    #[test]
+    fn interaction_type_filter() {
+        let (mut g, user_t, item_t, users, items) = world();
+        let viewed = g.registry_mut().edge_type("viewed");
+        // A viewed-only co-interaction must be invisible when fitting on
+        // "rated" only.
+        let extra = g.add_node(item_t, Some("extra"));
+        g.add_edge_bidirectional(users[0], extra, viewed, 1.0).unwrap();
+        let rated = g.registry().find_edge_type("rated").unwrap();
+        let knn = ItemKnn::fit(&g, user_t, item_t, vec![rated], 10);
+        assert!(knn.neighbours_of(extra).is_empty());
+        let _ = items;
+    }
+}

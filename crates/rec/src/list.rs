@@ -1,0 +1,113 @@
+//! Ranked recommendation lists.
+
+use emigre_hin::NodeId;
+use emigre_ppr::topk::{score_order, top_k};
+use serde::{Deserialize, Serialize};
+
+/// A ranked recommendation list: entries sorted by descending score, ties
+/// broken by ascending node id (fully deterministic).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecList {
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl RecList {
+    /// Builds a list by selecting the top `k` of `candidates` under the
+    /// dense `scores` vector.
+    pub fn from_scores<I>(scores: &[f64], candidates: I, k: usize) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        RecList {
+            entries: top_k(scores, candidates, k),
+        }
+    }
+
+    /// Builds a list from pre-scored pairs (sorts them canonically).
+    pub fn from_entries(mut entries: Vec<(NodeId, f64)>) -> Self {
+        entries.sort_by(score_order);
+        RecList { entries }
+    }
+
+    /// The ranked `(item, score)` entries, best first.
+    pub fn entries(&self) -> &[(NodeId, f64)] {
+        &self.entries
+    }
+
+    /// The top-1 recommendation.
+    pub fn top(&self) -> Option<NodeId> {
+        self.entries.first().map(|(n, _)| *n)
+    }
+
+    /// 1-based rank of `item`, if present in the list.
+    pub fn rank_of(&self, item: NodeId) -> Option<usize> {
+        self.entries.iter().position(|(n, _)| *n == item).map(|p| p + 1)
+    }
+
+    /// Score of `item`, if present in the list.
+    pub fn score_of(&self, item: NodeId) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == item)
+            .map(|(_, s)| *s)
+    }
+
+    /// Items only, best first.
+    pub fn items(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|(n, _)| *n).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn contains(&self, item: NodeId) -> bool {
+        self.entries.iter().any(|(n, _)| *n == item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn from_scores_ranks_candidates() {
+        let scores = vec![0.3, 0.9, 0.1, 0.5];
+        let list = RecList::from_scores(&scores, (0..4).map(n), 3);
+        assert_eq!(list.items(), vec![n(1), n(3), n(0)]);
+        assert_eq!(list.top(), Some(n(1)));
+        assert_eq!(list.rank_of(n(3)), Some(2));
+        assert_eq!(list.rank_of(n(2)), None); // truncated out
+        assert_eq!(list.score_of(n(0)), Some(0.3));
+    }
+
+    #[test]
+    fn from_entries_sorts_canonically() {
+        let list = RecList::from_entries(vec![(n(2), 0.5), (n(1), 0.5), (n(0), 0.9)]);
+        assert_eq!(list.items(), vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let list = RecList::default();
+        assert!(list.is_empty());
+        assert_eq!(list.top(), None);
+        assert_eq!(list.rank_of(n(0)), None);
+        assert!(!list.contains(n(0)));
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let list = RecList::from_entries(vec![(n(7), 1.0)]);
+        assert_eq!(list.len(), 1);
+        assert!(list.contains(n(7)));
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's future-work extensions, implemented and demonstrated:
+//!
+//! * **weighted explanations** (§7): "You should have rated book A with at
+//!   least N stars to get recommended book B";
+//! * **group / category Why-Not questions** (§4): "why is nothing from the
+//!   Fantasy shelf recommended?";
+//! * **combined Add+Remove mode** (§6.4 / §7).
+//!
+//! Run with: `cargo run --example future_work`
+
+use emigre::core::{group, weighted, Explainer, Method};
+use emigre::data::examples::running_example;
+
+fn main() {
+    let ex = running_example();
+    let g = &ex.graph;
+    let explainer = Explainer::new(ex.config.clone());
+
+    // --- Weighted explanation -------------------------------------------
+    let ctx = explainer
+        .context(g, ex.paul, ex.harry_potter)
+        .expect("valid question");
+    println!("weighted suggestion (minimal sufficient rating):");
+    match weighted::minimal_weight_suggestion(&ctx, (0.5, 5.0), 0.05) {
+        Ok(s) => println!("  {}", s.describe(g, ex.harry_potter)),
+        Err(e) => println!("  none — {e}"),
+    }
+
+    // --- Category question ----------------------------------------------
+    let fantasy = g
+        .node_ids()
+        .find(|&n| g.label(n) == Some("Fantasy"))
+        .expect("fantasy category exists");
+    println!("\ncategory question: why nothing from the Fantasy shelf?");
+    match group::explain_category(&explainer, g, ex.paul, fantasy, ex.belongs_to, Method::AddPowerset)
+    {
+        Ok(res) => {
+            println!(
+                "  promoting {}: {}",
+                g.display_name(res.promoted),
+                res.explanation.describe(g)
+            );
+            if !res.failed_members.is_empty() {
+                println!(
+                    "  (tried and failed first: {})",
+                    res.failed_members
+                        .iter()
+                        .map(|&n| g.display_name(n))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+        Err(e) => println!("  none — {e}"),
+    }
+
+    // --- Combined mode ----------------------------------------------------
+    println!("\ncombined add+remove mode:");
+    match explainer.explain(g, ex.paul, ex.harry_potter, Method::CombinedMinimal) {
+        Ok(exp) => println!("  {}", exp.describe(g)),
+        Err(e) => println!("  none — {e}"),
+    }
+}

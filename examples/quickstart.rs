@@ -1,0 +1,57 @@
+//! Quickstart: build a tiny book-shop graph, get a recommendation, ask a
+//! Why-Not question, and print explanations from both modes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use emigre::prelude::*;
+
+fn main() {
+    // 1. Build a Heterogeneous Information Network: users, items, and the
+    //    typed, weighted, bidirectional edges between them.
+    let mut g = Hin::new();
+    let user_t = g.registry_mut().node_type("user");
+    let item_t = g.registry_mut().node_type("item");
+    let rated = g.registry_mut().edge_type("rated");
+
+    let me = g.add_node(user_t, Some("me"));
+    let dune = g.add_node(item_t, Some("Dune"));
+    let foundation = g.add_node(item_t, Some("Foundation"));
+    let hyperion = g.add_node(item_t, Some("Hyperion"));
+    let solaris = g.add_node(item_t, Some("Solaris"));
+    let neuromancer = g.add_node(item_t, Some("Neuromancer"));
+
+    let link = |g: &mut Hin, a, b, w| g.add_edge_bidirectional(a, b, rated, w).unwrap();
+    // My history: I read Dune and Foundation.
+    link(&mut g, me, dune, 1.0);
+    link(&mut g, me, foundation, 1.0);
+    // Dune readers love Hyperion; Foundation readers lean Solaris a bit;
+    // Neuromancer sits close to Solaris.
+    link(&mut g, dune, hyperion, 3.0);
+    link(&mut g, foundation, hyperion, 1.0);
+    link(&mut g, foundation, solaris, 1.5);
+    link(&mut g, solaris, neuromancer, 4.0);
+
+    // 2. Configure the recommender (Personalized PageRank, α = 0.15) and
+    //    the explainer.
+    let ppr = PprConfig::default().with_transition(TransitionModel::Weighted);
+    let config = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated);
+    let explainer = Explainer::new(config.clone());
+
+    // 3. What am I recommended?
+    let recommender = PprRecommender::new(config.rec);
+    let list = recommender.recommend(&g, me, 5);
+    println!("my recommendations:");
+    for (i, (item, score)) in list.entries().iter().enumerate() {
+        println!("  {}. {:<14} (PPR {score:.4})", i + 1, g.display_name(*item));
+    }
+
+    // 4. Why not Solaris?
+    let wni = solaris;
+    println!("\nwhy not {}?", g.display_name(wni));
+    for method in [Method::RemovePowerset, Method::AddPowerset] {
+        match explainer.explain(&g, me, wni, method) {
+            Ok(exp) => println!("  [{method}] {}", exp.describe(&g)),
+            Err(err) => println!("  [{method}] {err}"),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! "What should I do so the system recommends me X?" — the actionable,
+//! forward-looking use of Why-Not explanations (Add mode and the combined
+//! Add+Remove extension), plus what happens when no single mode suffices.
+//!
+//! Run with: `cargo run --example what_if_actions`
+
+use emigre::core::{Explainer, Method};
+use emigre::prelude::*;
+
+/// A two-community music graph where the listener's history locks them
+/// into community A, and the item they want sits deep in community B.
+fn build() -> (Hin, NodeId, NodeId, EdgeTypeId) {
+    let mut g = Hin::new();
+    let user_t = g.registry_mut().node_type("user");
+    let item_t = g.registry_mut().node_type("item");
+    let listened = g.registry_mut().edge_type("listened");
+
+    let me = g.add_node(user_t, Some("me"));
+    // Community A (my bubble).
+    let a: Vec<NodeId> = (0..4)
+        .map(|i| g.add_node(item_t, Some(&format!("synthwave-{i}"))))
+        .collect();
+    // Community B (where the target lives).
+    let b: Vec<NodeId> = (0..4)
+        .map(|i| g.add_node(item_t, Some(&format!("jazz-{i}"))))
+        .collect();
+    let target = g.add_node(item_t, Some("jazz-target"));
+
+    let link = |g: &mut Hin, x, y, w| g.add_edge_bidirectional(x, y, listened, w).unwrap();
+    for i in 0..4 {
+        link(&mut g, a[i], a[(i + 1) % 4], 2.0);
+        link(&mut g, b[i], b[(i + 1) % 4], 2.0);
+        link(&mut g, b[i], target, 1.5);
+    }
+    // My history: two synthwave tracks.
+    link(&mut g, me, a[0], 1.0);
+    link(&mut g, me, a[1], 1.0);
+    (g, me, target, listened)
+}
+
+fn main() {
+    let (g, me, target, listened) = build();
+    let ppr = PprConfig::default().with_transition(TransitionModel::Weighted);
+    let config = EmigreConfig::new(RecConfig::new(g.registry().find_node_type("item").unwrap())
+        .with_ppr(ppr), listened);
+    let explainer = Explainer::new(config.clone());
+
+    let recommender = PprRecommender::new(config.rec);
+    let (current, _) = recommender.top1(&g, me).expect("a recommendation exists");
+    println!(
+        "current recommendation: {} — but I want {} recommended.\n",
+        g.display_name(current),
+        g.display_name(target)
+    );
+
+    println!("what the different strategies say:");
+    for method in [
+        Method::RemovePowerset,
+        Method::AddIncremental,
+        Method::AddPowerset,
+        Method::Combined,
+        Method::CombinedMinimal,
+    ] {
+        match explainer.explain(&g, me, target, method) {
+            Ok(exp) => println!("  {:<18} {}", method.label(), exp.describe(&g)),
+            Err(err) => println!("  {:<18} {err}", method.label()),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! `emigre` — the command-line front end.
+//!
+//! Works on graphs in the `emigre-hin` edge-list format (see
+//! `emigre::hin::io`), so a preprocessed HIN can be explained without
+//! writing any Rust:
+//!
+//! ```text
+//! emigre demo                                  # write the running example to paul.hin
+//! emigre recommend --graph paul.hin --user 1
+//! emigre explain   --graph paul.hin --user 1 --why-not 7 [--method remove_Powerset]
+//! emigre dot       --graph paul.hin > graph.dot
+//! ```
+//!
+//! Node ids are the dense ids of the edge-list file; `recommend` prints
+//! them next to their labels so `explain` can be pointed at the right
+//! item.
+
+use emigre::core::{minimal, Explainer, Method};
+use emigre::prelude::*;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  emigre demo [--out FILE]                        write the paper's running example graph
+  emigre recommend --graph FILE --user ID [--top N]
+  emigre explain --graph FILE --user ID --why-not ID
+                 [--method NAME] [--minimise]
+  emigre dot --graph FILE                         Graphviz to stdout
+methods: add_Incremental add_Powerset add_ex remove_Incremental
+         remove_Powerset remove_ex remove_ex_direct remove_brute
+         combined combined_minimal   (default: add_Powerset)
+graph format: emigre-hin v1 edge list; node/edge types `user`, `item`,
+`rated` drive the recommender configuration.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_graph(args: &[String]) -> Result<Hin, String> {
+    let path = flag(args, "--graph").ok_or("missing --graph FILE")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    emigre::hin::io::from_edge_list(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn node_arg(args: &[String], name: &str) -> Result<NodeId, String> {
+    let raw = flag(args, name).ok_or_else(|| format!("missing {name} ID"))?;
+    raw.parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| format!("{name} must be a numeric node id, got {raw:?}"))
+}
+
+/// Standard configuration for CLI graphs: `item`-typed nodes are
+/// recommendable, `rated` edges are the actionable type, PPR defaults.
+fn config_for(g: &Hin) -> Result<EmigreConfig, String> {
+    let item_t = g
+        .registry()
+        .find_node_type("item")
+        .ok_or("graph has no `item` node type")?;
+    let rated = g
+        .registry()
+        .find_edge_type("rated")
+        .ok_or("graph has no `rated` edge type")?;
+    let ppr = PprConfig::default()
+        .with_transition(TransitionModel::Weighted)
+        .with_epsilon(1e-8);
+    Ok(EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated))
+}
+
+fn parse_method(args: &[String]) -> Result<Method, String> {
+    let raw = flag(args, "--method").unwrap_or_else(|| "add_Powerset".to_owned());
+    [
+        Method::AddIncremental,
+        Method::AddPowerset,
+        Method::AddExhaustive,
+        Method::RemoveIncremental,
+        Method::RemovePowerset,
+        Method::RemoveExhaustive,
+        Method::RemoveExhaustiveDirect,
+        Method::RemoveBruteForce,
+        Method::Combined,
+        Method::CombinedMinimal,
+    ]
+    .into_iter()
+    .find(|m| m.label() == raw)
+    .ok_or_else(|| format!("unknown method {raw:?}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("demo") => {
+            let out = flag(args, "--out").unwrap_or_else(|| "paul.hin".to_owned());
+            let ex = emigre::data::examples::running_example();
+            std::fs::write(&out, emigre::hin::io::to_edge_list(&ex.graph))
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote the running example to {out}\n\
+                 try: emigre recommend --graph {out} --user {}\n\
+                 then: emigre explain --graph {out} --user {} --why-not {} --method remove_Powerset",
+                ex.paul.0, ex.paul.0, ex.harry_potter.0
+            );
+            Ok(())
+        }
+        Some("recommend") => {
+            let g = load_graph(args)?;
+            let user = node_arg(args, "--user")?;
+            let top: usize = flag(args, "--top")
+                .map(|s| s.parse().map_err(|_| "bad --top"))
+                .transpose()?
+                .unwrap_or(10);
+            let cfg = config_for(&g)?;
+            let rec = PprRecommender::new(cfg.rec);
+            let list = rec.recommend(&g, user, top);
+            if list.is_empty() {
+                println!("no recommendations for {} (no actions?)", g.display_name(user));
+                return Ok(());
+            }
+            println!("top-{} for {}:", list.len(), g.display_name(user));
+            for (i, (item, score)) in list.entries().iter().enumerate() {
+                println!(
+                    "  {:>2}. [{:>4}] {:<28} PPR {score:.5}",
+                    i + 1,
+                    item.0,
+                    g.display_name(*item)
+                );
+            }
+            Ok(())
+        }
+        Some("explain") => {
+            let g = load_graph(args)?;
+            let user = node_arg(args, "--user")?;
+            let wni = node_arg(args, "--why-not")?;
+            let method = parse_method(args)?;
+            let cfg = config_for(&g)?;
+            let explainer = Explainer::new(cfg);
+            let ctx = explainer
+                .context(&g, user, wni)
+                .map_err(|e| format!("invalid question: {e}"))?;
+            println!(
+                "{} is recommended {}; asking why not {} [{}]",
+                g.display_name(user),
+                g.display_name(ctx.rec),
+                g.display_name(wni),
+                method.label()
+            );
+            match Explainer::explain_with_context(&ctx, method) {
+                Ok(exp) => {
+                    let exp = if has_flag(args, "--minimise") {
+                        minimal::shrink(&ctx, &exp)
+                    } else {
+                        exp
+                    };
+                    println!(
+                        "{} ({} edge(s), {} checks)",
+                        exp.describe(&g),
+                        exp.size(),
+                        exp.checks_performed
+                    );
+                    Ok(())
+                }
+                Err(failure) => {
+                    println!("no explanation: {failure}");
+                    Ok(())
+                }
+            }
+        }
+        Some("dot") => {
+            let g = load_graph(args)?;
+            print!("{}", emigre::hin::io::to_dot(&g));
+            Ok(())
+        }
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(match other {
+            Some(cmd) => format!("unknown command {cmd:?}"),
+            None => "no command given".to_owned(),
+        }),
+    }
+}

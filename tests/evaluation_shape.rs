@@ -1,0 +1,132 @@
+//! Integration test: a miniature §6.2 sweep must reproduce the *shape* of
+//! the paper's findings (Figs. 4–6, Table 5) — who wins, not the absolute
+//! numbers.
+
+use emigre::core::Method;
+use emigre::eval::args::{EvalArgs, Scale};
+use emigre::eval::harness::standard_sweep;
+use emigre::eval::report;
+
+/// One shared sweep for all three shape tests (debug-build sweeps are
+/// expensive; the tests only read it).
+fn mini_sweep() -> &'static emigre::eval::SweepResult {
+    static SWEEP: std::sync::OnceLock<emigre::eval::SweepResult> = std::sync::OnceLock::new();
+    SWEEP.get_or_init(|| {
+        let args = EvalArgs {
+            scale: Scale::Quick,
+            users: Some(8),
+            wni_per_user: Some(3),
+            threads: 4,
+            // Debug-build friendly: loose push threshold and a small CHECK
+            // budget — the shape assertions below are budget-agnostic.
+            epsilon: 1e-5,
+            max_checks: Some(400),
+            ..EvalArgs::default()
+        };
+        standard_sweep(&args)
+    })
+}
+
+fn rate(rows: &[(Method, f64)], m: Method) -> f64 {
+    rows.iter().find(|(x, _)| *x == m).map(|(_, v)| *v).unwrap()
+}
+
+#[test]
+fn sweep_shape_matches_paper_findings() {
+    let sweep = mini_sweep();
+    let f4 = report::figure4(sweep);
+    let f5 = report::figure5(sweep);
+    let t5 = report::table5(sweep);
+
+    // Fig. 4 shape: the best Add-mode method beats the best checked
+    // Remove-mode method (the paper's headline finding).
+    let best_add = [
+        Method::AddIncremental,
+        Method::AddPowerset,
+        Method::AddExhaustive,
+    ]
+    .iter()
+    .map(|&m| rate(&f4, m))
+    .fold(0.0, f64::max);
+    let best_remove = [
+        Method::RemoveIncremental,
+        Method::RemovePowerset,
+        Method::RemoveExhaustive,
+    ]
+    .iter()
+    .map(|&m| rate(&f4, m))
+    .fold(0.0, f64::max);
+    assert!(
+        best_add >= best_remove,
+        "add mode must dominate remove mode: add {best_add} vs remove {best_remove}"
+    );
+
+    // Fig. 5 shape: direct (unchecked) never beats checked Exhaustive on
+    // brute-solvable scenarios; brute force is 100% on its own solvable
+    // set by construction. Both claims only apply when that set is
+    // non-empty.
+    if !sweep.solved_scenarios(Method::RemoveBruteForce).is_empty() {
+        let ex = rate(&f5, Method::RemoveExhaustive);
+        let direct = rate(&f5, Method::RemoveExhaustiveDirect);
+        assert!(direct <= ex + 1e-9, "direct {direct} vs exhaustive {ex}");
+        assert!((rate(&f5, Method::RemoveBruteForce) - 100.0).abs() < 1e-9);
+    }
+
+    // Table 5 shape: Incremental is the fast heuristic. Wall-clock on a
+    // threaded CI box is noisy, so allow generous slack — the paper's gap
+    // is over three orders of magnitude, ours only needs to be a factor.
+    let row = |m: Method| t5.iter().find(|r| r.method == m).unwrap();
+    assert!(
+        row(Method::AddIncremental).general
+            <= row(Method::AddExhaustive).general * 2.0 + 0.05,
+        "add incremental {} vs add exhaustive {}",
+        row(Method::AddIncremental).general,
+        row(Method::AddExhaustive).general
+    );
+}
+
+#[test]
+fn sizes_shape_matches_figure6() {
+    let sweep = mini_sweep();
+    // On scenarios solved by BOTH, powerset explanations are never larger
+    // than incremental ones (same mode) and brute force is minimal.
+    let by_key = |m: Method| {
+        sweep
+            .for_method(m)
+            .into_iter()
+            .filter_map(|r| {
+                r.outcome
+                    .size()
+                    .filter(|_| r.outcome.success())
+                    .map(|s| ((r.scenario.user, r.scenario.wni), s))
+            })
+            .collect::<std::collections::HashMap<_, _>>()
+    };
+    for (fast, small) in [
+        (Method::AddIncremental, Method::AddPowerset),
+        (Method::RemoveIncremental, Method::RemovePowerset),
+        (Method::RemovePowerset, Method::RemoveBruteForce),
+    ] {
+        let a = by_key(fast);
+        let b = by_key(small);
+        for (k, sb) in &b {
+            if let Some(sa) = a.get(k) {
+                assert!(
+                    sb <= sa,
+                    "{small} produced a larger explanation than {fast} on {k:?}: {sb} > {sa}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn meta_explanations_cover_all_failures() {
+    let sweep = mini_sweep();
+    for r in &sweep.records {
+        if let emigre::eval::MethodOutcome::NotFound { reason } = r.outcome {
+            // Every failure carries a §6.4 reason that formats cleanly.
+            assert!(!reason.to_string().is_empty());
+        }
+    }
+}

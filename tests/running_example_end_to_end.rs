@@ -1,0 +1,134 @@
+//! Integration test: the paper's running example, end-to-end through the
+//! public facade — Figures 1a, 1b, 2 and the Tables 1–3 intermediates.
+
+use emigre::core::{exhaustive, prince, search, Explainer, Method};
+use emigre::data::examples::running_example;
+use emigre::prelude::*;
+
+#[test]
+fn figure_1_and_2_full_story() {
+    let ex = running_example();
+    let g = &ex.graph;
+    let explainer = Explainer::new(ex.config.clone());
+    let ctx = explainer
+        .context(g, ex.paul, ex.harry_potter)
+        .expect("valid question");
+
+    // Paul is recommended Python; Harry Potter appears further down the
+    // top-10 (it must be a legal Why-Not target).
+    assert_eq!(ctx.rec, ex.python);
+    assert!(ctx.rec_list.contains(ex.harry_potter));
+    assert!(ctx.rec_list.rank_of(ex.harry_potter).unwrap() > 1);
+
+    // Fig. 1a: remove {Candide, C}.
+    let remove = Explainer::explain_with_context(&ctx, Method::RemovePowerset).unwrap();
+    let mut removed: Vec<NodeId> = remove.actions.iter().map(|a| a.edge.dst).collect();
+    removed.sort();
+    let mut expected = vec![ex.candide, ex.c_book];
+    expected.sort();
+    assert_eq!(removed, expected);
+    assert!(remove.verified);
+    assert_eq!(
+        remove.describe(g),
+        "If you had not interacted with C and Candide, your top recommendation would be Harry Potter."
+    );
+
+    // Fig. 1b: add {The Lord of the Rings}.
+    let add = Explainer::explain_with_context(&ctx, Method::AddPowerset).unwrap();
+    assert_eq!(add.size(), 1);
+    assert_eq!(add.actions[0].edge.dst, ex.lord_of_the_rings);
+    assert!(add.actions[0].added);
+
+    // Fig. 2: PRINCE removes {C} and lands on The Alchemist.
+    let why = prince::prince(&ctx).unwrap();
+    assert_eq!(why.actions.len(), 1);
+    assert_eq!(why.actions[0].edge.dst, ex.c_book);
+    assert_eq!(why.replacement, ex.the_alchemist);
+}
+
+#[test]
+fn all_methods_agree_on_the_running_example() {
+    let ex = running_example();
+    let explainer = Explainer::new(ex.config.clone());
+    let ctx = explainer
+        .context(&ex.graph, ex.paul, ex.harry_potter)
+        .unwrap();
+    // Every verified method that succeeds must deliver a working
+    // explanation; remove-mode sizes must respect incremental ≥ powerset ≥
+    // brute force.
+    let mut sizes = std::collections::HashMap::new();
+    for method in Method::paper_methods() {
+        if let Ok(exp) = Explainer::explain_with_context(&ctx, method) {
+            if exp.verified {
+                let tester = emigre::core::tester::Tester::new(&ctx);
+                assert!(tester.test(&exp.actions), "{method} returned a broken explanation");
+            }
+            sizes.insert(method, exp.size());
+        }
+    }
+    if let (Some(&ps), Some(&bf)) = (
+        sizes.get(&Method::RemovePowerset),
+        sizes.get(&Method::RemoveBruteForce),
+    ) {
+        assert!(bf <= ps, "brute force must be minimal");
+    }
+    if let (Some(&inc), Some(&ps)) = (
+        sizes.get(&Method::RemoveIncremental),
+        sizes.get(&Method::RemovePowerset),
+    ) {
+        assert!(ps <= inc);
+    }
+}
+
+#[test]
+fn tables_1_to_3_intermediates_are_consistent() {
+    // The paper's Tables 1–3 list ALL of the user's out-edges as candidate
+    // rows — users 1 and 5 included — so the trace is reproduced with the
+    // unrestricted edge-type setting (the Fig. 1a headline explanation
+    // above uses the experiment's T_e = {rated} restriction instead).
+    let ex = running_example();
+    let mut cfg = ex.config.clone();
+    cfg.explanation_edge_types = vec![];
+    cfg.add_edge_type = ex.rated;
+    let explainer = Explainer::new(cfg);
+    let ctx = explainer
+        .context(&ex.graph, ex.paul, ex.harry_potter)
+        .unwrap();
+    let space = search::remove_search_space(&ctx);
+    // Paul's out-edges: follows Alice and Dave, read Candide and C — four
+    // candidate rows, like the paper's Table 1.
+    assert_eq!(space.candidates.len(), 4);
+    let (result, trace) = exhaustive::exhaustive_with_trace(&ctx, &space);
+
+    // Matrix shape: |H| × |T|, |T| = list without the WNI.
+    assert_eq!(trace.contribution_matrix.len(), 4);
+    assert!(!trace.targets.contains(&ex.harry_potter));
+    assert_eq!(trace.threshold.len(), trace.targets.len());
+
+    // Table 2's sign pattern: Python (the rec) is ranked above WNI →
+    // positive threshold.
+    let python_col = trace.targets.iter().position(|&t| t == ex.python).unwrap();
+    assert!(trace.threshold[python_col] > 0.0);
+
+    // A combination survives the all-targets condition and the CHECK. The
+    // exact surviving set depends on the unpublished Fig. 1 edge list; on
+    // this reconstruction it is the single follow-edge to Dave (who feeds
+    // both Python and The Alchemist), verified end-to-end below.
+    assert!(!trace.accepted_combinations.is_empty());
+    let exp = result.expect("exhaustive remove succeeds on the running example");
+    assert!(exp.verified);
+    assert!(exp.size() <= 2, "paper's solution space has size ≤ 2 here");
+    let tester = emigre::core::tester::Tester::new(&ctx);
+    assert!(tester.test(&exp.actions));
+}
+
+#[test]
+fn facade_prelude_is_sufficient_for_the_readme_flow() {
+    // The README quickstart compiles against the prelude only.
+    let ex = emigre::data::examples::running_example();
+    let explainer = Explainer::new(ex.config.clone());
+    let explanation = explainer
+        .explain(&ex.graph, ex.paul, ex.harry_potter, Method::RemovePowerset)
+        .expect("explanation exists");
+    assert_eq!(explanation.new_top, ex.harry_potter);
+}
