@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emigre_bench::world;
 use emigre_hin::{EdgeKey, GraphDelta, GraphView};
-use emigre_ppr::{ppr_power, ForwardPush, ReversePush};
+use emigre_ppr::{ppr_power, ForwardPush, ReversePush, TransitionCsr};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -19,14 +19,32 @@ fn bench_engines(c: &mut Criterion) {
         let g = &w.hin.graph;
         let user = w.scenarios[0].user;
         let target = w.scenarios[0].wni;
-        group.bench_with_input(BenchmarkId::new("power_iteration", items), &items, |b, _| {
-            b.iter(|| black_box(ppr_power(g, &w.cfg.rec.ppr, user)))
-        });
+        let kernel = TransitionCsr::build(g, w.cfg.rec.ppr.transition);
+        group.bench_with_input(
+            BenchmarkId::new("power_iteration", items),
+            &items,
+            |b, _| b.iter(|| black_box(ppr_power(g, &w.cfg.rec.ppr, user))),
+        );
         group.bench_with_input(BenchmarkId::new("forward_push", items), &items, |b, _| {
             b.iter(|| black_box(ForwardPush::compute(g, &w.cfg.rec.ppr, user)))
         });
+        group.bench_with_input(
+            BenchmarkId::new("forward_push_flat", items),
+            &items,
+            |b, _| b.iter(|| black_box(ForwardPush::compute_kernel(&kernel, &w.cfg.rec.ppr, user))),
+        );
         group.bench_with_input(BenchmarkId::new("reverse_push", items), &items, |b, _| {
             b.iter(|| black_box(ReversePush::compute(g, &w.cfg.rec.ppr, target)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reverse_push_flat", items),
+            &items,
+            |b, _| {
+                b.iter(|| black_box(ReversePush::compute_kernel(&kernel, &w.cfg.rec.ppr, target)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("csr_build", items), &items, |b, _| {
+            b.iter(|| black_box(TransitionCsr::build(g, w.cfg.rec.ppr.transition)))
         });
     }
     group.finish();

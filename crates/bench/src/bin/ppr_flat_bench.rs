@@ -1,0 +1,261 @@
+//! Generic-view vs flat-kernel microbenchmarks, with JSON output.
+//!
+//! Measures, on the synthetic Amazon graph of [`emigre_bench::world`]:
+//!
+//! * forward push: `ForwardPush::compute` (generic `GraphView` traversal)
+//!   vs `ForwardPush::compute_kernel` (precomputed [`TransitionCsr`] rows);
+//! * reverse push: same pair — the flat path additionally amortises the
+//!   per-in-edge `out_degree` / `out_weight_sum` scans away;
+//! * CHECK: the pre-flat-kernel `Tester::test` (cloned push state, per-call
+//!   transition-row recomputation, all-node candidate scans — replicated
+//!   verbatim in [`legacy_check`]) vs the current allocation-free
+//!   workspace path.
+//!
+//! Run with `cargo run --release -p emigre-bench --bin ppr_flat_bench
+//! [-- out.json]`; results are written as JSON (default `BENCH_ppr.json`)
+//! and summarised on stdout. Methodology notes live in EXPERIMENTS.md.
+
+use emigre_bench::world;
+use emigre_core::explanation::actions_to_delta;
+use emigre_core::tester::{score_floor, Tester};
+use emigre_core::{Action, ExplainContext};
+use emigre_hin::{EdgeKey, GraphView, Hin, NodeId};
+use emigre_ppr::{ForwardPush, ReversePush, TransitionCsr};
+use emigre_rec::RecList;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Median wall-clock microseconds per call: `samples` timed samples of
+/// `inner` back-to-back calls each, after `warmup` untimed calls.
+fn measure_us(inner: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..15)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..inner {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e6 / inner as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The CHECK implementation as it stood before the flat-kernel engine:
+/// clones the user's push state (or seeds a fresh one), recomputes the
+/// touched transition rows from the views, runs the staged push over the
+/// generic overlay, and scans every node per stage for the strongest
+/// competitor with a `Vec::contains` interaction test. Kept here verbatim
+/// as the benchmark baseline.
+fn legacy_check<G: GraphView>(ctx: &ExplainContext<'_, G>, actions: &[Action]) -> bool {
+    let delta = actions_to_delta(actions, &ctx.cfg);
+    let view = delta.overlay(ctx.graph);
+    let target_eps = ctx.cfg.rec.ppr.epsilon;
+    let floor = score_floor(&ctx.cfg);
+    let wni = ctx.wni;
+
+    let mut interacted: Vec<NodeId> = Vec::new();
+    view.for_each_out(ctx.user, |v, _, _| {
+        if !interacted.contains(&v) {
+            interacted.push(v);
+        }
+    });
+    if interacted.contains(&wni) {
+        return false;
+    }
+
+    let mut state = if ctx.cfg.dynamic_test {
+        let mut s = ctx.user_push.clone();
+        for u in delta.touched_sources() {
+            let old_row = emigre_ppr::transition_row(ctx.graph, ctx.cfg.rec.ppr.transition, u);
+            let new_row = emigre_ppr::transition_row(&view, ctx.cfg.rec.ppr.transition, u);
+            s.repair_row_change(&ctx.cfg.rec.ppr, u, &old_row, &new_row);
+        }
+        s
+    } else {
+        let mut s = ForwardPush {
+            seed: ctx.user,
+            estimates: vec![0.0; view.num_nodes()],
+            residuals: vec![0.0; view.num_nodes()],
+            pushes: 0,
+        };
+        s.residuals[ctx.user.index()] = 1.0;
+        s
+    };
+
+    let item_type = ctx.cfg.rec.item_type;
+    let mut eps = 1e-3_f64.max(target_eps);
+    loop {
+        state.push_until_converged(&view, &ctx.cfg.rec.ppr.with_epsilon(eps));
+        let r = state.residual_mass();
+        let p_wni = state.estimates[wni.index()];
+        if p_wni + r <= floor {
+            return false;
+        }
+        let mut best_other = f64::NEG_INFINITY;
+        for i in 0..view.num_nodes() as u32 {
+            let n = NodeId(i);
+            if n != ctx.user
+                && n != wni
+                && view.node_type(n) == item_type
+                && !interacted.contains(&n)
+            {
+                best_other = best_other.max(state.estimates[n.index()]);
+            }
+        }
+        if best_other - r > p_wni + r && best_other - r > floor {
+            return false;
+        }
+        if p_wni - r > floor && p_wni - r > best_other + r {
+            return true;
+        }
+        if eps <= target_eps {
+            break;
+        }
+        eps = (eps * 0.03).max(target_eps);
+    }
+
+    let scores = &state.estimates;
+    let candidates = (0..view.num_nodes() as u32).map(NodeId).filter(|&n| {
+        n != ctx.user
+            && view.node_type(n) == item_type
+            && scores[n.index()] > floor
+            && !interacted.contains(&n)
+    });
+    RecList::from_scores(scores, candidates, 1).top() == Some(wni)
+}
+
+#[derive(Serialize)]
+struct Entry {
+    name: String,
+    items: usize,
+    nodes: usize,
+    baseline_us: f64,
+    flat_us: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: String,
+    epsilon: f64,
+    samples: usize,
+    entries: Vec<Entry>,
+}
+
+fn entry(name: &str, items: usize, nodes: usize, baseline_us: f64, flat_us: f64) -> Entry {
+    let e = Entry {
+        name: name.to_string(),
+        items,
+        nodes,
+        baseline_us,
+        flat_us,
+        speedup: baseline_us / flat_us,
+    };
+    println!(
+        "{:>26} items={:<5} baseline {:>10.2} µs   flat {:>10.2} µs   speedup {:>5.2}x",
+        e.name, e.items, e.baseline_us, e.flat_us, e.speedup
+    );
+    e
+}
+
+/// First user-rooted rated edge of the scenario user, as a remove action.
+fn first_removal(g: &Hin, rated: emigre_hin::EdgeTypeId, user: NodeId) -> Action {
+    let mut found = None;
+    g.for_each_out(user, |v, et, w| {
+        if found.is_none() && et == rated {
+            found = Some(Action::remove(EdgeKey::new(user, v, et), w));
+        }
+    });
+    found.expect("scenario user has a rated edge")
+}
+
+/// An item the user has not interacted with, as an add action.
+fn first_addition(g: &Hin, cfg: &emigre_core::EmigreConfig, user: NodeId, wni: NodeId) -> Action {
+    for i in 0..g.num_nodes() as u32 {
+        let n = NodeId(i);
+        if n != user
+            && n != wni
+            && g.node_type(n) == cfg.rec.item_type
+            && !g.has_edge(user, n, cfg.add_edge_type)
+        {
+            return Action::add(EdgeKey::new(user, n, cfg.add_edge_type), 1.0);
+        }
+    }
+    unreachable!("graph has non-interacted items")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ppr.json".into());
+    let epsilon = 1e-7;
+    let mut entries = Vec::new();
+
+    for &items in &[1_000usize, 3_000] {
+        let w = world(items, epsilon);
+        let g = &w.hin.graph;
+        let n = g.num_nodes();
+        let cfg = &w.cfg.rec.ppr;
+        let user = w.scenarios[0].user;
+        let wni = w.scenarios[0].wni;
+        let kernel = TransitionCsr::build(g, cfg.transition);
+
+        let fwd_gen = measure_us(1, || {
+            std::hint::black_box(ForwardPush::compute(g, cfg, user));
+        });
+        let fwd_flat = measure_us(1, || {
+            std::hint::black_box(ForwardPush::compute_kernel(&kernel, cfg, user));
+        });
+        entries.push(entry("forward_push", items, n, fwd_gen, fwd_flat));
+
+        let rev_gen = measure_us(1, || {
+            std::hint::black_box(ReversePush::compute(g, cfg, wni));
+        });
+        let rev_flat = measure_us(1, || {
+            std::hint::black_box(ReversePush::compute_kernel(&kernel, cfg, wni));
+        });
+        entries.push(entry("reverse_push", items, n, rev_gen, rev_flat));
+
+        // CHECK: one remove-mode and one add-mode counterfactual verdict.
+        let ctx = ExplainContext::build(g, w.cfg.clone(), user, wni).expect("valid scenario");
+        let tester = Tester::new(&ctx);
+        let remove = vec![first_removal(g, w.hin.rated, user)];
+        let add = vec![first_addition(g, &w.cfg, user, wni)];
+        assert_eq!(legacy_check(&ctx, &remove), tester.test(&remove));
+        assert_eq!(legacy_check(&ctx, &add), tester.test(&add));
+
+        let chk_rm_old = measure_us(4, || {
+            std::hint::black_box(legacy_check(&ctx, &remove));
+        });
+        let chk_rm_new = measure_us(4, || {
+            std::hint::black_box(tester.test(&remove));
+        });
+        entries.push(entry("check_remove", items, n, chk_rm_old, chk_rm_new));
+
+        let chk_add_old = measure_us(4, || {
+            std::hint::black_box(legacy_check(&ctx, &add));
+        });
+        let chk_add_new = measure_us(4, || {
+            std::hint::black_box(tester.test(&add));
+        });
+        entries.push(entry("check_add", items, n, chk_add_old, chk_add_new));
+    }
+
+    let report = Report {
+        description: "Generic-view vs flat-kernel PPR push and CHECK on the synthetic \
+                      Amazon graph (median of 15 samples, release build). baseline = \
+                      pre-flat-kernel implementation, flat = TransitionCsr/PushWorkspace \
+                      path. See EXPERIMENTS.md for methodology."
+            .to_string(),
+        epsilon,
+        samples: 15,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("\nwrote {out_path}");
+}

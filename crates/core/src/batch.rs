@@ -8,14 +8,15 @@
 //! per-question setup from three push runs to one.
 
 use crate::config::EmigreConfig;
-use crate::context::ExplainContext;
+use crate::context::{CandidateIndex, CheckState, ExplainContext};
 use crate::explainer::{Explainer, Method};
 use crate::explanation::Explanation;
 use crate::failure::ExplainFailure;
 use crate::question::{QuestionError, WhyNotQuestion};
 use emigre_hin::{GraphView, NodeId};
-use emigre_ppr::{ForwardPush, ReversePush};
+use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
+use std::cell::RefCell;
 
 /// Builds contexts for several Why-Not items of the same user, sharing the
 /// user push, recommendation list and `PPR(·, rec)` column across them.
@@ -30,8 +31,9 @@ pub fn batch_contexts<'g, G: GraphView>(
 ) -> Vec<Result<ExplainContext<'g, G>, QuestionError>> {
     cfg.validate();
     // Shared artefacts — identical to ExplainContext::build.
+    let kernel = TransitionCsr::build(graph, cfg.rec.ppr.transition);
     let recommender = PprRecommender::new(cfg.rec);
-    let user_push = ForwardPush::compute(graph, &cfg.rec.ppr, user);
+    let user_push = ForwardPush::compute_kernel(&kernel, &cfg.rec.ppr, user);
     let floor = crate::tester::score_floor(cfg);
     let candidates = recommender
         .candidates(graph, user)
@@ -44,12 +46,17 @@ pub fn batch_contexts<'g, G: GraphView>(
             .map(|_| Err(QuestionError::InvalidUser(user)))
             .collect();
     };
-    let ppr_to_rec = ReversePush::compute(graph, &cfg.rec.ppr, rec);
+    let ppr_to_rec = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, rec);
 
     wnis.iter()
         .map(|&wni| {
             WhyNotQuestion::validate(graph, cfg, user, wni, Some(rec))?;
-            let ppr_to_wni = ReversePush::compute(graph, &cfg.rec.ppr, wni);
+            let ppr_to_wni = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, wni);
+            let mut ws = PushWorkspace::new(graph.num_nodes());
+            if cfg.dynamic_test {
+                ws.load_base(&user_push);
+            }
+            let cand = CandidateIndex::build(graph, cfg.rec.item_type, user);
             Ok(ExplainContext {
                 graph,
                 cfg: cfg.clone(),
@@ -60,6 +67,8 @@ pub fn batch_contexts<'g, G: GraphView>(
                 user_push: user_push.clone(),
                 ppr_to_rec: ppr_to_rec.clone(),
                 ppr_to_wni,
+                kernel: kernel.clone(),
+                check: RefCell::new(CheckState { ws, cand }),
             })
         })
         .collect()
@@ -189,8 +198,7 @@ mod tests {
     #[test]
     fn whole_list_covers_ranks_two_onwards() {
         let (g, cfg, u) = fixture();
-        let out =
-            explain_whole_list(&Explainer::new(cfg), &g, u, Method::AddIncremental).unwrap();
+        let out = explain_whole_list(&Explainer::new(cfg), &g, u, Method::AddIncremental).unwrap();
         for (i, l) in out.iter().enumerate() {
             assert_eq!(l.rank, i + 2);
         }

@@ -58,10 +58,15 @@ pub fn combined<G: GraphView>(
             candidate,
             mode: Mode::Remove,
         })
-        .chain(add_space.candidates.iter().map(|&candidate| MergedCandidate {
-            candidate,
-            mode: Mode::Add,
-        }))
+        .chain(
+            add_space
+                .candidates
+                .iter()
+                .map(|&candidate| MergedCandidate {
+                    candidate,
+                    mode: Mode::Add,
+                }),
+        )
         .collect();
     merged.sort_by(|a, b| {
         b.candidate
@@ -79,7 +84,13 @@ pub fn combined<G: GraphView>(
     };
 
     result.ok_or_else(|| {
-        let failure = classify_failure(ctx, Mode::Remove, removable, tester.checks_performed(), false);
+        let failure = classify_failure(
+            ctx,
+            Mode::Remove,
+            removable,
+            tester.checks_performed(),
+            false,
+        );
         // A combined-mode failure is never "out of scope for a single
         // mode" — both modes were explored.
         match failure.reason {
@@ -140,9 +151,7 @@ fn powerset_pass<G: GraphView>(
         .collect();
     let mut enumerated = 0usize;
     for size in 1..=pool.len() {
-        if enumerated.saturating_add(binomial(pool.len(), size))
-            > ctx.cfg.max_enumerated_subsets
-        {
+        if enumerated.saturating_add(binomial(pool.len(), size)) > ctx.cfg.max_enumerated_subsets {
             return None;
         }
         for idx in Combinations::new(pool.len(), size) {
@@ -230,7 +239,10 @@ mod tests {
         let single = incremental(&ctx, &crate::search::add_search_space(&ctx));
         let comb = combined(&ctx, false);
         if single.is_ok() {
-            assert!(comb.is_ok(), "combined failed where add-incremental succeeded");
+            assert!(
+                comb.is_ok(),
+                "combined failed where add-incremental succeeded"
+            );
         }
     }
 }

@@ -13,9 +13,100 @@
 
 use crate::config::EmigreConfig;
 use crate::question::{QuestionError, WhyNotQuestion};
-use emigre_hin::{GraphView, NodeId};
-use emigre_ppr::{ForwardPush, ReversePush};
+use emigre_hin::{GraphDelta, GraphView, NodeId, NodeTypeId};
+use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
+use std::cell::RefCell;
+
+/// Index over the recommendation candidate pool: the item-typed nodes and
+/// a bitset of the user's interactions.
+///
+/// The CHECK step used to rediscover both per call — an `O(n)` all-nodes
+/// scan with a `node_type` test per node, and a `Vec::contains` per
+/// candidate over the interacted list. The index is built once per
+/// question; counterfactual deltas overlay it transactionally
+/// ([`CandidateIndex::apply_delta`] / [`CandidateIndex::revert`]).
+pub struct CandidateIndex {
+    /// Nodes of the recommendable item type, excluding the user.
+    items: Vec<NodeId>,
+    /// `interacted[n]`: does the user have any out-edge to `n`?
+    interacted: Vec<bool>,
+    /// `(node, prior)` pairs recording bitset writes of the active delta.
+    overrides: Vec<(u32, bool)>,
+}
+
+impl CandidateIndex {
+    /// Scans the base graph once. `O(n + deg(user))`.
+    pub fn build<G: GraphView>(g: &G, item_type: NodeTypeId, user: NodeId) -> Self {
+        let mut items = Vec::new();
+        for i in 0..g.num_nodes() as u32 {
+            let n = NodeId(i);
+            if n != user && g.node_type(n) == item_type {
+                items.push(n);
+            }
+        }
+        let mut interacted = vec![false; g.num_nodes()];
+        g.for_each_out(user, |v, _, _| interacted[v.index()] = true);
+        CandidateIndex {
+            items,
+            interacted,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The item-typed candidate nodes (user excluded), ascending by id.
+    #[inline]
+    pub fn items(&self) -> &[NodeId] {
+        &self.items
+    }
+
+    /// Whether the user interacts with `n` under the active delta (or the
+    /// base graph, between transactions).
+    #[inline]
+    pub fn is_interacted(&self, n: NodeId) -> bool {
+        self.interacted[n.index()]
+    }
+
+    /// Overlays a counterfactual delta's effect on the interaction bitset.
+    /// `view` must be the delta's overlay of the base graph: a removal only
+    /// clears the bit when no other `user → dst` edge survives.
+    pub fn apply_delta<G: GraphView>(&mut self, user: NodeId, delta: &GraphDelta, view: &G) {
+        debug_assert!(self.overrides.is_empty(), "unbalanced apply/revert");
+        for a in delta.added() {
+            if a.key.src == user {
+                self.set(a.key.dst, true);
+            }
+        }
+        for r in delta.removed() {
+            if r.src == user && !view.has_any_edge(user, r.dst) {
+                self.set(r.dst, false);
+            }
+        }
+    }
+
+    fn set(&mut self, n: NodeId, value: bool) {
+        let i = n.index();
+        if self.interacted[i] != value {
+            self.overrides.push((n.0, self.interacted[i]));
+            self.interacted[i] = value;
+        }
+    }
+
+    /// Undoes [`CandidateIndex::apply_delta`] in `O(edits)`.
+    pub fn revert(&mut self) {
+        while let Some((n, prior)) = self.overrides.pop() {
+            self.interacted[n as usize] = prior;
+        }
+    }
+}
+
+/// Mutable per-check scratch shared through the context: the reusable push
+/// workspace and the candidate index. Borrowed exclusively for the duration
+/// of one CHECK.
+pub(crate) struct CheckState {
+    pub(crate) ws: PushWorkspace,
+    pub(crate) cand: CandidateIndex,
+}
 
 /// Pre-computed state shared by every explanation algorithm for one
 /// `(user, WNI)` question.
@@ -36,6 +127,11 @@ pub struct ExplainContext<'g, G: GraphView> {
     pub ppr_to_rec: ReversePush,
     /// `PPR(·, wni)` estimates for every node.
     pub ppr_to_wni: ReversePush,
+    /// Flat transition rows of the base graph, shared by every push in
+    /// this context; counterfactual CHECKs patch the touched rows on top.
+    pub kernel: TransitionCsr,
+    /// Reusable CHECK scratch (push workspace + candidate index).
+    pub(crate) check: RefCell<CheckState>,
 }
 
 impl<'g, G: GraphView> ExplainContext<'g, G> {
@@ -52,8 +148,12 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
         // Cheap structural validation first (bounds, typing, interaction).
         WhyNotQuestion::validate(graph, &cfg, user, wni, None)?;
 
+        // All pushes in this context run over the flat transition kernel;
+        // building it is one O(E) sweep amortised across every CHECK.
+        let kernel = TransitionCsr::build(graph, cfg.rec.ppr.transition);
+
         let recommender = PprRecommender::new(cfg.rec);
-        let user_push = ForwardPush::compute(graph, &cfg.rec.ppr, user);
+        let user_push = ForwardPush::compute_kernel(&kernel, &cfg.rec.ppr, user);
         // Same zero-score floor as the CHECK step (see
         // [`crate::tester::score_floor`]): vacuous candidates never enter
         // the target list.
@@ -62,16 +162,19 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
             .candidates(graph, user)
             .into_iter()
             .filter(|n| user_push.estimates[n.index()] > floor);
-        let rec_list =
-            RecList::from_scores(&user_push.estimates, candidates, cfg.target_list_size);
-        let rec = rec_list
-            .top()
-            .ok_or(QuestionError::InvalidUser(user))?;
+        let rec_list = RecList::from_scores(&user_push.estimates, candidates, cfg.target_list_size);
+        let rec = rec_list.top().ok_or(QuestionError::InvalidUser(user))?;
         // Re-validate now that the recommendation is known.
         WhyNotQuestion::validate(graph, &cfg, user, wni, Some(rec))?;
 
-        let ppr_to_rec = ReversePush::compute(graph, &cfg.rec.ppr, rec);
-        let ppr_to_wni = ReversePush::compute(graph, &cfg.rec.ppr, wni);
+        let ppr_to_rec = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, rec);
+        let ppr_to_wni = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, wni);
+
+        let mut ws = PushWorkspace::new(graph.num_nodes());
+        if cfg.dynamic_test {
+            ws.load_base(&user_push);
+        }
+        let cand = CandidateIndex::build(graph, cfg.rec.item_type, user);
         Ok(ExplainContext {
             graph,
             cfg,
@@ -82,6 +185,8 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
             user_push,
             ppr_to_rec,
             ppr_to_wni,
+            kernel,
+            check: RefCell::new(CheckState { ws, cand }),
         })
     }
 

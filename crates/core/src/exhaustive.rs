@@ -134,9 +134,7 @@ fn run<G: GraphView>(
     let mut result: Option<Explanation> = None;
 
     'sizes: for size in 1..=pool.len() {
-        if enumerated.saturating_add(binomial(pool.len(), size))
-            > ctx.cfg.max_enumerated_subsets
-        {
+        if enumerated.saturating_add(binomial(pool.len(), size)) > ctx.cfg.max_enumerated_subsets {
             budget_hit = true;
             break;
         }

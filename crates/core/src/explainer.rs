@@ -76,9 +76,7 @@ impl Method {
     /// The mode the method searches in (`None` for combined).
     pub fn mode(&self) -> Option<Mode> {
         match self {
-            Method::AddIncremental | Method::AddPowerset | Method::AddExhaustive => {
-                Some(Mode::Add)
-            }
+            Method::AddIncremental | Method::AddPowerset | Method::AddExhaustive => Some(Mode::Add),
             Method::RemoveIncremental
             | Method::RemovePowerset
             | Method::RemoveExhaustive
@@ -170,9 +168,7 @@ impl Explainer {
             Method::RemoveIncremental => incremental(ctx, &remove_search_space(ctx)),
             Method::RemovePowerset => powerset(ctx, &remove_search_space(ctx)),
             Method::RemoveExhaustive => exhaustive(ctx, &remove_search_space(ctx)),
-            Method::RemoveExhaustiveDirect => {
-                exhaustive_direct(ctx, &remove_search_space(ctx))
-            }
+            Method::RemoveExhaustiveDirect => exhaustive_direct(ctx, &remove_search_space(ctx)),
             Method::RemoveBruteForce => brute_force(ctx, &remove_search_space(ctx)),
             Method::Combined => combined(ctx, false),
             Method::CombinedMinimal => combined(ctx, true),

@@ -108,12 +108,7 @@ pub fn classify_failure<G: GraphView>(
     // Diagnosis order: structural condition (cold start) first, then the
     // data condition (popular item), then search-budget truncation, and
     // only when the space was genuinely exhausted: out of scope.
-    let popularity = || {
-        (
-            user_popularity(ctx, ctx.rec),
-            user_popularity(ctx, ctx.wni),
-        )
-    };
+    let popularity = || (user_popularity(ctx, ctx.rec), user_popularity(ctx, ctx.wni));
     let reason = if mode == Mode::Remove && removable_actions <= 1 {
         FailureReason::ColdStart { removable_actions }
     } else {

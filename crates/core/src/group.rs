@@ -198,29 +198,20 @@ mod tests {
     fn interacted_members_are_skipped() {
         let f = fixture();
         // `seen` alone: already interacted, not a valid question.
-        assert!(explain_any_of(
-            &f.explainer,
-            &f.g,
-            f.user,
-            &[f.seen],
-            Method::AddPowerset
-        )
-        .is_err());
+        assert!(
+            explain_any_of(&f.explainer, &f.g, f.user, &[f.seen], Method::AddPowerset).is_err()
+        );
     }
 
     #[test]
     fn unpromotable_group_fails() {
         let f = fixture();
-        assert!(
-            explain_any_of(&f.explainer, &f.g, f.user, &[f.far], Method::AddPowerset).is_err()
-        );
+        assert!(explain_any_of(&f.explainer, &f.g, f.user, &[f.far], Method::AddPowerset).is_err());
     }
 
     #[test]
     fn empty_group_fails_cleanly() {
         let f = fixture();
-        assert!(
-            explain_any_of(&f.explainer, &f.g, f.user, &[], Method::AddPowerset).is_err()
-        );
+        assert!(explain_any_of(&f.explainer, &f.g, f.user, &[], Method::AddPowerset).is_err());
     }
 }

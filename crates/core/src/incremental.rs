@@ -162,7 +162,9 @@ mod tests {
         let err = incremental(&ctx, &space).unwrap_err();
         assert!(matches!(
             err.reason,
-            FailureReason::ColdStart { removable_actions: 1 }
+            FailureReason::ColdStart {
+                removable_actions: 1
+            }
         ));
     }
 }

@@ -52,7 +52,7 @@ pub mod tester;
 pub mod weighted;
 
 pub use config::EmigreConfig;
-pub use context::ExplainContext;
+pub use context::{CandidateIndex, ExplainContext};
 pub use exhaustive::ExhaustiveTrace;
 pub use explainer::{Explainer, Method};
 pub use explanation::{Action, Explanation, Mode};

@@ -24,10 +24,7 @@ use emigre_hin::GraphView;
 /// Returns the explanation unchanged if it is not verified, empty, or
 /// already 1-minimal. Each drop attempt costs one CHECK; the worst case is
 /// `O(size²)` CHECKs.
-pub fn shrink<G: GraphView>(
-    ctx: &ExplainContext<'_, G>,
-    explanation: &Explanation,
-) -> Explanation {
+pub fn shrink<G: GraphView>(ctx: &ExplainContext<'_, G>, explanation: &Explanation) -> Explanation {
     if !explanation.verified || explanation.size() <= 1 {
         return explanation.clone();
     }
@@ -69,10 +66,7 @@ pub fn shrink<G: GraphView>(
 /// Certifies global minimality: no *proper subset* of the actions passes
 /// the CHECK. Exponential in the explanation size — guard with
 /// `explanation.size()` before calling on anything large.
-pub fn is_minimal<G: GraphView>(
-    ctx: &ExplainContext<'_, G>,
-    explanation: &Explanation,
-) -> bool {
+pub fn is_minimal<G: GraphView>(ctx: &ExplainContext<'_, G>, explanation: &Explanation) -> bool {
     let n = explanation.actions.len();
     if n <= 1 {
         return true;
@@ -138,7 +132,10 @@ mod tests {
                 assert!(small.size() <= exp.size(), "{method} grew under shrink");
                 assert!(small.verified);
                 let tester = Tester::new(&ctx);
-                assert!(tester.test(&small.actions), "{method} shrink broke the explanation");
+                assert!(
+                    tester.test(&small.actions),
+                    "{method} shrink broke the explanation"
+                );
             }
         }
     }

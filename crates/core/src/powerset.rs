@@ -48,9 +48,7 @@ pub fn powerset<G: GraphView>(
         // Within a size, order subsets by descending combined contribution
         // (paper line 10). Materialising one size at a time keeps memory at
         // O(C(|H|, size)) and the cap bounds the total.
-        if enumerated.saturating_add(binomial(pool.len(), size))
-            > ctx.cfg.max_enumerated_subsets
-        {
+        if enumerated.saturating_add(binomial(pool.len(), size)) > ctx.cfg.max_enumerated_subsets {
             budget_hit = true;
             break;
         }
@@ -183,10 +181,10 @@ mod tests {
             // plausible; powerset must find a minimal one if any size-1
             // subset passes.
             let tester = Tester::new(&ctx);
-            let single_works = space.candidates.iter().any(|c| {
-                c.contribution > 0.0
-                    && tester.test(&[super::to_action(Mode::Add, u, c)])
-            });
+            let single_works = space
+                .candidates
+                .iter()
+                .any(|c| c.contribution > 0.0 && tester.test(&[super::to_action(Mode::Add, u, c)]));
             if single_works {
                 assert_eq!(exp.size(), 1);
             }

@@ -44,9 +44,7 @@ impl WhyExplanation {
 /// Computes a minimal PRINCE counterfactual for the context's current
 /// recommendation. Uses the same context as the Why-Not search (the
 /// Why-Not item plays no role here beyond having built the context).
-pub fn prince<G: GraphView>(
-    ctx: &ExplainContext<'_, G>,
-) -> Result<WhyExplanation, ExplainFailure> {
+pub fn prince<G: GraphView>(ctx: &ExplainContext<'_, G>) -> Result<WhyExplanation, ExplainFailure> {
     let tester = Tester::new(ctx);
     let g = ctx.graph;
     let u = ctx.user;

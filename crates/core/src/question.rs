@@ -142,7 +142,7 @@ mod tests {
     fn non_item_rejected() {
         let (g, cfg, u, _, _) = setup();
         let other_user = NodeId(0); // u itself is a user
-        // ask why-not another user node
+                                    // ask why-not another user node
         let mut g2 = g.clone();
         let user_t = g2.registry().find_node_type("user").unwrap();
         let v = g2.add_node(user_t, None);

@@ -165,12 +165,7 @@ pub fn add_search_space<G: GraphView>(ctx: &ExplainContext<'_, G>) -> SearchSpac
         .ppr_to_wni
         .support()
         .into_iter()
-        .filter(|&n| {
-            n != u
-                && n != ctx.wni
-                && g.node_type(n) == item_type
-                && !g.has_any_edge(u, n)
-        })
+        .filter(|&n| n != u && n != ctx.wni && g.node_type(n) == item_type && !g.has_any_edge(u, n))
         .map(|n| Candidate {
             node: n,
             etype: ctx.cfg.add_edge_type,
@@ -289,7 +284,7 @@ mod tests {
         let space = remove_search_space(&ctx);
         assert_eq!(space.mode, Mode::Remove);
         assert_eq!(space.candidates.len(), 2); // the two rated items
-        // Sorted descending.
+                                               // Sorted descending.
         assert!(space.candidates[0].contribution >= space.candidates[1].contribution);
         // `a` only supports rec; `b` supports both — so removing `a` helps
         // WNI more.
@@ -312,10 +307,7 @@ mod tests {
         assert!(space.candidates[0].contribution > 0.0);
         // Already-rated items and the WNI itself are excluded.
         assert!(space.candidates.iter().all(|c| c.node != wni));
-        assert!(space
-            .candidates
-            .iter()
-            .all(|c| !g.has_any_edge(u, c.node)));
+        assert!(space.candidates.iter().all(|c| !g.has_any_edge(u, c.node)));
         // τ is the same dominance gap in both modes.
         let rspace = remove_search_space(&ctx);
         assert!((space.tau - rspace.tau).abs() < 1e-12);

@@ -16,7 +16,7 @@
 use crate::context::ExplainContext;
 use crate::explanation::{actions_to_delta, Action};
 use emigre_hin::{GraphView, NodeId};
-use emigre_ppr::ForwardPush;
+use emigre_ppr::TransitionKernel;
 use emigre_rec::RecList;
 use std::cell::Cell;
 
@@ -62,6 +62,11 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
     /// competitor's interval, pushing further cannot change the answer.
     /// Undecidable cases fall through to the full-precision comparison,
     /// which matches [`Self::recommendation_after`] exactly.
+    /// The check is **allocation-free in the graph size**: the push runs in
+    /// the context's reusable [`emigre_ppr::PushWorkspace`] over the
+    /// precomputed flat kernel with only the delta's rows patched, and is
+    /// rolled back through an undo log — no push-state clone, no per-call
+    /// `O(n)` vectors, no full residual scans.
     pub fn test(&self, actions: &[Action]) -> bool {
         self.checks.set(self.checks.get() + 1);
         let ctx = self.ctx;
@@ -70,82 +75,74 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         let target_eps = ctx.cfg.rec.ppr.epsilon;
         let floor = score_floor(&ctx.cfg);
         let wni = ctx.wni;
+        let touched = delta.touched_sources();
+        let patched = ctx.kernel.patched(&view, &touched);
 
-        let mut interacted: Vec<NodeId> = Vec::new();
-        view.for_each_out(ctx.user, |v, _, _| {
-            if !interacted.contains(&v) {
-                interacted.push(v);
-            }
-        });
-        if interacted.contains(&wni) {
-            return false; // an interacted item can never be recommended
-        }
+        let mut check = ctx.check.borrow_mut();
+        let crate::context::CheckState { ws, cand } = &mut *check;
+        cand.apply_delta(ctx.user, &delta, &view);
 
-        // Counterfactual push state: repaired residuals (dynamic) or a
-        // fresh seed, pushed in stages of decreasing ε.
-        let mut state = if ctx.cfg.dynamic_test {
-            let mut s = ctx.user_push.clone();
-            for u in delta.touched_sources() {
-                let old_row =
-                    emigre_ppr::transition_row(ctx.graph, ctx.cfg.rec.ppr.transition, u);
-                let new_row = emigre_ppr::transition_row(&view, ctx.cfg.rec.ppr.transition, u);
-                s.repair_row_change(&ctx.cfg.rec.ppr, u, &old_row, &new_row);
+        let verdict = 'verdict: {
+            if cand.is_interacted(wni) {
+                break 'verdict false; // an interacted item can never be recommended
             }
-            s
-        } else {
-            let mut s = ForwardPush {
-                seed: ctx.user,
-                estimates: vec![0.0; view.num_nodes()],
-                residuals: vec![0.0; view.num_nodes()],
-                pushes: 0,
-            };
-            s.residuals[ctx.user.index()] = 1.0;
-            s
+
+            // Counterfactual push state: repaired residuals (dynamic) or a
+            // fresh seed, pushed in stages of decreasing ε.
+            if ctx.cfg.dynamic_test {
+                for &u in &touched {
+                    ws.repair_row_change(
+                        &ctx.cfg.rec.ppr,
+                        u,
+                        ctx.kernel.forward_row(u),
+                        patched.forward_row(u),
+                    );
+                }
+            } else {
+                ws.add_residual(ctx.user, 1.0);
+            }
+
+            let mut eps = 1e-3_f64.max(target_eps);
+            loop {
+                ws.push_stage(&patched, &ctx.cfg.rec.ppr, eps);
+                let r = ws.residual_mass();
+                let p_wni = ws.estimate(wni);
+                if p_wni + r <= floor {
+                    break 'verdict false; // cannot clear the recommendability floor
+                }
+                // Strongest competitor among valid candidates.
+                let mut best_other = f64::NEG_INFINITY;
+                for &n in cand.items() {
+                    if n != wni && !cand.is_interacted(n) {
+                        best_other = best_other.max(ws.estimate(n));
+                    }
+                }
+                if best_other - r > p_wni + r && best_other - r > floor {
+                    break 'verdict false; // some competitor provably wins
+                }
+                if p_wni - r > floor && p_wni - r > best_other + r {
+                    break 'verdict true; // WNI provably wins
+                }
+                if eps <= target_eps {
+                    break; // fully converged yet numerically undecided: ties
+                }
+                eps = (eps * 0.03).max(target_eps);
+            }
+
+            // Tie region at target precision: replicate the exact ranking
+            // rule (floor + score-desc + id-asc) of `recommendation_after`.
+            let scores = ws.estimates();
+            let candidates = cand
+                .items()
+                .iter()
+                .copied()
+                .filter(|&n| scores[n.index()] > floor && !cand.is_interacted(n));
+            RecList::from_scores(scores, candidates, 1).top() == Some(wni)
         };
 
-        let item_type = ctx.cfg.rec.item_type;
-        let mut eps = 1e-3_f64.max(target_eps);
-        loop {
-            state.push_until_converged(&view, &ctx.cfg.rec.ppr.with_epsilon(eps));
-            let r = state.residual_mass();
-            let p_wni = state.estimates[wni.index()];
-            if p_wni + r <= floor {
-                return false; // cannot clear the recommendability floor
-            }
-            // Strongest competitor among valid candidates.
-            let mut best_other = f64::NEG_INFINITY;
-            for i in 0..view.num_nodes() as u32 {
-                let n = NodeId(i);
-                if n != ctx.user
-                    && n != wni
-                    && view.node_type(n) == item_type
-                    && !interacted.contains(&n)
-                {
-                    best_other = best_other.max(state.estimates[n.index()]);
-                }
-            }
-            if best_other - r > p_wni + r && best_other - r > floor {
-                return false; // some competitor provably wins
-            }
-            if p_wni - r > floor && p_wni - r > best_other + r {
-                return true; // WNI provably wins
-            }
-            if eps <= target_eps {
-                break; // fully converged yet numerically undecided: ties
-            }
-            eps = (eps * 0.03).max(target_eps);
-        }
-
-        // Tie region at target precision: replicate the exact ranking rule
-        // (floor + score-desc + id-asc) of `recommendation_after`.
-        let scores = &state.estimates;
-        let candidates = (0..view.num_nodes() as u32).map(NodeId).filter(|&n| {
-            n != ctx.user
-                && view.node_type(n) == item_type
-                && scores[n.index()] > floor
-                && !interacted.contains(&n)
-        });
-        RecList::from_scores(scores, candidates, 1).top() == Some(wni)
+        ws.rollback();
+        cand.revert();
+        verdict
     }
 
     /// Top-1 recommendation on the counterfactual graph (also used by the
@@ -160,18 +157,27 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         let ctx = self.ctx;
         let delta = actions_to_delta(actions, &ctx.cfg);
         let view = delta.overlay(ctx.graph);
+        let touched = delta.touched_sources();
+        let patched = ctx.kernel.patched(&view, &touched);
 
-        let scores: Vec<f64> = if ctx.cfg.dynamic_test {
-            emigre_ppr::dynamic::forward_after_delta(
-                ctx.graph,
-                &delta,
-                &ctx.cfg.rec.ppr,
-                &ctx.user_push,
-            )
-            .estimates
+        let mut check = ctx.check.borrow_mut();
+        let crate::context::CheckState { ws, cand } = &mut *check;
+        cand.apply_delta(ctx.user, &delta, &view);
+
+        // Same engine as `test`, run straight to the target ε.
+        if ctx.cfg.dynamic_test {
+            for &u in &touched {
+                ws.repair_row_change(
+                    &ctx.cfg.rec.ppr,
+                    u,
+                    ctx.kernel.forward_row(u),
+                    patched.forward_row(u),
+                );
+            }
         } else {
-            ForwardPush::compute(&view, &ctx.cfg.rec.ppr, ctx.user).estimates
-        };
+            ws.add_residual(ctx.user, 1.0);
+        }
+        ws.push_stage(&patched, &ctx.cfg.rec.ppr, ctx.cfg.rec.ppr.epsilon);
 
         // Candidates on the EDITED graph: removals free their items for
         // recommendation again; additions disqualify theirs. Items whose
@@ -179,20 +185,17 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         // zero-score "recommendation" is vacuous and its tie-breaking would
         // differ between the dynamic and from-scratch engines.
         let floor = score_floor(&ctx.cfg);
-        let item_type = ctx.cfg.rec.item_type;
-        let mut interacted: Vec<NodeId> = Vec::new();
-        view.for_each_out(ctx.user, |v, _, _| {
-            if !interacted.contains(&v) {
-                interacted.push(v);
-            }
-        });
-        let candidates = (0..view.num_nodes() as u32).map(NodeId).filter(|&n| {
-            n != ctx.user
-                && view.node_type(n) == item_type
-                && scores[n.index()] > floor
-                && !interacted.contains(&n)
-        });
-        RecList::from_scores(&scores, candidates, k)
+        let scores = ws.estimates();
+        let candidates = cand
+            .items()
+            .iter()
+            .copied()
+            .filter(|&n| scores[n.index()] > floor && !cand.is_interacted(n));
+        let list = RecList::from_scores(scores, candidates, k);
+
+        ws.rollback();
+        cand.revert();
+        list
     }
 }
 
@@ -351,6 +354,43 @@ mod tests {
             let staged = tester.test(&actions);
             let full = tester.top1_after(&actions) == Some(f.wni);
             assert_eq!(staged, full, "disagreement on mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn checks_reuse_workspace_and_roll_back_cleanly() {
+        // The CHECK fast path must leave the context's workspace clean
+        // (fully rolled back) after every call and never swap out its
+        // graph-sized buffers — repeated checks reuse the same storage.
+        for dynamic in [true, false] {
+            let f = fixture();
+            let mut cfg = f.cfg.clone();
+            cfg.dynamic_test = dynamic;
+            let ctx = ExplainContext::build(&f.g, cfg, f.u, f.wni).unwrap();
+            let tester = Tester::new(&ctx);
+            let pool = [
+                Action::remove(EdgeKey::new(f.u, f.pivot, f.rated), 1.0),
+                Action::add(EdgeKey::new(f.u, f.bridge, f.rated), 1.0),
+            ];
+            let est_ptr = ctx.check.borrow().ws.estimates().as_ptr();
+            for round in 0..50u32 {
+                let mask = round % 4;
+                let actions: Vec<Action> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, a)| *a)
+                    .collect();
+                tester.test(&actions);
+                let check = ctx.check.borrow();
+                assert!(check.ws.is_clean(), "undo log not drained (dyn={dynamic})");
+                assert_eq!(check.ws.touched_len(), 0);
+                assert_eq!(
+                    check.ws.estimates().as_ptr(),
+                    est_ptr,
+                    "workspace buffer was reallocated (dyn={dynamic})"
+                );
+            }
         }
     }
 

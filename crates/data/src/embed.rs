@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn embeddings_are_deterministic() {
         let e = Embedder::default();
-        assert_eq!(e.embed("great book, loved it"), e.embed("great book, loved it"));
+        assert_eq!(
+            e.embed("great book, loved it"),
+            e.embed("great book, loved it")
+        );
     }
 
     #[test]

@@ -116,7 +116,13 @@ pub fn running_example() -> RunningExample {
     for b in [les_miserables, don_quixote, candide, the_alchemist] {
         link(b, classics, belongs_to);
     }
-    for b in [harry_potter, lord_of_the_rings, the_hobbit, eragon, the_witcher] {
+    for b in [
+        harry_potter,
+        lord_of_the_rings,
+        the_hobbit,
+        eragon,
+        the_witcher,
+    ] {
         link(b, fantasy, belongs_to);
     }
     for b in [c_book, rust_book, python] {
@@ -131,8 +137,8 @@ pub fn running_example() -> RunningExample {
         epsilon: 1e-9,
         ..PprConfig::default()
     };
-    let config = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated)
-        .with_edge_types(vec![rated]);
+    let config =
+        EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated).with_edge_types(vec![rated]);
 
     RunningExample {
         graph: g,
@@ -207,8 +213,8 @@ pub fn popular_item_example() -> PopularItemExample {
         epsilon: 1e-9,
         ..PprConfig::default()
     };
-    let config = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated)
-        .with_edge_types(vec![rated]);
+    let config =
+        EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated).with_edge_types(vec![rated]);
     PopularItemExample {
         graph: g,
         config,

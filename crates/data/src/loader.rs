@@ -31,7 +31,10 @@ impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadError::TooFewColumns { line, found } => {
-                write!(f, "line {line}: expected ≥{MIN_COLUMNS} columns, found {found}")
+                write!(
+                    f,
+                    "line {line}: expected ≥{MIN_COLUMNS} columns, found {found}"
+                )
             }
             LoadError::BadStarRating { line, value } => {
                 write!(f, "line {line}: bad star rating {value:?}")
@@ -69,12 +72,14 @@ pub fn parse_amazon_tsv(text: &str) -> Result<RawDataset, LoadError> {
                 found: cols.len(),
             });
         }
-        let stars: u8 = cols[COL_STAR_RATING].trim().parse().map_err(|_| {
-            LoadError::BadStarRating {
-                line: line_display,
-                value: cols[COL_STAR_RATING].to_owned(),
-            }
-        })?;
+        let stars: u8 =
+            cols[COL_STAR_RATING]
+                .trim()
+                .parse()
+                .map_err(|_| LoadError::BadStarRating {
+                    line: line_display,
+                    value: cols[COL_STAR_RATING].to_owned(),
+                })?;
         if !(1..=5).contains(&stars) {
             return Err(LoadError::BadStarRating {
                 line: line_display,

@@ -166,12 +166,7 @@ impl AmazonHin {
         // predecessors above the threshold, capped.
         for a in 1..review_nodes.len() {
             let mut sims: Vec<(usize, f64)> = (0..a)
-                .map(|b| {
-                    (
-                        b,
-                        Embedder::cosine(&review_nodes[a].1, &review_nodes[b].1),
-                    )
-                })
+                .map(|b| (b, Embedder::cosine(&review_nodes[a].1, &review_nodes[b].1)))
                 .filter(|&(_, s)| s >= cfg.similarity_threshold && s < 1.0 + 1e-9)
                 .collect();
             sims.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(&y.0)));
@@ -327,7 +322,12 @@ mod tests {
     #[test]
     fn all_node_types_present() {
         let hin = small();
-        for t in [hin.user_type, hin.item_type, hin.review_type, hin.category_type] {
+        for t in [
+            hin.user_type,
+            hin.item_type,
+            hin.review_type,
+            hin.category_type,
+        ] {
             assert!(
                 !hin.graph.nodes_of_type(t).is_empty(),
                 "missing node type {:?}",

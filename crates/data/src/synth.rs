@@ -154,15 +154,44 @@ impl Zipf {
 /// Category-flavoured vocabulary for review text, so reviews of items in
 /// the same category share tokens and the embedder links them.
 const SENTIMENT_POSITIVE: &[&str] = &[
-    "loved", "excellent", "wonderful", "great", "amazing", "perfect", "recommend",
+    "loved",
+    "excellent",
+    "wonderful",
+    "great",
+    "amazing",
+    "perfect",
+    "recommend",
 ];
 const SENTIMENT_NEGATIVE: &[&str] = &[
-    "disappointing", "broken", "terrible", "waste", "refund", "awful", "poor",
+    "disappointing",
+    "broken",
+    "terrible",
+    "waste",
+    "refund",
+    "awful",
+    "poor",
 ];
 const TOPIC_WORDS: &[&str] = &[
-    "story", "battery", "fabric", "flavor", "pages", "sound", "screen", "plot",
-    "material", "taste", "author", "charger", "fit", "aroma", "binding", "bass",
-    "display", "characters", "stitching", "texture",
+    "story",
+    "battery",
+    "fabric",
+    "flavor",
+    "pages",
+    "sound",
+    "screen",
+    "plot",
+    "material",
+    "taste",
+    "author",
+    "charger",
+    "fit",
+    "aroma",
+    "binding",
+    "bass",
+    "display",
+    "characters",
+    "stitching",
+    "texture",
 ];
 
 fn review_text<R: Rng>(rng: &mut R, category: usize, stars: u8) -> String {
@@ -227,8 +256,7 @@ impl SynthDataset {
         // Interactions: per user, Zipf-popular items without repetition,
         // biased towards the user's preferred categories.
         let item_zipf = Zipf::new(config.num_items, config.popularity_exponent);
-        let star_dist =
-            WeightedIndex::new(config.star_weights).expect("validated star weights");
+        let star_dist = WeightedIndex::new(config.star_weights).expect("validated star weights");
         let mut interactions = Vec::new();
         for user in 0..config.num_users {
             // 1-2 preferred categories per user, Zipf-favouring big ones.
@@ -325,7 +353,11 @@ mod tests {
         let d = SynthDataset::generate(SynthConfig::small());
         let mut seen = std::collections::HashSet::new();
         for i in &d.raw.interactions {
-            assert!(seen.insert((i.user, i.item)), "duplicate {:?}", (i.user, i.item));
+            assert!(
+                seen.insert((i.user, i.item)),
+                "duplicate {:?}",
+                (i.user, i.item)
+            );
         }
     }
 
@@ -356,7 +388,12 @@ mod tests {
     #[test]
     fn review_probability_is_roughly_respected() {
         let d = SynthDataset::generate(SynthConfig::small());
-        let with_review = d.raw.interactions.iter().filter(|i| i.review.is_some()).count();
+        let with_review = d
+            .raw
+            .interactions
+            .iter()
+            .filter(|i| i.review.is_some())
+            .count();
         let frac = with_review as f64 / d.raw.interactions.len() as f64;
         assert!((frac - 0.85).abs() < 0.1, "review fraction {frac}");
     }

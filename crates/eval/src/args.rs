@@ -149,9 +149,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> EvalArgs {
-        EvalArgs::parse(
-            std::iter::once("bin".to_owned()).chain(args.iter().map(|s| s.to_string())),
-        )
+        EvalArgs::parse(std::iter::once("bin".to_owned()).chain(args.iter().map(|s| s.to_string())))
     }
 
     #[test]
@@ -172,7 +170,9 @@ mod tests {
 
     #[test]
     fn overrides_beat_presets() {
-        let a = parse(&["--scale", "paper", "--users", "7", "--wni", "2", "--seed", "9"]);
+        let a = parse(&[
+            "--scale", "paper", "--users", "7", "--wni", "2", "--seed", "9",
+        ]);
         assert_eq!(a.effective_users(), 7);
         assert_eq!(a.effective_wni(), 2);
         assert_eq!(a.seed, 9);

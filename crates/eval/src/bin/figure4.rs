@@ -14,7 +14,12 @@ fn main() {
     let rows = report::figure4(&sweep);
     println!(
         "{}",
-        report::bar_chart("Figure 4 — explanation success rate per method", &rows, "%", 100.0)
+        report::bar_chart(
+            "Figure 4 — explanation success rate per method",
+            &rows,
+            "%",
+            100.0
+        )
     );
     write_artifacts(&args, &sweep).expect("write artefacts");
     println!("artefacts written to {}", args.out_dir.display());

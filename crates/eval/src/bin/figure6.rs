@@ -14,7 +14,12 @@ fn main() {
     let rows = report::figure6(&sweep);
     println!(
         "{}",
-        report::bar_chart("Figure 6 — average explanation size per method", &rows, " edges", 3.0)
+        report::bar_chart(
+            "Figure 6 — average explanation size per method",
+            &rows,
+            " edges",
+            3.0
+        )
     );
     write_artifacts(&args, &sweep).expect("write artefacts");
     println!("artefacts written to {}", args.out_dir.display());

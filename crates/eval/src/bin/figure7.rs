@@ -28,7 +28,11 @@ fn main() {
         Method::RemoveBruteForce,
     ] {
         match Explainer::explain_with_context(&ctx, method) {
-            Ok(exp) => println!("{:<22} unexpectedly succeeded: {}", method.label(), exp.describe(g)),
+            Ok(exp) => println!(
+                "{:<22} unexpectedly succeeded: {}",
+                method.label(),
+                exp.describe(g)
+            ),
             Err(failure) => println!("{:<22} failed — {}", method.label(), failure.reason),
         }
     }

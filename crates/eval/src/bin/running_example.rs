@@ -27,7 +27,11 @@ fn main() {
     );
     println!("Paul's top-10 list:");
     for (i, (item, score)) in ctx.rec_list.entries().iter().enumerate() {
-        println!("  {:>2}. {:<24} PPR {score:.5}", i + 1, g.display_name(*item));
+        println!(
+            "  {:>2}. {:<24} PPR {score:.5}",
+            i + 1,
+            g.display_name(*item)
+        );
     }
     println!();
 

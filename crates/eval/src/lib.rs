@@ -20,8 +20,8 @@
 //! aggregated per method.
 
 pub mod args;
-pub mod harness;
 pub mod dataset;
+pub mod harness;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -187,7 +187,10 @@ pub fn success_by_rank(sweep: &SweepResult, methods: &[Method]) -> Vec<(usize, u
 /// Renders the per-rank success table.
 pub fn success_by_rank_text(rows: &[(usize, usize, f64)]) -> String {
     let mut s = String::from("Success rate by Why-Not item rank (all methods pooled):\n");
-    s.push_str(&format!("{:<6} {:>10} {:>12}\n", "rank", "attempts", "success"));
+    s.push_str(&format!(
+        "{:<6} {:>10} {:>12}\n",
+        "rank", "attempts", "success"
+    ));
     for (rank, attempts, pct) in rows {
         s.push_str(&format!("{rank:<6} {attempts:>10} {pct:>11.1}%\n"));
     }
@@ -289,8 +292,7 @@ pub fn summary_csv(sweep: &SweepResult) -> String {
 
 /// Per-record CSV (the raw sweep data).
 pub fn records_csv(sweep: &SweepResult) -> String {
-    let mut s =
-        String::from("user,wni,wni_rank,method,success,size,runtime_s,checks,outcome\n");
+    let mut s = String::from("user,wni,wni_rank,method,success,size,runtime_s,checks,outcome\n");
     for r in &sweep.records {
         s.push_str(&format!(
             "{},{},{},{},{},{},{:.6},{},{:?}\n",
@@ -339,35 +341,62 @@ mod tests {
         ];
         let records = vec![
             // scenario (1, 10): solvable by brute; powerset finds it too
-            record(1, 10, Method::RemovePowerset, MethodOutcome::Found { size: 2 }, 0.2),
+            record(
+                1,
+                10,
+                Method::RemovePowerset,
+                MethodOutcome::Found { size: 2 },
+                0.2,
+            ),
             record(
                 1,
                 10,
                 Method::RemoveExhaustiveDirect,
-                MethodOutcome::FoundUnverified { size: 1, correct: false },
+                MethodOutcome::FoundUnverified {
+                    size: 1,
+                    correct: false,
+                },
                 0.05,
             ),
-            record(1, 10, Method::RemoveBruteForce, MethodOutcome::Found { size: 2 }, 1.0),
+            record(
+                1,
+                10,
+                Method::RemoveBruteForce,
+                MethodOutcome::Found { size: 2 },
+                1.0,
+            ),
             // scenario (2, 20): nobody solves it
             record(
                 2,
                 20,
                 Method::RemovePowerset,
-                MethodOutcome::NotFound { reason: FailureReason::OutOfScope { mode: emigre_core::Mode::Remove } },
+                MethodOutcome::NotFound {
+                    reason: FailureReason::OutOfScope {
+                        mode: emigre_core::Mode::Remove,
+                    },
+                },
                 0.4,
             ),
             record(
                 2,
                 20,
                 Method::RemoveExhaustiveDirect,
-                MethodOutcome::NotFound { reason: FailureReason::OutOfScope { mode: emigre_core::Mode::Remove } },
+                MethodOutcome::NotFound {
+                    reason: FailureReason::OutOfScope {
+                        mode: emigre_core::Mode::Remove,
+                    },
+                },
                 0.1,
             ),
             record(
                 2,
                 20,
                 Method::RemoveBruteForce,
-                MethodOutcome::NotFound { reason: FailureReason::OutOfScope { mode: emigre_core::Mode::Remove } },
+                MethodOutcome::NotFound {
+                    reason: FailureReason::OutOfScope {
+                        mode: emigre_core::Mode::Remove,
+                    },
+                },
                 2.0,
             ),
         ];
@@ -393,7 +422,10 @@ mod tests {
         let sweep = sample_sweep();
         let f5 = figure5(&sweep);
         // Only scenario (1,10) is brute-solvable; powerset solves it → 100%.
-        let ps = f5.iter().find(|(m, _)| *m == Method::RemovePowerset).unwrap();
+        let ps = f5
+            .iter()
+            .find(|(m, _)| *m == Method::RemovePowerset)
+            .unwrap();
         assert_eq!(ps.1, 100.0);
         let brute = f5
             .iter()

@@ -107,9 +107,12 @@ pub fn run_one<G: GraphView>(
     }
     let explainer = Explainer::new(cfg.clone());
     let start = Instant::now();
-    let (outcome, runtime_secs, checks) = match explainer.context(g, scenario.user, scenario.wni)
-    {
-        Err(_) => (MethodOutcome::InvalidQuestion, start.elapsed().as_secs_f64(), 0),
+    let (outcome, runtime_secs, checks) = match explainer.context(g, scenario.user, scenario.wni) {
+        Err(_) => (
+            MethodOutcome::InvalidQuestion,
+            start.elapsed().as_secs_f64(),
+            0,
+        ),
         Ok(ctx) => match Explainer::explain_with_context(&ctx, method) {
             Ok(exp) => {
                 // Stop the clock before the harness's post-hoc correctness

@@ -24,11 +24,7 @@ pub struct Scenario {
 
 /// Computes a user's recommendation list the same way
 /// [`emigre_core::ExplainContext`] does (same score floor, same ordering).
-pub fn recommendation_list<G: GraphView>(
-    g: &G,
-    cfg: &EmigreConfig,
-    user: NodeId,
-) -> RecList {
+pub fn recommendation_list<G: GraphView>(g: &G, cfg: &EmigreConfig, user: NodeId) -> RecList {
     let push = ForwardPush::compute(g, &cfg.rec.ppr, user);
     let floor = emigre_core::tester::score_floor(cfg);
     let recommender = PprRecommender::new(cfg.rec);

@@ -248,7 +248,9 @@ mod tests {
         let mut g = Hin::new();
         let nt = g.registry_mut().node_type("n");
         let et = g.registry_mut().edge_type("e");
-        let nodes: Vec<_> = (0..4).map(|i| g.add_node(nt, Some(&format!("{i}")))).collect();
+        let nodes: Vec<_> = (0..4)
+            .map(|i| g.add_node(nt, Some(&format!("{i}"))))
+            .collect();
         g.add_edge(nodes[0], nodes[1], et, 1.0).unwrap();
         g.add_edge(nodes[0], nodes[2], et, 2.0).unwrap();
         g.add_edge(nodes[1], nodes[2], et, 1.0).unwrap();

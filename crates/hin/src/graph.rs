@@ -255,12 +255,9 @@ impl Hin {
     /// All edges of the graph as `(key, weight)` pairs, grouped by source.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeKey, f64)> + '_ {
         self.nodes.iter().enumerate().flat_map(|(src, d)| {
-            d.out.iter().map(move |e| {
-                (
-                    EdgeKey::new(NodeId(src as u32), e.node, e.etype),
-                    e.weight,
-                )
-            })
+            d.out
+                .iter()
+                .map(move |e| (EdgeKey::new(NodeId(src as u32), e.node, e.etype), e.weight))
         })
     }
 

@@ -62,7 +62,10 @@ pub fn to_edge_list(g: &Hin) -> String {
     let mut edges: Vec<_> = g.edges().collect();
     edges.sort_by_key(|(k, _)| (k.src, k.dst, k.etype));
     for (k, w) in edges {
-        out.push_str(&format!("edge {} {} {} {}\n", k.src.0, k.dst.0, k.etype.0, w));
+        out.push_str(&format!(
+            "edge {} {} {} {}\n",
+            k.src.0, k.dst.0, k.etype.0, w
+        ));
     }
     out
 }
@@ -92,7 +95,9 @@ pub fn from_edge_list(text: &str) -> Result<Hin, ParseError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| bad(lineno, "bad type id"))?;
-                let name = parts.next().ok_or_else(|| bad(lineno, "missing type name"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| bad(lineno, "missing type name"))?;
                 let interned = if kind == "nodetype" {
                     g.registry_mut().node_type(name).0
                 } else {

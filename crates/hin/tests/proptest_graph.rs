@@ -7,8 +7,17 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Add { src: u32, dst: u32, etype: u16, weight: f64 },
-    Remove { src: u32, dst: u32, etype: u16 },
+    Add {
+        src: u32,
+        dst: u32,
+        etype: u16,
+        weight: f64,
+    },
+    Remove {
+        src: u32,
+        dst: u32,
+        etype: u16,
+    },
 }
 
 fn ops(n: u32, types: u16) -> impl Strategy<Value = Vec<Op>> {

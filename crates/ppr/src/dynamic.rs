@@ -48,6 +48,7 @@ pub fn reverse_after_delta<G: GraphView>(
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index parallel arrays by node id
 mod tests {
     use super::*;
     use crate::power::ppr_power;
@@ -160,10 +161,10 @@ mod tests {
         let mut fp = crate::forward::ForwardPush::compute(&g, &c, NodeId(2));
 
         let edits: Vec<(NodeId, NodeId, bool)> = vec![
-            (NodeId(2), NodeId(3), false),  // remove
-            (NodeId(2), NodeId(9), true),   // add
-            (NodeId(6), NodeId(12), true),  // add elsewhere
-            (NodeId(2), NodeId(9), false),  // remove the added one again
+            (NodeId(2), NodeId(3), false), // remove
+            (NodeId(2), NodeId(9), true),  // add
+            (NodeId(6), NodeId(12), true), // add elsewhere
+            (NodeId(2), NodeId(9), false), // remove the added one again
         ];
         for (u, v, add) in edits {
             let old = g.clone();

@@ -16,6 +16,7 @@
 //! negative mass is sound and the same loop handles both signs.
 
 use crate::config::PprConfig;
+use crate::kernel::TransitionKernel;
 use emigre_hin::{GraphView, NodeId};
 use std::collections::VecDeque;
 
@@ -72,15 +73,72 @@ impl ForwardPush {
             self.pushes += 1;
             let spread = (1.0 - cfg.alpha) * r;
             let residuals = &mut self.residuals;
-            cfg.transition
-                .for_each_probability(g, NodeId(u), |v, p| {
-                    let vi = v.index();
-                    residuals[vi] += spread * p;
-                    if residuals[vi].abs() > eps && !queued[vi] {
-                        queued[vi] = true;
-                        queue.push_back(vi as u32);
-                    }
-                });
+            cfg.transition.for_each_probability(g, NodeId(u), |v, p| {
+                let vi = v.index();
+                residuals[vi] += spread * p;
+                if residuals[vi].abs() > eps && !queued[vi] {
+                    queued[vi] = true;
+                    queue.push_back(vi as u32);
+                }
+            });
+        }
+    }
+
+    /// Runs FLP from `seed` to convergence over a precomputed transition
+    /// kernel — the flat fast path of [`Self::compute`].
+    pub fn compute_kernel<K: TransitionKernel>(kernel: &K, cfg: &PprConfig, seed: NodeId) -> Self {
+        cfg.validate();
+        let n = kernel.num_nodes();
+        let mut state = ForwardPush {
+            seed,
+            estimates: vec![0.0; n],
+            residuals: vec![0.0; n],
+            pushes: 0,
+        };
+        state.residuals[seed.index()] = 1.0;
+        state.push_until_converged_kernel(kernel, cfg);
+        state
+    }
+
+    /// [`Self::push_until_converged`] over a precomputed transition kernel:
+    /// the inner loop reads merged `(dst, prob)` row slices instead of
+    /// re-deriving per-edge probabilities from the graph view.
+    ///
+    /// Schedule: whole-array Gauss–Seidel sweeps in node order until no
+    /// residual exceeds ε. A sweep walks the CSR arrays sequentially — no
+    /// queue traffic, no visited bitmap, no random-order row access — which
+    /// measures ~3× faster per push than the FIFO discipline of the generic
+    /// loop. Push operations are valid in any order, so the Eq. (3)
+    /// invariant and the ε guarantee are unaffected; each push retires at
+    /// least `α·ε` of residual mass, so the sweep count is bounded by
+    /// `Σ|r| / (α·ε)` and in practice by `O(log(1/ε))`.
+    pub fn push_until_converged_kernel<K: TransitionKernel>(
+        &mut self,
+        kernel: &K,
+        cfg: &PprConfig,
+    ) {
+        let eps = cfg.epsilon;
+        let n = self.residuals.len();
+        loop {
+            let mut any = false;
+            for u in 0..n {
+                let r = self.residuals[u];
+                if r.abs() <= eps {
+                    continue;
+                }
+                any = true;
+                self.residuals[u] = 0.0;
+                self.estimates[u] += cfg.alpha * r;
+                self.pushes += 1;
+                let spread = (1.0 - cfg.alpha) * r;
+                let (dsts, probs) = kernel.forward_row(NodeId(u as u32));
+                for (&v, &p) in dsts.iter().zip(probs) {
+                    self.residuals[v as usize] += spread * p;
+                }
+            }
+            if !any {
+                return;
+            }
         }
     }
 
@@ -146,6 +204,7 @@ impl ForwardPush {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index parallel arrays by node id
 mod tests {
     use super::*;
     use crate::power::ppr_power;

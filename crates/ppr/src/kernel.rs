@@ -1,0 +1,372 @@
+//! Flat transition kernels: precomputed CSR transition rows.
+//!
+//! The generic push loops traverse a [`GraphView`] edge-by-edge and
+//! recompute each edge's transition probability on the fly — for the
+//! reverse push that even means an `out_degree` + `out_weight_sum` scan of
+//! the *source* node per in-edge visited. Since the transition matrix `W`
+//! only depends on `(graph, TransitionModel)`, EMiGRe's hot loops can
+//! instead run over a [`TransitionCsr`]: `W`'s rows (and columns)
+//! materialised once into flat offset/destination/probability arrays, with
+//! parallel edges already merged.
+//!
+//! Counterfactual CHECKs evaluate `base ⊕ delta` graphs that differ from
+//! the base in a handful of user-rooted edges. Rebuilding the CSR per CHECK
+//! would defeat the purpose, so [`TransitionCsr::patched`] produces a
+//! [`PatchedCsr`]: the base arrays shared by reference plus freshly built
+//! rows for only the touched sources (and the correspondingly patched
+//! reverse rows). Push loops are generic over [`TransitionKernel`], so the
+//! same monomorphised code serves both.
+
+use crate::transition::{transition_row_into, TransitionModel};
+use emigre_hin::{GraphView, NodeId};
+
+/// Row-slice access to a transition matrix `W` and its transpose.
+///
+/// `forward_row(u)` yields `(dsts, probs)` with `probs[i] = W(u, dsts[i])`;
+/// `reverse_row(v)` yields `(srcs, probs)` with `probs[i] = W(srcs[i], v)`.
+/// Parallel edges are merged, so destinations within a row are distinct.
+pub trait TransitionKernel {
+    fn num_nodes(&self) -> usize;
+    fn forward_row(&self, u: NodeId) -> (&[u32], &[f64]);
+    fn reverse_row(&self, v: NodeId) -> (&[u32], &[f64]);
+}
+
+/// The transition matrix of one `(graph, model)` pair in CSR form, forward
+/// and reverse.
+#[derive(Debug, Clone)]
+pub struct TransitionCsr {
+    model: TransitionModel,
+    fwd_offsets: Vec<usize>,
+    fwd_dsts: Vec<u32>,
+    fwd_probs: Vec<f64>,
+    rev_offsets: Vec<usize>,
+    rev_srcs: Vec<u32>,
+    rev_probs: Vec<f64>,
+}
+
+impl TransitionCsr {
+    /// Materialises every transition row of `g` under `model`. `O(V + E)`
+    /// memory, `O(E log deg_max)` time.
+    pub fn build<G: GraphView>(g: &G, model: TransitionModel) -> Self {
+        let n = g.num_nodes();
+        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        fwd_offsets.push(0usize);
+        let mut fwd_dsts: Vec<u32> = Vec::new();
+        let mut fwd_probs: Vec<f64> = Vec::new();
+        let mut row: Vec<(NodeId, f64)> = Vec::new();
+        for u in 0..n as u32 {
+            transition_row_into(g, model, NodeId(u), &mut row);
+            for &(v, p) in &row {
+                fwd_dsts.push(v.0);
+                fwd_probs.push(p);
+            }
+            fwd_offsets.push(fwd_dsts.len());
+        }
+
+        // Transpose by counting sort: one pass to size the reverse rows,
+        // one to fill them (sources come out in ascending order).
+        let mut rev_offsets = vec![0usize; n + 1];
+        for &v in &fwd_dsts {
+            rev_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+        let mut cursor = rev_offsets.clone();
+        let mut rev_srcs = vec![0u32; fwd_dsts.len()];
+        let mut rev_probs = vec![0.0f64; fwd_dsts.len()];
+        for u in 0..n {
+            for e in fwd_offsets[u]..fwd_offsets[u + 1] {
+                let v = fwd_dsts[e] as usize;
+                let slot = cursor[v];
+                cursor[v] += 1;
+                rev_srcs[slot] = u as u32;
+                rev_probs[slot] = fwd_probs[e];
+            }
+        }
+
+        TransitionCsr {
+            model,
+            fwd_offsets,
+            fwd_dsts,
+            fwd_probs,
+            rev_offsets,
+            rev_srcs,
+            rev_probs,
+        }
+    }
+
+    /// The transition model the rows were materialised under.
+    pub fn model(&self) -> TransitionModel {
+        self.model
+    }
+
+    /// Total number of stored transition entries.
+    pub fn num_entries(&self) -> usize {
+        self.fwd_dsts.len()
+    }
+
+    /// Overlays freshly computed rows for `touched` sources, evaluated on
+    /// `view` (the counterfactual graph). Reverse rows of every destination
+    /// that appears in an old or new touched row are patched to match, so
+    /// the result is exactly `TransitionCsr::build(view, model)` up to row
+    /// ordering — at `O(Σ deg(touched))` cost instead of `O(E)`.
+    pub fn patched<'a, G: GraphView>(&'a self, view: &G, touched: &[NodeId]) -> PatchedCsr<'a> {
+        let mut fwd_patches: Vec<(u32, Vec<u32>, Vec<f64>)> = Vec::with_capacity(touched.len());
+        let mut row: Vec<(NodeId, f64)> = Vec::new();
+        for &u in touched {
+            transition_row_into(view, self.model, u, &mut row);
+            let dsts: Vec<u32> = row.iter().map(|&(v, _)| v.0).collect();
+            let probs: Vec<f64> = row.iter().map(|&(_, p)| p).collect();
+            fwd_patches.push((u.0, dsts, probs));
+        }
+        fwd_patches.sort_unstable_by_key(|&(u, _, _)| u);
+
+        // Destinations whose reverse row changes: union of the old and new
+        // rows of every touched source.
+        let mut affected: Vec<u32> = Vec::new();
+        for &(u, ref dsts, _) in &fwd_patches {
+            let (old_dsts, _) = self.forward_row(NodeId(u));
+            affected.extend_from_slice(old_dsts);
+            affected.extend_from_slice(dsts);
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        let touched_ids: Vec<u32> = fwd_patches.iter().map(|&(u, _, _)| u).collect();
+        let mut rev_patches: Vec<(u32, Vec<u32>, Vec<f64>)> = Vec::with_capacity(affected.len());
+        for &v in &affected {
+            let (srcs, probs) = self.reverse_row(NodeId(v));
+            let mut new_srcs: Vec<u32> = Vec::with_capacity(srcs.len());
+            let mut new_probs: Vec<f64> = Vec::with_capacity(probs.len());
+            for (&s, &p) in srcs.iter().zip(probs) {
+                if touched_ids.binary_search(&s).is_err() {
+                    new_srcs.push(s);
+                    new_probs.push(p);
+                }
+            }
+            for &(u, ref dsts, ref probs) in &fwd_patches {
+                if let Ok(i) = dsts.binary_search(&v) {
+                    new_srcs.push(u);
+                    new_probs.push(probs[i]);
+                }
+            }
+            rev_patches.push((v, new_srcs, new_probs));
+        }
+
+        PatchedCsr {
+            base: self,
+            fwd_patches,
+            rev_patches,
+        }
+    }
+}
+
+impl TransitionKernel for TransitionCsr {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.fwd_offsets.len() - 1
+    }
+
+    #[inline]
+    fn forward_row(&self, u: NodeId) -> (&[u32], &[f64]) {
+        let (s, e) = (self.fwd_offsets[u.index()], self.fwd_offsets[u.index() + 1]);
+        (&self.fwd_dsts[s..e], &self.fwd_probs[s..e])
+    }
+
+    #[inline]
+    fn reverse_row(&self, v: NodeId) -> (&[u32], &[f64]) {
+        let (s, e) = (self.rev_offsets[v.index()], self.rev_offsets[v.index() + 1]);
+        (&self.rev_srcs[s..e], &self.rev_probs[s..e])
+    }
+}
+
+/// A [`TransitionCsr`] with a few rows overridden — the transition matrix
+/// of a counterfactual `base ⊕ delta` graph. See [`TransitionCsr::patched`].
+pub struct PatchedCsr<'a> {
+    base: &'a TransitionCsr,
+    /// `(node, dsts, probs)` sorted by node; dsts sorted ascending.
+    fwd_patches: Vec<(u32, Vec<u32>, Vec<f64>)>,
+    /// `(node, srcs, probs)` sorted by node.
+    rev_patches: Vec<(u32, Vec<u32>, Vec<f64>)>,
+}
+
+impl PatchedCsr<'_> {
+    /// The unpatched base kernel.
+    pub fn base(&self) -> &TransitionCsr {
+        self.base
+    }
+
+    /// Number of overridden forward rows.
+    pub fn num_patched_rows(&self) -> usize {
+        self.fwd_patches.len()
+    }
+}
+
+#[inline]
+fn lookup(patches: &[(u32, Vec<u32>, Vec<f64>)], n: u32) -> Option<(&[u32], &[f64])> {
+    patches
+        .binary_search_by_key(&n, |&(u, _, _)| u)
+        .ok()
+        .map(|i| (&patches[i].1[..], &patches[i].2[..]))
+}
+
+impl TransitionKernel for PatchedCsr<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    #[inline]
+    fn forward_row(&self, u: NodeId) -> (&[u32], &[f64]) {
+        lookup(&self.fwd_patches, u.0).unwrap_or_else(|| self.base.forward_row(u))
+    }
+
+    #[inline]
+    fn reverse_row(&self, v: NodeId) -> (&[u32], &[f64]) {
+        lookup(&self.rev_patches, v.0).unwrap_or_else(|| self.base.reverse_row(v))
+    }
+}
+
+impl<K: TransitionKernel + ?Sized> TransitionKernel for &K {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn forward_row(&self, u: NodeId) -> (&[u32], &[f64]) {
+        (**self).forward_row(u)
+    }
+    fn reverse_row(&self, v: NodeId) -> (&[u32], &[f64]) {
+        (**self).reverse_row(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::transition_row;
+    use emigre_hin::{EdgeKey, GraphDelta, GraphView, Hin};
+
+    fn sample_graph() -> Hin {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let e1 = g.registry_mut().edge_type("a");
+        let e2 = g.registry_mut().edge_type("b");
+        let nodes: Vec<_> = (0..6).map(|_| g.add_node(nt, None)).collect();
+        for i in 0..6usize {
+            g.add_edge(nodes[i], nodes[(i + 1) % 6], e1, 1.0 + i as f64)
+                .unwrap();
+            g.add_edge(nodes[i], nodes[(i + 2) % 6], e1, 2.0).unwrap();
+            // Parallel typed edge to exercise merging.
+            g.add_edge(nodes[i], nodes[(i + 1) % 6], e2, 0.5).unwrap();
+        }
+        g
+    }
+
+    fn model() -> TransitionModel {
+        TransitionModel::RecWalk { beta: 0.5 }
+    }
+
+    #[test]
+    fn forward_rows_match_transition_row() {
+        let g = sample_graph();
+        let csr = TransitionCsr::build(&g, model());
+        for u in 0..g.num_nodes() as u32 {
+            let expect = transition_row(&g, model(), NodeId(u));
+            let (dsts, probs) = csr.forward_row(NodeId(u));
+            assert_eq!(dsts.len(), expect.len());
+            for (i, &(v, p)) in expect.iter().enumerate() {
+                assert_eq!(dsts[i], v.0);
+                assert!((probs[i] - p).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_rows_are_exact_transpose() {
+        let g = sample_graph();
+        let csr = TransitionCsr::build(&g, model());
+        let n = g.num_nodes();
+        let mut total = 0usize;
+        for v in 0..n as u32 {
+            let (srcs, probs) = csr.reverse_row(NodeId(v));
+            total += srcs.len();
+            for (&u, &p) in srcs.iter().zip(probs) {
+                let (dsts, fprobs) = csr.forward_row(NodeId(u));
+                let i = dsts.binary_search(&v).expect("forward entry exists");
+                assert_eq!(fprobs[i].to_bits(), p.to_bits());
+            }
+        }
+        assert_eq!(total, csr.num_entries());
+    }
+
+    #[test]
+    fn patched_rows_match_full_rebuild_on_overlay() {
+        let g = sample_graph();
+        let et = g.registry().find_edge_type("a").unwrap();
+        let csr = TransitionCsr::build(&g, model());
+
+        let mut d = GraphDelta::new();
+        d.remove_edge(EdgeKey::new(NodeId(0), NodeId(1), et));
+        d.add_edge(EdgeKey::new(NodeId(0), NodeId(4), et), 3.0);
+        d.add_edge(EdgeKey::new(NodeId(3), NodeId(0), et), 1.5);
+        let view = d.overlay(&g);
+
+        let patched = csr.patched(&view, &d.touched_sources());
+        let rebuilt = TransitionCsr::build(&view, model());
+        for u in 0..g.num_nodes() as u32 {
+            let (pd, pp) = patched.forward_row(NodeId(u));
+            let (rd, rp) = rebuilt.forward_row(NodeId(u));
+            assert_eq!(pd, rd, "forward dsts differ at {u}");
+            for (a, b) in pp.iter().zip(rp) {
+                assert!((a - b).abs() < 1e-15);
+            }
+            // Reverse rows may list sources in a different order; compare
+            // as sorted (src, prob) multisets.
+            let (ps, ppr) = patched.reverse_row(NodeId(u));
+            let (rs, rpr) = rebuilt.reverse_row(NodeId(u));
+            let mut a: Vec<(u32, u64)> = ps
+                .iter()
+                .zip(ppr)
+                .map(|(&s, &p)| (s, p.to_bits()))
+                .collect();
+            let mut b: Vec<(u32, u64)> = rs
+                .iter()
+                .zip(rpr)
+                .map(|(&s, &p)| (s, p.to_bits()))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a.len(), b.len(), "reverse row size differs at {u}");
+            for ((sa, pa), (sb, pb)) in a.iter().zip(&b) {
+                assert_eq!(sa, sb);
+                assert!((f64::from_bits(*pa) - f64::from_bits(*pb)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn patched_with_no_touched_rows_is_identity() {
+        let g = sample_graph();
+        let csr = TransitionCsr::build(&g, model());
+        let patched = csr.patched(&g, &[]);
+        assert_eq!(patched.num_patched_rows(), 0);
+        let (d0, _) = csr.forward_row(NodeId(2));
+        let (d1, _) = patched.forward_row(NodeId(2));
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn dangling_node_has_empty_rows() {
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let et = g.registry_mut().edge_type("e");
+        let a = g.add_node(nt, None);
+        let b = g.add_node(nt, None);
+        g.add_edge(a, b, et, 1.0).unwrap();
+        let csr = TransitionCsr::build(&g, model());
+        let (dsts, _) = csr.forward_row(b);
+        assert!(dsts.is_empty());
+        let (srcs, _) = csr.reverse_row(a);
+        assert!(srcs.is_empty());
+    }
+}

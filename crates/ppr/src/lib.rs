@@ -19,6 +19,12 @@
 //!   engine Zhang et al. pair with reverse push;
 //! * [`transition`] — the random-walk transition models (weighted, uniform,
 //!   and the RecWalk-style β-mix the paper configures with β = 0.5);
+//! * [`kernel`] — flat-CSR transition snapshots ([`kernel::TransitionCsr`])
+//!   with delta-aware row patching ([`kernel::PatchedCsr`]), the fast path
+//!   of every push loop;
+//! * [`workspace`] — reusable transactional push state
+//!   ([`workspace::PushWorkspace`]) making the counterfactual CHECK free of
+//!   per-call `O(n)` allocations;
 //! * [`topk`] — deterministic top-k extraction with exclusion sets.
 //!
 //! All engines are generic over [`emigre_hin::GraphView`], so they run
@@ -28,16 +34,20 @@
 pub mod config;
 pub mod dynamic;
 pub mod forward;
+pub mod kernel;
 pub mod monte_carlo;
 pub mod power;
 pub mod reverse;
 pub mod topk;
 pub mod transition;
+pub mod workspace;
 
 pub use config::PprConfig;
 pub use forward::ForwardPush;
+pub use kernel::{PatchedCsr, TransitionCsr, TransitionKernel};
 pub use monte_carlo::ppr_monte_carlo;
 pub use power::ppr_power;
 pub use reverse::ReversePush;
 pub use topk::{rank_of, top_k};
-pub use transition::{transition_row, TransitionModel};
+pub use transition::{transition_row, transition_row_into, TransitionModel};
+pub use workspace::PushWorkspace;

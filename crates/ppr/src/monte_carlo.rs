@@ -104,6 +104,7 @@ fn step<G: GraphView, R: Rng>(g: &G, cfg: &PprConfig, at: NodeId, rng: &mut R) -
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index parallel arrays by node id
 mod tests {
     use super::*;
     use crate::power::ppr_power;

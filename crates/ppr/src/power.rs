@@ -22,11 +22,7 @@ pub fn ppr_power<G: GraphView>(g: &G, cfg: &PprConfig, seed: NodeId) -> Vec<f64>
 /// Power iteration with an arbitrary seed distribution (pairs must sum
 /// to 1 for a probabilistic interpretation, but any finite distribution is
 /// accepted — linearity makes the result meaningful either way).
-pub fn ppr_power_seeded<G: GraphView>(
-    g: &G,
-    cfg: &PprConfig,
-    seeds: &[(NodeId, f64)],
-) -> Vec<f64> {
+pub fn ppr_power_seeded<G: GraphView>(g: &G, cfg: &PprConfig, seeds: &[(NodeId, f64)]) -> Vec<f64> {
     cfg.validate();
     let n = g.num_nodes();
     let mut teleport = vec![0.0; n];

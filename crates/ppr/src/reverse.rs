@@ -16,6 +16,7 @@
 //! rooted at `WNI`.
 
 use crate::config::PprConfig;
+use crate::kernel::TransitionKernel;
 use emigre_hin::{GraphView, NodeId};
 use std::collections::VecDeque;
 
@@ -88,6 +89,67 @@ impl ReversePush {
         }
     }
 
+    /// Runs RLP towards `target` over a precomputed transition kernel.
+    ///
+    /// The generic loop recomputes each in-neighbour's out-degree and
+    /// weight sum for *every* edge visited; the kernel's reverse CSR has
+    /// all `W(u, v)` entries materialised, so the inner loop is a flat
+    /// slice walk.
+    pub fn compute_kernel<K: TransitionKernel>(
+        kernel: &K,
+        cfg: &PprConfig,
+        target: NodeId,
+    ) -> Self {
+        cfg.validate();
+        let n = kernel.num_nodes();
+        let mut state = ReversePush {
+            target,
+            estimates: vec![0.0; n],
+            residuals: vec![0.0; n],
+            pushes: 0,
+        };
+        state.residuals[target.index()] = 1.0;
+        state.push_until_converged_kernel(kernel, cfg);
+        state
+    }
+
+    /// [`Self::push_until_converged`] over a precomputed transition kernel.
+    ///
+    /// Uses the same sweep schedule as the forward kernel loop: whole-array
+    /// Gauss–Seidel passes over the reverse CSR until no residual exceeds
+    /// ε. Push order does not affect the Eq. (4) invariant or the ε
+    /// guarantee, and sequential row access beats the FIFO queue's
+    /// random-order traversal.
+    pub fn push_until_converged_kernel<K: TransitionKernel>(
+        &mut self,
+        kernel: &K,
+        cfg: &PprConfig,
+    ) {
+        let eps = cfg.epsilon;
+        let n = self.residuals.len();
+        loop {
+            let mut any = false;
+            for v in 0..n {
+                let r = self.residuals[v];
+                if r.abs() <= eps {
+                    continue;
+                }
+                any = true;
+                self.residuals[v] = 0.0;
+                self.estimates[v] += cfg.alpha * r;
+                self.pushes += 1;
+                let spread = (1.0 - cfg.alpha) * r;
+                let (srcs, probs) = kernel.reverse_row(NodeId(v as u32));
+                for (&u, &p) in srcs.iter().zip(probs) {
+                    self.residuals[u as usize] += spread * p;
+                }
+            }
+            if !any {
+                return;
+            }
+        }
+    }
+
     /// Estimated `PPR(s, target)`.
     #[inline]
     pub fn estimate(&self, s: NodeId) -> f64 {
@@ -153,6 +215,7 @@ impl ReversePush {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index parallel arrays by node id
 mod tests {
     use super::*;
     use crate::power::ppr_power;

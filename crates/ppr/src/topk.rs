@@ -78,10 +78,7 @@ mod tests {
     fn ties_break_by_node_id() {
         let scores = vec![0.5, 0.5, 0.5, 0.1];
         let top = top_k(&scores, (0..4).map(n), 2);
-        assert_eq!(
-            top.iter().map(|(x, _)| x.0).collect::<Vec<_>>(),
-            vec![0, 1]
-        );
+        assert_eq!(top.iter().map(|(x, _)| x.0).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]
@@ -119,7 +116,8 @@ mod tests {
                 (x >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect();
-        let mut full: Vec<(NodeId, f64)> = (0..200u32).map(|i| (n(i), scores[i as usize])).collect();
+        let mut full: Vec<(NodeId, f64)> =
+            (0..200u32).map(|i| (n(i), scores[i as usize])).collect();
         full.sort_by(score_order);
         let top = top_k(&scores, (0..200).map(n), 17);
         assert_eq!(top, full[..17].to_vec());

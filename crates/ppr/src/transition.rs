@@ -62,18 +62,47 @@ impl TransitionModel {
     }
 }
 
-/// Materialises one transition row as `(destination, probability)` pairs.
-/// Parallel edges to the same destination are merged.
-pub fn transition_row<G: GraphView>(g: &G, model: TransitionModel, u: NodeId) -> Vec<(NodeId, f64)> {
-    let mut row: Vec<(NodeId, f64)> = Vec::with_capacity(g.out_degree(u));
-    model.for_each_probability(g, u, |v, p| {
-        if let Some(entry) = row.iter_mut().find(|(n, _)| *n == v) {
-            entry.1 += p;
-        } else {
-            row.push((v, p));
-        }
-    });
+/// Materialises one transition row as `(destination, probability)` pairs,
+/// sorted by destination id. Parallel edges to the same destination are
+/// merged.
+pub fn transition_row<G: GraphView>(
+    g: &G,
+    model: TransitionModel,
+    u: NodeId,
+) -> Vec<(NodeId, f64)> {
+    let mut row = Vec::new();
+    transition_row_into(g, model, u, &mut row);
     row
+}
+
+/// [`transition_row`] into a caller-provided buffer, so bulk row
+/// materialisation (e.g. [`crate::kernel::TransitionCsr`]) does not allocate
+/// per row. The buffer is cleared first; on return it holds the merged row
+/// sorted by destination id.
+///
+/// Merging is sort-and-merge, `O(deg·log deg)` — a high-degree node with
+/// many parallel typed edges used to pay `O(deg²)` in a linear-scan merge.
+pub fn transition_row_into<G: GraphView>(
+    g: &G,
+    model: TransitionModel,
+    u: NodeId,
+    row: &mut Vec<(NodeId, f64)>,
+) {
+    row.clear();
+    model.for_each_probability(g, u, |v, p| row.push((v, p)));
+    if row.len() > 1 {
+        row.sort_unstable_by_key(|&(n, _)| n.0);
+        let mut w = 0usize;
+        for i in 1..row.len() {
+            if row[i].0 == row[w].0 {
+                row[w].1 += row[i].1;
+            } else {
+                w += 1;
+                row[w] = row[i];
+            }
+        }
+        row.truncate(w + 1);
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +178,42 @@ mod tests {
         let (g, _, leaves) = star();
         let row = transition_row(&g, TransitionModel::Weighted, leaves[0]);
         assert!(row.is_empty());
+    }
+
+    #[test]
+    fn high_degree_parallel_edges_merge_to_sorted_stochastic_row() {
+        // A hub with many parallel typed edges per neighbour: the merged row
+        // must have one entry per distinct neighbour, sorted by id, summing
+        // to 1. (This shape made the old linear-scan merge quadratic.)
+        let mut g = Hin::new();
+        let nt = g.registry_mut().node_type("n");
+        let etypes: Vec<_> = (0..8)
+            .map(|i| g.registry_mut().edge_type(&format!("e{i}")))
+            .collect();
+        let hub = g.add_node(nt, None);
+        let neighbours: Vec<_> = (0..200).map(|_| g.add_node(nt, None)).collect();
+        for (i, &v) in neighbours.iter().enumerate() {
+            for (j, &et) in etypes.iter().enumerate() {
+                g.add_edge(hub, v, et, 1.0 + ((i * 8 + j) % 5) as f64)
+                    .unwrap();
+            }
+        }
+        let row = transition_row(&g, TransitionModel::RecWalk { beta: 0.5 }, hub);
+        assert_eq!(row.len(), neighbours.len());
+        assert!(row.windows(2).all(|w| w[0].0 .0 < w[1].0 .0), "row sorted");
+        assert!((row_sum(&row) - 1.0).abs() < 1e-9);
+        // Spot-check one merged entry against a direct sum over its edges.
+        let target = neighbours[3];
+        let deg = g.out_degree(hub);
+        let wsum = g.out_weight_sum(hub);
+        let mut expect = 0.0;
+        g.for_each_out(hub, |v, _, w| {
+            if v == target {
+                expect += TransitionModel::RecWalk { beta: 0.5 }.edge_probability(w, wsum, deg);
+            }
+        });
+        let got = row.iter().find(|(n, _)| *n == target).unwrap().1;
+        assert!((got - expect).abs() < 1e-12);
     }
 
     #[test]

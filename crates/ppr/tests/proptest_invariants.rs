@@ -3,6 +3,8 @@
 //! with exact power iteration, and correctness of the dynamic residual
 //! repair under random edge edits.
 
+#![allow(clippy::needless_range_loop)] // properties index parallel arrays by node id
+
 use emigre_hin::{EdgeKey, GraphDelta, Hin, NodeId};
 use emigre_ppr::{ppr_power, ForwardPush, PprConfig, ReversePush, TransitionModel};
 use proptest::prelude::*;

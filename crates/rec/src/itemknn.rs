@@ -72,8 +72,8 @@ impl ItemKnn {
         // Cosine similarity and top-k truncation.
         let mut neighbours: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
         for (&(a, b), &c) in &co {
-            let sim = c as f64
-                / ((item_degree[&a] as f64).sqrt() * (item_degree[&b] as f64).sqrt());
+            let sim =
+                c as f64 / ((item_degree[&a] as f64).sqrt() * (item_degree[&b] as f64).sqrt());
             neighbours.entry(a).or_default().push((b, sim));
             neighbours.entry(b).or_default().push((a, sim));
         }
@@ -127,9 +127,7 @@ impl Recommender for ItemKnn {
         });
         (0..g.num_nodes() as u32)
             .map(NodeId)
-            .filter(|&n| {
-                n != user && g.node_type(n) == self.item_type && !interacted.contains(&n)
-            })
+            .filter(|&n| n != user && g.node_type(n) == self.item_type && !interacted.contains(&n))
             .collect()
     }
 
@@ -157,7 +155,9 @@ mod tests {
         let user_t = g.registry_mut().node_type("user");
         let item_t = g.registry_mut().node_type("item");
         let rated = g.registry_mut().edge_type("rated");
-        let users: Vec<_> = (0..3).map(|i| g.add_node(user_t, Some(&format!("u{i}")))).collect();
+        let users: Vec<_> = (0..3)
+            .map(|i| g.add_node(user_t, Some(&format!("u{i}"))))
+            .collect();
         let items: Vec<_> = (0..3)
             .map(|i| g.add_node(item_t, Some(&format!("i{i}"))))
             .collect();
@@ -165,8 +165,10 @@ mod tests {
             g.add_edge_bidirectional(u, items[0], rated, 1.0).unwrap();
             g.add_edge_bidirectional(u, items[1], rated, 1.0).unwrap();
         }
-        g.add_edge_bidirectional(users[2], items[0], rated, 1.0).unwrap();
-        g.add_edge_bidirectional(users[2], items[2], rated, 1.0).unwrap();
+        g.add_edge_bidirectional(users[2], items[0], rated, 1.0)
+            .unwrap();
+        g.add_edge_bidirectional(users[2], items[2], rated, 1.0)
+            .unwrap();
         (g, user_t, item_t, users, items)
     }
 
@@ -216,7 +218,8 @@ mod tests {
         // A viewed-only co-interaction must be invisible when fitting on
         // "rated" only.
         let extra = g.add_node(item_t, Some("extra"));
-        g.add_edge_bidirectional(users[0], extra, viewed, 1.0).unwrap();
+        g.add_edge_bidirectional(users[0], extra, viewed, 1.0)
+            .unwrap();
         let rated = g.registry().find_edge_type("rated").unwrap();
         let knn = ItemKnn::fit(&g, user_t, item_t, vec![rated], 10);
         assert!(knn.neighbours_of(extra).is_empty());

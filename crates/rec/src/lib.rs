@@ -18,8 +18,8 @@
 pub mod itemknn;
 pub mod list;
 pub mod popularity;
-pub mod recwalk;
 pub mod ppr_rec;
+pub mod recwalk;
 
 pub use itemknn::ItemKnn;
 pub use list::RecList;

@@ -41,7 +41,10 @@ impl RecList {
 
     /// 1-based rank of `item`, if present in the list.
     pub fn rank_of(&self, item: NodeId) -> Option<usize> {
-        self.entries.iter().position(|(n, _)| *n == item).map(|p| p + 1)
+        self.entries
+            .iter()
+            .position(|(n, _)| *n == item)
+            .map(|p| p + 1)
     }
 
     /// Score of `item`, if present in the list.

@@ -62,9 +62,7 @@ impl Recommender for PopularityRecommender {
         });
         (0..g.num_nodes() as u32)
             .map(NodeId)
-            .filter(|&n| {
-                n != user && g.node_type(n) == self.item_type && !interacted.contains(&n)
-            })
+            .filter(|&n| n != user && g.node_type(n) == self.item_type && !interacted.contains(&n))
             .collect()
     }
 }

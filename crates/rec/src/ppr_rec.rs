@@ -87,9 +87,7 @@ impl Recommender for PprRecommender {
     fn scores<G: GraphView>(&self, g: &G, user: NodeId) -> Vec<f64> {
         match self.config.engine {
             ScoreEngine::Power => ppr_power(g, &self.config.ppr, user),
-            ScoreEngine::ForwardPush => {
-                ForwardPush::compute(g, &self.config.ppr, user).estimates
-            }
+            ScoreEngine::ForwardPush => ForwardPush::compute(g, &self.config.ppr, user).estimates,
         }
     }
 

@@ -31,7 +31,12 @@ pub const ITEM_MODEL_EDGE: &str = "item-model";
 /// Items with no kNN neighbours (or no structural edges) keep their
 /// original row un-blended — the walk must stay well-defined everywhere.
 /// Returns the new graph and the interned id of the item-model edge type.
-pub fn recwalk_graph(g: &Hin, knn: &ItemKnn, item_type: NodeTypeId, beta: f64) -> (Hin, EdgeTypeId) {
+pub fn recwalk_graph(
+    g: &Hin,
+    knn: &ItemKnn,
+    item_type: NodeTypeId,
+    beta: f64,
+) -> (Hin, EdgeTypeId) {
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut out = Hin::with_registry(g.registry().clone());
     let model_edge = out.registry_mut().edge_type(ITEM_MODEL_EDGE);
@@ -39,9 +44,8 @@ pub fn recwalk_graph(g: &Hin, knn: &ItemKnn, item_type: NodeTypeId, beta: f64) -
         out.add_node(g.node_type(n), g.label(n));
     }
     for n in g.node_ids() {
-        let is_blended_item = g.node_type(n) == item_type
-            && !knn.neighbours_of(n).is_empty()
-            && g.out_degree(n) > 0;
+        let is_blended_item =
+            g.node_type(n) == item_type && !knn.neighbours_of(n).is_empty() && g.out_degree(n) > 0;
         if !is_blended_item {
             g.for_each_out(n, |v, t, w| {
                 out.add_edge(n, v, t, w).expect("copy of a valid edge");
@@ -102,12 +106,18 @@ mod tests {
         let rated = g.registry_mut().edge_type("rated");
         let users: Vec<_> = (0..3).map(|_| g.add_node(user_t, None)).collect();
         let items: Vec<_> = (0..4).map(|_| g.add_node(item_t, None)).collect();
-        g.add_edge_bidirectional(users[0], items[0], rated, 1.0).unwrap();
-        g.add_edge_bidirectional(users[0], items[1], rated, 1.0).unwrap();
-        g.add_edge_bidirectional(users[1], items[0], rated, 1.0).unwrap();
-        g.add_edge_bidirectional(users[1], items[1], rated, 1.0).unwrap();
-        g.add_edge_bidirectional(users[2], items[1], rated, 1.0).unwrap();
-        g.add_edge_bidirectional(users[2], items[2], rated, 1.0).unwrap();
+        g.add_edge_bidirectional(users[0], items[0], rated, 1.0)
+            .unwrap();
+        g.add_edge_bidirectional(users[0], items[1], rated, 1.0)
+            .unwrap();
+        g.add_edge_bidirectional(users[1], items[0], rated, 1.0)
+            .unwrap();
+        g.add_edge_bidirectional(users[1], items[1], rated, 1.0)
+            .unwrap();
+        g.add_edge_bidirectional(users[2], items[1], rated, 1.0)
+            .unwrap();
+        g.add_edge_bidirectional(users[2], items[2], rated, 1.0)
+            .unwrap();
         (g, user_t, item_t, users, items)
     }
 

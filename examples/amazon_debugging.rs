@@ -50,7 +50,11 @@ fn main() {
 
     println!("debugging {}:", g.display_name(user));
     for (i, (item, score)) in list.entries().iter().enumerate() {
-        println!("  {:>2}. {:<12} PPR {score:.5}", i + 1, g.display_name(*item));
+        println!(
+            "  {:>2}. {:<12} PPR {score:.5}",
+            i + 1,
+            g.display_name(*item)
+        );
     }
     let wni = list.entries()[4].0; // the rank-5 item
     println!(

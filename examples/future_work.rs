@@ -32,8 +32,14 @@ fn main() {
         .find(|&n| g.label(n) == Some("Fantasy"))
         .expect("fantasy category exists");
     println!("\ncategory question: why nothing from the Fantasy shelf?");
-    match group::explain_category(&explainer, g, ex.paul, fantasy, ex.belongs_to, Method::AddPowerset)
-    {
+    match group::explain_category(
+        &explainer,
+        g,
+        ex.paul,
+        fantasy,
+        ex.belongs_to,
+        Method::AddPowerset,
+    ) {
         Ok(res) => {
             println!(
                 "  promoting {}: {}",

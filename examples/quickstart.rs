@@ -42,7 +42,11 @@ fn main() {
     let list = recommender.recommend(&g, me, 5);
     println!("my recommendations:");
     for (i, (item, score)) in list.entries().iter().enumerate() {
-        println!("  {}. {:<14} (PPR {score:.4})", i + 1, g.display_name(*item));
+        println!(
+            "  {}. {:<14} (PPR {score:.4})",
+            i + 1,
+            g.display_name(*item)
+        );
     }
 
     // 4. Why not Solaris?

@@ -41,8 +41,10 @@ fn build() -> (Hin, NodeId, NodeId, EdgeTypeId) {
 fn main() {
     let (g, me, target, listened) = build();
     let ppr = PprConfig::default().with_transition(TransitionModel::Weighted);
-    let config = EmigreConfig::new(RecConfig::new(g.registry().find_node_type("item").unwrap())
-        .with_ppr(ppr), listened);
+    let config = EmigreConfig::new(
+        RecConfig::new(g.registry().find_node_type("item").unwrap()).with_ppr(ppr),
+        listened,
+    );
     let explainer = Explainer::new(config.clone());
 
     let recommender = PprRecommender::new(config.rec);

@@ -81,7 +81,10 @@ fn config_for(g: &Hin) -> Result<EmigreConfig, String> {
     let ppr = PprConfig::default()
         .with_transition(TransitionModel::Weighted)
         .with_epsilon(1e-8);
-    Ok(EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated))
+    Ok(EmigreConfig::new(
+        RecConfig::new(item_t).with_ppr(ppr),
+        rated,
+    ))
 }
 
 fn parse_method(args: &[String]) -> Result<Method, String> {
@@ -129,7 +132,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let rec = PprRecommender::new(cfg.rec);
             let list = rec.recommend(&g, user, top);
             if list.is_empty() {
-                println!("no recommendations for {} (no actions?)", g.display_name(user));
+                println!(
+                    "no recommendations for {} (no actions?)",
+                    g.display_name(user)
+                );
                 return Ok(());
             }
             println!("top-{} for {}:", list.len(), g.display_name(user));

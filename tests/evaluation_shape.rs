@@ -77,8 +77,7 @@ fn sweep_shape_matches_paper_findings() {
     // is over three orders of magnitude, ours only needs to be a factor.
     let row = |m: Method| t5.iter().find(|r| r.method == m).unwrap();
     assert!(
-        row(Method::AddIncremental).general
-            <= row(Method::AddExhaustive).general * 2.0 + 0.05,
+        row(Method::AddIncremental).general <= row(Method::AddExhaustive).general * 2.0 + 0.05,
         "add incremental {} vs add exhaustive {}",
         row(Method::AddIncremental).general,
         row(Method::AddExhaustive).general

@@ -1,0 +1,197 @@
+//! Property-based equivalence of the allocation-free CHECK engine: a
+//! long-lived [`ExplainContext`] whose `Tester` reuses one push workspace
+//! across many queries must decide every query exactly like a fresh
+//! context (fresh workspace, fresh candidate index) built for that query
+//! alone — for both the dynamic and the from-scratch CHECK variants.
+
+use emigre::core::tester::Tester;
+use emigre::prelude::*;
+use proptest::prelude::*;
+
+/// Random bidirectional user-item graph description.
+#[derive(Debug, Clone)]
+struct World {
+    users: usize,
+    items: usize,
+    interactions: Vec<(usize, usize, f64)>,
+    links: Vec<(usize, usize, f64)>,
+}
+
+fn world() -> impl Strategy<Value = World> {
+    (2usize..4, 4usize..9).prop_flat_map(|(users, items)| {
+        let interactions =
+            proptest::collection::vec((0..users, 0..items, 0.5f64..3.0), users..(users * 4));
+        let links = proptest::collection::vec((0..items, 0..items, 0.5f64..3.0), 2..(items * 2));
+        (interactions, links).prop_map(move |(interactions, links)| World {
+            users,
+            items,
+            interactions,
+            links,
+        })
+    })
+}
+
+fn build(w: &World) -> (Hin, Vec<NodeId>, Vec<NodeId>, EdgeTypeId) {
+    let mut g = Hin::new();
+    let user_t = g.registry_mut().node_type("user");
+    let item_t = g.registry_mut().node_type("item");
+    let rated = g.registry_mut().edge_type("rated");
+    let users: Vec<NodeId> = (0..w.users).map(|_| g.add_node(user_t, None)).collect();
+    let items: Vec<NodeId> = (0..w.items).map(|_| g.add_node(item_t, None)).collect();
+    for &(u, i, wt) in &w.interactions {
+        let _ = g.add_edge_bidirectional(users[u], items[i], rated, wt);
+    }
+    for &(a, b, wt) in &w.links {
+        if a != b {
+            let _ = g.add_edge_bidirectional(items[a], items[b], rated, wt);
+        }
+    }
+    (g, users, items, rated)
+}
+
+fn config(item_t: NodeTypeId, rated: EdgeTypeId, dynamic: bool) -> EmigreConfig {
+    let ppr = PprConfig {
+        transition: TransitionModel::Weighted,
+        epsilon: 1e-7,
+        ..PprConfig::default()
+    };
+    let mut cfg = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated);
+    cfg.dynamic_test = dynamic;
+    cfg
+}
+
+/// One query: which removal / addition to draw from the pools and whether
+/// to combine them (0 = remove only, 1 = add only, 2 = both, 3 = empty).
+type QueryPick = (prop::sample::Index, prop::sample::Index, usize);
+
+fn actions_for(pick: &QueryPick, removals: &[Action], additions: &[Action]) -> Vec<Action> {
+    let (r, a, kind) = pick;
+    let mut out = Vec::new();
+    if (*kind == 0 || *kind == 2) && !removals.is_empty() {
+        out.push(removals[r.index(removals.len())]);
+    }
+    if (*kind == 1 || *kind == 2) && !additions.is_empty() {
+        out.push(additions[a.index(additions.len())]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Workspace reuse is invisible: across a random sequence of queries,
+    /// the long-lived tester and a per-query fresh tester return identical
+    /// verdicts and identical counterfactual top-1s, in both CHECK modes.
+    #[test]
+    fn reused_workspace_tester_matches_fresh_state_tester(
+        w in world(),
+        user_pick in any::<prop::sample::Index>(),
+        wni_pick in any::<prop::sample::Index>(),
+        queries in proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0usize..4),
+            1..7,
+        ),
+    ) {
+        let (g, users, items, rated) = build(&w);
+        let item_t = g.node_type(items[0]);
+        let user = users[user_pick.index(users.len())];
+        let wni = items[wni_pick.index(items.len())];
+
+        for dynamic in [true, false] {
+            let cfg = config(item_t, rated, dynamic);
+            let Ok(ctx) = ExplainContext::build(&g, cfg.clone(), user, wni) else {
+                return Ok(()); // malformed question — nothing to compare
+            };
+            let tester = Tester::new(&ctx);
+
+            // Action pools: the user's own rated edges (removal candidates)
+            // and absent user→item edges (addition candidates).
+            let mut removals: Vec<Action> = Vec::new();
+            g.for_each_out(user, |dst, et, wt| {
+                if et == rated {
+                    removals.push(Action::remove(EdgeKey::new(user, dst, et), wt));
+                }
+            });
+            let additions: Vec<Action> = items
+                .iter()
+                .filter(|&&i| !g.has_edge(user, i, rated))
+                .map(|&i| Action::add(EdgeKey::new(user, i, rated), 1.0))
+                .collect();
+
+            for pick in &queries {
+                let actions = actions_for(pick, &removals, &additions);
+                // The fresh context has never seen any other query: its
+                // workspace and candidate index start from the base state.
+                let fresh_ctx = ExplainContext::build(&g, cfg.clone(), user, wni)
+                    .expect("question was valid above");
+                let fresh = Tester::new(&fresh_ctx);
+
+                let reused_verdict = tester.test(&actions);
+                let fresh_verdict = fresh.test(&actions);
+                prop_assert_eq!(
+                    reused_verdict,
+                    fresh_verdict,
+                    "verdict drift (dynamic={}, actions={:?})",
+                    dynamic,
+                    actions
+                );
+                prop_assert_eq!(
+                    tester.top1_after(&actions),
+                    fresh.top1_after(&actions),
+                    "top-1 drift (dynamic={}, actions={:?})",
+                    dynamic,
+                    actions
+                );
+            }
+        }
+    }
+
+    /// The dynamic (residual-repair) and from-scratch CHECK variants agree
+    /// on every verdict even when interleaved over the same query stream.
+    #[test]
+    fn dynamic_and_scratch_checks_agree(
+        w in world(),
+        user_pick in any::<prop::sample::Index>(),
+        wni_pick in any::<prop::sample::Index>(),
+        queries in proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0usize..4),
+            1..5,
+        ),
+    ) {
+        let (g, users, items, rated) = build(&w);
+        let item_t = g.node_type(items[0]);
+        let user = users[user_pick.index(users.len())];
+        let wni = items[wni_pick.index(items.len())];
+
+        let cfg_dyn = config(item_t, rated, true);
+        let cfg_scr = config(item_t, rated, false);
+        let Ok(ctx_dyn) = ExplainContext::build(&g, cfg_dyn, user, wni) else {
+            return Ok(());
+        };
+        let ctx_scr = ExplainContext::build(&g, cfg_scr, user, wni).expect("same question");
+        let t_dyn = Tester::new(&ctx_dyn);
+        let t_scr = Tester::new(&ctx_scr);
+
+        let mut removals: Vec<Action> = Vec::new();
+        g.for_each_out(user, |dst, et, wt| {
+            if et == rated {
+                removals.push(Action::remove(EdgeKey::new(user, dst, et), wt));
+            }
+        });
+        let additions: Vec<Action> = items
+            .iter()
+            .filter(|&&i| !g.has_edge(user, i, rated))
+            .map(|&i| Action::add(EdgeKey::new(user, i, rated), 1.0))
+            .collect();
+
+        for pick in &queries {
+            let actions = actions_for(pick, &removals, &additions);
+            prop_assert_eq!(
+                t_dyn.test(&actions),
+                t_scr.test(&actions),
+                "dynamic vs scratch verdict (actions={:?})",
+                actions
+            );
+        }
+    }
+}

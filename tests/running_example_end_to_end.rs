@@ -61,7 +61,10 @@ fn all_methods_agree_on_the_running_example() {
         if let Ok(exp) = Explainer::explain_with_context(&ctx, method) {
             if exp.verified {
                 let tester = emigre::core::tester::Tester::new(&ctx);
-                assert!(tester.test(&exp.actions), "{method} returned a broken explanation");
+                assert!(
+                    tester.test(&exp.actions),
+                    "{method} returned a broken explanation"
+                );
             }
             sizes.insert(method, exp.size());
         }

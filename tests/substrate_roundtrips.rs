@@ -42,9 +42,7 @@ fn monte_carlo_agrees_with_push_on_the_running_example() {
     // The two engines agree on Paul's distribution within sampling error,
     // and on the identity of the top recommendation in particular.
     let score = |v: &[f64], n: NodeId| v[n.index()];
-    assert!(
-        (score(&push.estimates, ex.python) - score(&mc.estimates, ex.python)).abs() < 0.01
-    );
+    assert!((score(&push.estimates, ex.python) - score(&mc.estimates, ex.python)).abs() < 0.01);
     assert!(
         score(&mc.estimates, ex.python) > score(&mc.estimates, ex.harry_potter),
         "MC must reproduce Python > Harry Potter for Paul"

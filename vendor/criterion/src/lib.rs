@@ -1,0 +1,269 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the harness API surface the workspace benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) and performs real
+//! wall-clock measurement: a warm-up phase sizes the per-sample iteration
+//! count, then `sample_size` timed samples are taken and the mean / median
+//! / min are printed. There are no statistical comparisons against saved
+//! baselines and no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to `Bencher::iter`.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// One named collection of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let settings = Settings {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        self.criterion.run_one(&label, settings, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    default: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default: Settings {
+                sample_size: 10,
+                measurement_time: Duration::from_secs(2),
+                warm_up_time: Duration::from_millis(500),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let default = self.default;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: default.sample_size,
+            measurement_time: default.measurement_time,
+            warm_up_time: default.warm_up_time,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let label = id.to_string();
+        let settings = self.default;
+        self.run_one(&label, settings, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, settings: Settings, mut f: F) {
+        // Warm-up: run single iterations until the warm-up budget is
+        // spent, to learn the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_budget: 1,
+        };
+        while warm_start.elapsed() < settings.warm_up_time {
+            warm.samples.clear();
+            f(&mut warm);
+            warm_iters += 1;
+        }
+        let per_iter = if warm_iters > 0 {
+            warm_start.elapsed() / warm_iters as u32
+        } else {
+            settings.warm_up_time
+        };
+
+        // Size the iteration count so all samples fit in measurement_time.
+        let per_sample_budget = settings.measurement_time / settings.sample_size as u32;
+        let iters_per_sample = (per_sample_budget.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u64::MAX as u128) as u64;
+
+        let mut bencher = Bencher {
+            iters_per_sample,
+            samples: Vec::with_capacity(settings.sample_size),
+            sample_budget: settings.sample_size,
+        };
+        f(&mut bencher);
+
+        let mut per_iter_times: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / iters_per_sample as f64)
+            .collect();
+        if per_iter_times.is_empty() {
+            println!("{label:<55} (no samples)");
+            return;
+        }
+        per_iter_times.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_times[per_iter_times.len() / 2];
+        let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+        let min = per_iter_times[0];
+        println!(
+            "{label:<55} median {:>12} mean {:>12} min {:>12}  ({} samples x {} iters)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(min),
+            per_iter_times.len(),
+            iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("1.0e-6").to_string(), "1.0e-6");
+    }
+}

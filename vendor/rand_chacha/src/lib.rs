@@ -1,0 +1,54 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! The workspace uses `ChaCha8Rng` purely as a *portable, deterministic*
+//! seedable generator; nothing depends on the actual ChaCha stream. This
+//! stub keeps the type name and determinism guarantee over the vendored
+//! `rand` core (xoshiro256++ seeded via splitmix64).
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable RNG with the `ChaCha8Rng` name.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    inner: rand::rngs::SmallRng,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Domain-separate from SmallRng so the two names yield distinct
+        // streams for the same seed.
+        ChaCha8Rng {
+            inner: rand::rngs::SmallRng::seed_from_u64(seed ^ 0xC4AC_4A8C_15EE_D5E5),
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+pub type ChaCha12Rng = ChaCha8Rng;
+pub type ChaCha20Rng = ChaCha8Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        // The Rng extension methods work through the wrapper.
+        assert!((0..10).contains(&a.gen_range(0..10)));
+    }
+}

@@ -1,0 +1,402 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls for the vendored `serde`
+//! stub's `Content` data model. The parser walks the raw token stream by
+//! hand (no `syn`/`quote` available offline) and supports exactly the item
+//! shapes this workspace defines: non-generic named-field structs, tuple
+//! structs, unit structs, and enums whose variants are unit, tuple, or
+//! struct-like. `#[serde(...)]` attributes are not supported and the
+//! workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits a token sequence into top-level comma-separated chunks, treating
+/// `<`/`>` pairs as nesting (generic arguments contain commas that must not
+/// split fields, e.g. `HashMap<String, f64>`). `(..)`, `[..]`, `{..}` are
+/// atomic `Group` trees already.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) from a chunk, returning the remaining tokens.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // skip '#'
+                if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+/// Field names of a named-field body (brace-group contents).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let rest = strip_attrs_and_vis(chunk);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes, doc comments, and visibility before the struct/enum
+    // keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1,
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(split_commas(&inner).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body for {name}, got {other:?}"),
+        };
+        let inner: Vec<TokenTree> = body.into_iter().collect();
+        let variants = split_commas(&inner)
+            .iter()
+            .filter_map(|chunk| {
+                let rest = strip_attrs_and_vis(chunk);
+                let vname = match rest.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let kind = match rest.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Named(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Tuple(split_commas(&inner).len())
+                    }
+                    _ => VariantKind::Unit,
+                };
+                Some(Variant { name: vname, kind })
+            })
+            .collect();
+        Shape::Enum(variants)
+    };
+    Item { name, shape }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::serialize(&self.{idx})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::serialize(f0)".to_owned()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Content::Seq(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), {payload})])",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         __c.get(\"{f}\").unwrap_or(&::serde::Content::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if __c.as_map().is_none() {{ \
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"map\", __c)); }} \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| {
+                    format!(
+                        "::serde::Deserialize::deserialize(__seq.get({idx}).unwrap_or(\
+                         &::serde::Content::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __seq = __c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", __c))?; \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            // Externally tagged, like real serde: unit variants are bare
+            // strings, payload variants are single-entry maps.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn})", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(__payload)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|idx| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(\
+                                         __pseq.get({idx}).unwrap_or(&::serde::Content::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __pseq = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"sequence\", __payload))?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(\
+                                         __payload.get(\"{f}\")\
+                                         .unwrap_or(&::serde::Content::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant {{__other}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant {{__other}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum\", __other)),\n\
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                tagged_arms = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__c: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
