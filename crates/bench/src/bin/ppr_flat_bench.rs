@@ -20,6 +20,7 @@ use emigre_core::explanation::actions_to_delta;
 use emigre_core::tester::{score_floor, Tester};
 use emigre_core::{Action, ExplainContext};
 use emigre_hin::{EdgeKey, GraphView, Hin, NodeId};
+use emigre_obs::{CounterSnapshot, ObsHandle};
 use emigre_ppr::{ForwardPush, ReversePush, TransitionCsr};
 use emigre_rec::RecList;
 use serde::Serialize;
@@ -81,6 +82,7 @@ fn legacy_check<G: GraphView>(ctx: &ExplainContext<'_, G>, actions: &[Action]) -
             estimates: vec![0.0; view.num_nodes()],
             residuals: vec![0.0; view.num_nodes()],
             pushes: 0,
+            drained: 0.0,
         };
         s.residuals[ctx.user.index()] = 1.0;
         s
@@ -136,6 +138,9 @@ struct Entry {
     baseline_us: f64,
     flat_us: f64,
     speedup: f64,
+    /// Op-counter delta of one `flat` call with observability enabled
+    /// (None for entries measured without instrumentation).
+    counters: Option<CounterSnapshot>,
 }
 
 #[derive(Serialize)]
@@ -147,6 +152,17 @@ struct Report {
 }
 
 fn entry(name: &str, items: usize, nodes: usize, baseline_us: f64, flat_us: f64) -> Entry {
+    entry_with_counters(name, items, nodes, baseline_us, flat_us, None)
+}
+
+fn entry_with_counters(
+    name: &str,
+    items: usize,
+    nodes: usize,
+    baseline_us: f64,
+    flat_us: f64,
+    counters: Option<CounterSnapshot>,
+) -> Entry {
     let e = Entry {
         name: name.to_string(),
         items,
@@ -154,11 +170,24 @@ fn entry(name: &str, items: usize, nodes: usize, baseline_us: f64, flat_us: f64)
         baseline_us,
         flat_us,
         speedup: baseline_us / flat_us,
+        counters,
     };
     println!(
         "{:>26} items={:<5} baseline {:>10.2} µs   flat {:>10.2} µs   speedup {:>5.2}x",
         e.name, e.items, e.baseline_us, e.flat_us, e.speedup
     );
+    if let Some(c) = &e.counters {
+        println!(
+            "{:>26} fwd={} rev={} rows={} checks={} hits={} mass={:.4}",
+            "",
+            c.forward_pushes,
+            c.reverse_pushes,
+            c.rows_patched,
+            c.checks,
+            c.candidate_index_hits,
+            c.residual_mass_drained
+        );
+    }
     e
 }
 
@@ -189,13 +218,30 @@ fn first_addition(g: &Hin, cfg: &emigre_core::EmigreConfig, user: NodeId, wni: N
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_ppr.json".into());
+    // `ppr_flat_bench [out.json] [--smoke] [--max-obs-overhead-pct P]`
+    // --smoke limits the sweep to the small graph (CI-friendly);
+    // --max-obs-overhead-pct makes the run fail when the obs-enabled CHECK
+    // is more than P percent slower than the uninstrumented one.
+    let mut out_path = "BENCH_ppr.json".to_string();
+    let mut smoke = false;
+    let mut max_obs_overhead_pct: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--max-obs-overhead-pct" => {
+                let v = args.next().expect("--max-obs-overhead-pct needs a value");
+                max_obs_overhead_pct = Some(v.parse().expect("numeric overhead percentage"));
+            }
+            other => out_path = other.to_string(),
+        }
+    }
     let epsilon = 1e-7;
     let mut entries = Vec::new();
+    let mut worst_obs_overhead_pct = f64::NEG_INFINITY;
 
-    for &items in &[1_000usize, 3_000] {
+    let sizes: &[usize] = if smoke { &[1_000] } else { &[1_000, 3_000] };
+    for &items in sizes {
         let w = world(items, epsilon);
         let g = &w.hin.graph;
         let n = g.num_nodes();
@@ -243,6 +289,31 @@ fn main() {
             std::hint::black_box(tester.test(&add));
         });
         entries.push(entry("check_add", items, n, chk_add_old, chk_add_new));
+
+        // Instrumentation cost: the same CHECK with an enabled ObsHandle
+        // (baseline = uninstrumented `chk_rm_new` from above). The counter
+        // delta of one call goes into the JSON so cost comparisons can be
+        // made in ops, not just microseconds.
+        let obs = ObsHandle::enabled();
+        let ctx_obs = ExplainContext::build_with_obs(g, w.cfg.clone(), user, wni, obs.clone())
+            .expect("valid scenario");
+        let tester_obs = Tester::new(&ctx_obs);
+        let before = obs.counters();
+        assert_eq!(tester_obs.test(&remove), tester.test(&remove));
+        let delta = obs.counters().delta(&before);
+        let chk_rm_obs = measure_us(4, || {
+            std::hint::black_box(tester_obs.test(&remove));
+        });
+        let overhead_pct = (chk_rm_obs / chk_rm_new - 1.0) * 100.0;
+        worst_obs_overhead_pct = worst_obs_overhead_pct.max(overhead_pct);
+        entries.push(entry_with_counters(
+            "check_remove_obs",
+            items,
+            n,
+            chk_rm_new,
+            chk_rm_obs,
+            Some(delta),
+        ));
     }
 
     let report = Report {
@@ -258,4 +329,11 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write(&out_path, json + "\n").expect("write report");
     println!("\nwrote {out_path}");
+    println!("worst obs-enabled CHECK overhead: {worst_obs_overhead_pct:+.2}%");
+    if let Some(limit) = max_obs_overhead_pct {
+        if worst_obs_overhead_pct > limit {
+            eprintln!("obs overhead {worst_obs_overhead_pct:.2}% exceeds limit {limit:.2}%");
+            std::process::exit(1);
+        }
+    }
 }

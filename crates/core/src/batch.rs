@@ -14,6 +14,7 @@ use crate::explanation::Explanation;
 use crate::failure::ExplainFailure;
 use crate::question::{QuestionError, WhyNotQuestion};
 use emigre_hin::{GraphView, NodeId};
+use emigre_obs::{ObsHandle, Op};
 use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use std::cell::RefCell;
@@ -29,11 +30,28 @@ pub fn batch_contexts<'g, G: GraphView>(
     user: NodeId,
     wnis: &[NodeId],
 ) -> Vec<Result<ExplainContext<'g, G>, QuestionError>> {
+    batch_contexts_with_obs(graph, cfg, user, wnis, ObsHandle::ambient())
+}
+
+/// [`batch_contexts`] with an explicit observability handle. The handle is
+/// shared by every produced context, so counters aggregate across the whole
+/// batch; the shared user push and `PPR(·, rec)` column are counted once,
+/// not once per question.
+pub fn batch_contexts_with_obs<'g, G: GraphView>(
+    graph: &'g G,
+    cfg: &EmigreConfig,
+    user: NodeId,
+    wnis: &[NodeId],
+    obs: ObsHandle,
+) -> Vec<Result<ExplainContext<'g, G>, QuestionError>> {
     cfg.validate();
+    let batch_span = obs.span("batch_setup");
     // Shared artefacts — identical to ExplainContext::build.
     let kernel = TransitionCsr::build(graph, cfg.rec.ppr.transition);
     let recommender = PprRecommender::new(cfg.rec);
     let user_push = ForwardPush::compute_kernel(&kernel, &cfg.rec.ppr, user);
+    obs.count(Op::ForwardPushes, user_push.pushes as u64);
+    obs.add_mass(user_push.drained);
     let floor = crate::tester::score_floor(cfg);
     let candidates = recommender
         .candidates(graph, user)
@@ -47,16 +65,25 @@ pub fn batch_contexts<'g, G: GraphView>(
             .collect();
     };
     let ppr_to_rec = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, rec);
+    obs.count(Op::ReversePushes, ppr_to_rec.pushes as u64);
+    obs.add_mass(ppr_to_rec.drained);
+    // Satellite of the shared artefacts: the candidate index only depends on
+    // the user, so build it once and clone the (override-free) base per
+    // question instead of rescanning the graph for every WNI.
+    let cand_base = CandidateIndex::build(graph, cfg.rec.item_type, user);
+    drop(batch_span);
 
     wnis.iter()
         .map(|&wni| {
             WhyNotQuestion::validate(graph, cfg, user, wni, Some(rec))?;
+            let _span = obs.span("context_build");
             let ppr_to_wni = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, wni);
+            obs.count(Op::ReversePushes, ppr_to_wni.pushes as u64);
+            obs.add_mass(ppr_to_wni.drained);
             let mut ws = PushWorkspace::new(graph.num_nodes());
             if cfg.dynamic_test {
                 ws.load_base(&user_push);
             }
-            let cand = CandidateIndex::build(graph, cfg.rec.item_type, user);
             Ok(ExplainContext {
                 graph,
                 cfg: cfg.clone(),
@@ -68,7 +95,11 @@ pub fn batch_contexts<'g, G: GraphView>(
                 ppr_to_rec: ppr_to_rec.clone(),
                 ppr_to_wni,
                 kernel: kernel.clone(),
-                check: RefCell::new(CheckState { ws, cand }),
+                check: RefCell::new(CheckState {
+                    ws,
+                    cand: cand_base.clone(),
+                }),
+                obs: obs.clone(),
             })
         })
         .collect()

@@ -37,6 +37,7 @@ pub fn brute_force<G: GraphView>(
 
     let mut enumerated: usize = 0;
     let mut budget_hit = capped;
+    let _test_loop = ctx.obs.span("test_loop");
     for size in 1..=n {
         if enumerated.saturating_add(binomial(n, size)) > ctx.cfg.max_enumerated_subsets {
             budget_hit = true;
@@ -56,6 +57,8 @@ pub fn brute_force<G: GraphView>(
                 })
                 .collect();
             if tester.test(&actions) {
+                ctx.obs
+                    .count(emigre_obs::Op::SubsetsEnumerated, enumerated as u64);
                 return Ok(Explanation {
                     mode: Some(Mode::Remove),
                     actions,
@@ -69,6 +72,8 @@ pub fn brute_force<G: GraphView>(
             break;
         }
     }
+    ctx.obs
+        .count(emigre_obs::Op::SubsetsEnumerated, enumerated as u64);
 
     Err(classify_failure(
         ctx,

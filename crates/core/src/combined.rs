@@ -46,11 +46,14 @@ pub fn combined<G: GraphView>(
     ctx: &ExplainContext<'_, G>,
     minimal: bool,
 ) -> Result<Explanation, ExplainFailure> {
+    let space_span = ctx.obs.span("search_space");
     let remove_space = remove_search_space(ctx);
     let add_space = add_search_space(ctx);
+    drop(space_span);
     let tau = remove_space.tau;
     let removable = remove_space.removable_actions;
 
+    let ranking_span = ctx.obs.span("candidate_ranking");
     let mut merged: Vec<MergedCandidate> = remove_space
         .candidates
         .iter()
@@ -75,6 +78,19 @@ pub fn combined<G: GraphView>(
             .expect("finite contributions")
             .then_with(|| a.candidate.node.cmp(&b.candidate.node))
     });
+    drop(ranking_span);
+    if ctx.obs.is_enabled() {
+        ctx.obs.trace_candidates(
+            "combined",
+            merged
+                .iter()
+                .map(|mc| emigre_obs::TraceCandidate {
+                    node: mc.candidate.node.0,
+                    contribution: mc.candidate.contribution,
+                })
+                .collect(),
+        );
+    }
 
     let tester = Tester::new(ctx);
     let result = if minimal {
@@ -114,13 +130,15 @@ fn incremental_pass<G: GraphView>(
     let mut tau = tau0;
     let slack = crate::search::tau_slack(tau0);
     let mut actions: Vec<Action> = Vec::new();
-    for mc in merged {
+    let _test_loop = ctx.obs.span("test_loop");
+    for (rank, mc) in merged.iter().enumerate() {
         if mc.candidate.contribution <= 0.0 {
             break;
         }
         actions.push(to_action(ctx.user, mc));
         tau -= mc.candidate.contribution;
         if tau <= slack {
+            ctx.obs.trace_crossing(rank as u64, tau);
             if tester.budget_exhausted() {
                 return None;
             }
@@ -150,12 +168,14 @@ fn powerset_pass<G: GraphView>(
         .take(ctx.cfg.max_subset_candidates)
         .collect();
     let mut enumerated = 0usize;
+    let _test_loop = ctx.obs.span("test_loop");
     for size in 1..=pool.len() {
         if enumerated.saturating_add(binomial(pool.len(), size)) > ctx.cfg.max_enumerated_subsets {
             return None;
         }
         for idx in Combinations::new(pool.len(), size) {
             enumerated += 1;
+            ctx.obs.count(emigre_obs::Op::SubsetsEnumerated, 1);
             let sum: f64 = idx.iter().map(|&i| pool[i].candidate.contribution).sum();
             if tau0 - sum > crate::search::tau_slack(tau0) {
                 continue;
@@ -163,6 +183,7 @@ fn powerset_pass<G: GraphView>(
             if tester.budget_exhausted() {
                 return None;
             }
+            ctx.obs.trace_crossing(enumerated as u64, tau0 - sum);
             let actions: Vec<Action> = idx.iter().map(|&i| to_action(ctx.user, pool[i])).collect();
             if tester.test(&actions) {
                 return Some(Explanation {

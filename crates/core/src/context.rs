@@ -14,6 +14,7 @@
 use crate::config::EmigreConfig;
 use crate::question::{QuestionError, WhyNotQuestion};
 use emigre_hin::{GraphDelta, GraphView, NodeId, NodeTypeId};
+use emigre_obs::{ObsHandle, Op};
 use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use std::cell::RefCell;
@@ -26,6 +27,11 @@ use std::cell::RefCell;
 /// candidate over the interacted list. The index is built once per
 /// question; counterfactual deltas overlay it transactionally
 /// ([`CandidateIndex::apply_delta`] / [`CandidateIndex::revert`]).
+///
+/// `Clone` copies the base index only: between transactions `overrides` is
+/// empty (apply/revert are balanced), which is the state batch builds
+/// share.
+#[derive(Clone)]
 pub struct CandidateIndex {
     /// Nodes of the recommendable item type, excluding the user.
     items: Vec<NodeId>,
@@ -132,6 +138,10 @@ pub struct ExplainContext<'g, G: GraphView> {
     pub kernel: TransitionCsr,
     /// Reusable CHECK scratch (push workspace + candidate index).
     pub(crate) check: RefCell<CheckState>,
+    /// Observability sink for everything computed through this context
+    /// (counters, spans, the per-question trace). Disabled by default;
+    /// see [`ExplainContext::build_with_obs`].
+    pub obs: ObsHandle,
 }
 
 impl<'g, G: GraphView> ExplainContext<'g, G> {
@@ -144,6 +154,20 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
         user: NodeId,
         wni: NodeId,
     ) -> Result<Self, QuestionError> {
+        Self::build_with_obs(graph, cfg, user, wni, ObsHandle::ambient())
+    }
+
+    /// [`ExplainContext::build`] with an explicit observability handle.
+    /// The context's pushes are tallied into it at build time, and every
+    /// CHECK through this context feeds the same sink.
+    pub fn build_with_obs(
+        graph: &'g G,
+        cfg: EmigreConfig,
+        user: NodeId,
+        wni: NodeId,
+        obs: ObsHandle,
+    ) -> Result<Self, QuestionError> {
+        let _span = obs.span("context_build");
         cfg.validate();
         // Cheap structural validation first (bounds, typing, interaction).
         WhyNotQuestion::validate(graph, &cfg, user, wni, None)?;
@@ -154,6 +178,8 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
 
         let recommender = PprRecommender::new(cfg.rec);
         let user_push = ForwardPush::compute_kernel(&kernel, &cfg.rec.ppr, user);
+        obs.count(Op::ForwardPushes, user_push.pushes as u64);
+        obs.add_mass(user_push.drained);
         // Same zero-score floor as the CHECK step (see
         // [`crate::tester::score_floor`]): vacuous candidates never enter
         // the target list.
@@ -169,6 +195,12 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
 
         let ppr_to_rec = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, rec);
         let ppr_to_wni = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, wni);
+        obs.count(
+            Op::ReversePushes,
+            (ppr_to_rec.pushes + ppr_to_wni.pushes) as u64,
+        );
+        obs.add_mass(ppr_to_rec.drained + ppr_to_wni.drained);
+        obs.trace_question(user.0, wni.0, rec.0);
 
         let mut ws = PushWorkspace::new(graph.num_nodes());
         if cfg.dynamic_test {
@@ -187,6 +219,7 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
             ppr_to_wni,
             kernel,
             check: RefCell::new(CheckState { ws, cand }),
+            obs,
         })
     }
 

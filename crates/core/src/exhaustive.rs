@@ -104,6 +104,7 @@ fn run<G: GraphView>(
     // One Reverse Local Push per target (this |T|-fold PPR work is what
     // makes Exhaustive the slowest method — Table 5). The column for `rec`
     // is already in the context.
+    let ranking_span = ctx.obs.span("candidate_ranking");
     let targets = ctx.targets();
     let pushes: Vec<ReversePush> = targets
         .iter()
@@ -111,7 +112,11 @@ fn run<G: GraphView>(
             if t == ctx.rec {
                 ctx.ppr_to_rec.clone()
             } else {
-                ReversePush::compute(ctx.graph, &ctx.cfg.rec.ppr, t)
+                let p = ReversePush::compute(ctx.graph, &ctx.cfg.rec.ppr, t);
+                ctx.obs
+                    .count(emigre_obs::Op::ReversePushes, p.pushes as u64);
+                ctx.obs.add_mass(p.drained);
+                p
             }
         })
         .collect();
@@ -127,12 +132,14 @@ fn run<G: GraphView>(
         })
         .collect();
     let threshold: Vec<f64> = pushes.iter().map(|p| target_threshold(ctx, p)).collect();
+    drop(ranking_span);
 
     let mut accepted: Vec<Vec<usize>> = Vec::new();
     let mut enumerated: usize = 0;
     let mut budget_hit = capped;
     let mut result: Option<Explanation> = None;
 
+    let test_loop_span = ctx.obs.span("test_loop");
     'sizes: for size in 1..=pool.len() {
         if enumerated.saturating_add(binomial(pool.len(), size)) > ctx.cfg.max_enumerated_subsets {
             budget_hit = true;
@@ -147,6 +154,17 @@ fn run<G: GraphView>(
             });
             if !qualifies {
                 continue;
+            }
+            if ctx.obs.is_enabled() {
+                // Binding margin: the smallest per-target surplus of the
+                // qualifying combination (how close τ was to not crossing).
+                let margin = (0..targets.len())
+                    .map(|ti| {
+                        let sum: f64 = idx.iter().map(|&i| contribution_matrix[i][ti]).sum();
+                        sum - threshold[ti]
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                ctx.obs.trace_crossing(enumerated as u64, -margin);
             }
             accepted.push(idx.clone());
             let actions: Vec<Action> = idx
@@ -187,6 +205,9 @@ fn run<G: GraphView>(
             }
         }
     }
+    drop(test_loop_span);
+    ctx.obs
+        .count(emigre_obs::Op::SubsetsEnumerated, enumerated as u64);
 
     let trace = ExhaustiveTrace {
         candidates: pool,

@@ -142,6 +142,19 @@ impl Explainer {
         ExplainContext::build(graph, self.cfg.clone(), user, wni)
     }
 
+    /// [`Explainer::context`] with an explicit observability handle; the
+    /// eval runner uses this to collect per-question counters, spans, and
+    /// traces.
+    pub fn context_with_obs<'g, G: GraphView>(
+        &self,
+        graph: &'g G,
+        user: NodeId,
+        wni: NodeId,
+        obs: emigre_obs::ObsHandle,
+    ) -> Result<ExplainContext<'g, G>, QuestionError> {
+        ExplainContext::build_with_obs(graph, self.cfg.clone(), user, wni, obs)
+    }
+
     /// One-shot API: builds the context and runs `method`.
     pub fn explain<G: GraphView>(
         &self,
@@ -161,17 +174,58 @@ impl Explainer {
         ctx: &ExplainContext<'_, G>,
         method: Method,
     ) -> Result<Explanation, ExplainFailure> {
-        match method {
-            Method::AddIncremental => incremental(ctx, &add_search_space(ctx)),
-            Method::AddPowerset => powerset(ctx, &add_search_space(ctx)),
-            Method::AddExhaustive => exhaustive(ctx, &add_search_space(ctx)),
-            Method::RemoveIncremental => incremental(ctx, &remove_search_space(ctx)),
-            Method::RemovePowerset => powerset(ctx, &remove_search_space(ctx)),
-            Method::RemoveExhaustive => exhaustive(ctx, &remove_search_space(ctx)),
-            Method::RemoveExhaustiveDirect => exhaustive_direct(ctx, &remove_search_space(ctx)),
-            Method::RemoveBruteForce => brute_force(ctx, &remove_search_space(ctx)),
+        let obs = &ctx.obs;
+        obs.trace_method(method.label());
+        let _method_span = obs.span(method.label());
+        // Builds the single-mode search space under its own span and
+        // records the ranked candidate list into the trace.
+        let space = |mode: Mode| {
+            let _s = obs.span("search_space");
+            let space = match mode {
+                Mode::Add => add_search_space(ctx),
+                Mode::Remove => remove_search_space(ctx),
+            };
+            Self::trace_space(ctx, &space);
+            space
+        };
+        let result = match method {
+            Method::AddIncremental => incremental(ctx, &space(Mode::Add)),
+            Method::AddPowerset => powerset(ctx, &space(Mode::Add)),
+            Method::AddExhaustive => exhaustive(ctx, &space(Mode::Add)),
+            Method::RemoveIncremental => incremental(ctx, &space(Mode::Remove)),
+            Method::RemovePowerset => powerset(ctx, &space(Mode::Remove)),
+            Method::RemoveExhaustive => exhaustive(ctx, &space(Mode::Remove)),
+            Method::RemoveExhaustiveDirect => exhaustive_direct(ctx, &space(Mode::Remove)),
+            Method::RemoveBruteForce => brute_force(ctx, &space(Mode::Remove)),
             Method::Combined => combined(ctx, false),
             Method::CombinedMinimal => combined(ctx, true),
+        };
+        if obs.is_enabled() {
+            match &result {
+                Ok(e) => {
+                    obs.trace_found(crate::explanation::actions_to_trace(&e.actions), e.verified)
+                }
+                Err(f) => obs.trace_failure(&f.reason.to_string()),
+            }
+        }
+        result
+    }
+
+    /// Records a search space's ranked candidate list into the trace.
+    pub(crate) fn trace_space<G: GraphView>(
+        ctx: &ExplainContext<'_, G>,
+        space: &crate::search::SearchSpace,
+    ) {
+        if ctx.obs.is_enabled() {
+            let cands = space
+                .candidates
+                .iter()
+                .map(|c| emigre_obs::TraceCandidate {
+                    node: c.node.0,
+                    contribution: c.contribution,
+                })
+                .collect();
+            ctx.obs.trace_candidates(&space.mode.to_string(), cands);
         }
     }
 }

@@ -36,6 +36,30 @@ pub struct Action {
 }
 
 impl Action {
+    /// The trace-file rendering of this action (raw ids, standalone JSON).
+    pub fn to_trace(&self) -> emigre_obs::TraceAction {
+        emigre_obs::TraceAction {
+            src: self.edge.src.0,
+            dst: self.edge.dst.0,
+            etype: u32::from(self.edge.etype.0),
+            weight: self.weight,
+            added: self.added,
+        }
+    }
+
+    /// Rebuilds an action from its trace rendering (for offline replay).
+    pub fn from_trace(t: &emigre_obs::TraceAction) -> Self {
+        Action {
+            edge: EdgeKey::new(
+                NodeId(t.src),
+                NodeId(t.dst),
+                emigre_hin::EdgeTypeId(t.etype as u16),
+            ),
+            weight: t.weight,
+            added: t.added,
+        }
+    }
+
     pub fn remove(edge: EdgeKey, weight: f64) -> Self {
         Action {
             edge,
@@ -138,6 +162,11 @@ pub fn actions_to_delta(actions: &[Action], cfg: &EmigreConfig) -> GraphDelta {
         }
     }
     d
+}
+
+/// Trace rendering of an action list (see [`Action::to_trace`]).
+pub fn actions_to_trace(actions: &[Action]) -> Vec<emigre_obs::TraceAction> {
+    actions.iter().map(Action::to_trace).collect()
 }
 
 fn join_names(names: &[String]) -> String {

@@ -29,7 +29,8 @@ pub fn incremental<G: GraphView>(
     let mut actions: Vec<Action> = Vec::new();
     let mut budget_hit = false;
 
-    for cand in &space.candidates {
+    let _test_loop = ctx.obs.span("test_loop");
+    for (rank, cand) in space.candidates.iter().enumerate() {
         // Candidates are sorted descending; once contributions stop being
         // positive, no further candidate can close the gap (paper line 7's
         // pruning).
@@ -43,6 +44,8 @@ pub fn incremental<G: GraphView>(
         });
         tau -= cand.contribution;
         if tau <= slack {
+            // τ crossed into CHECK territory at this candidate rank.
+            ctx.obs.trace_crossing(rank as u64, tau);
             if tester.budget_exhausted() {
                 budget_hit = true;
                 break;

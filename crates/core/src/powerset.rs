@@ -44,6 +44,7 @@ pub fn powerset<G: GraphView>(
     let mut enumerated: usize = 0;
     let mut budget_hit = capped;
 
+    let _test_loop = ctx.obs.span("test_loop");
     'sizes: for size in 1..=pool.len() {
         // Within a size, order subsets by descending combined contribution
         // (paper line 10). Materialising one size at a time keeps memory at
@@ -59,6 +60,8 @@ pub fn powerset<G: GraphView>(
             })
             .collect();
         enumerated += combos.len();
+        ctx.obs
+            .count(emigre_obs::Op::SubsetsEnumerated, combos.len() as u64);
         combos.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("contributions are finite")
@@ -76,6 +79,8 @@ pub fn powerset<G: GraphView>(
                 budget_hit = true;
                 break 'sizes;
             }
+            // This subset's combined contribution crossed τ: a CHECK fires.
+            ctx.obs.trace_crossing(enumerated as u64, space.tau - sum);
             let actions: Vec<Action> = idx
                 .iter()
                 .map(|&i| to_action(space.mode, ctx.user, pool[i]))

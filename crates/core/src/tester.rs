@@ -14,8 +14,9 @@
 //! from scratch.
 
 use crate::context::ExplainContext;
-use crate::explanation::{actions_to_delta, Action};
+use crate::explanation::{actions_to_delta, actions_to_trace, Action};
 use emigre_hin::{GraphView, NodeId};
+use emigre_obs::Op;
 use emigre_ppr::TransitionKernel;
 use emigre_rec::RecList;
 use std::cell::Cell;
@@ -82,6 +83,12 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         let crate::context::CheckState { ws, cand } = &mut *check;
         cand.apply_delta(ctx.user, &delta, &view);
 
+        // Per-CHECK counter baseline: the workspace tallies pushes/drained
+        // cumulatively, so the delta after rollback is this check's cost.
+        let pushes_before = ws.pushes();
+        let drained_before = ws.mass_drained();
+        let mut index_hits = 0u64;
+
         let verdict = 'verdict: {
             if cand.is_interacted(wni) {
                 break 'verdict false; // an interacted item can never be recommended
@@ -111,6 +118,7 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
                     break 'verdict false; // cannot clear the recommendability floor
                 }
                 // Strongest competitor among valid candidates.
+                index_hits += cand.items().len() as u64;
                 let mut best_other = f64::NEG_INFINITY;
                 for &n in cand.items() {
                     if n != wni && !cand.is_interacted(n) {
@@ -131,6 +139,7 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
 
             // Tie region at target precision: replicate the exact ranking
             // rule (floor + score-desc + id-asc) of `recommendation_after`.
+            index_hits += cand.items().len() as u64;
             let scores = ws.estimates();
             let candidates = cand
                 .items()
@@ -142,6 +151,15 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
 
         ws.rollback();
         cand.revert();
+        if ctx.obs.is_enabled() {
+            let obs = &ctx.obs;
+            obs.count(Op::Checks, 1);
+            obs.count(Op::ForwardPushes, (ws.pushes() - pushes_before) as u64);
+            obs.add_mass(ws.mass_drained() - drained_before);
+            obs.count(Op::RowsPatched, touched.len() as u64);
+            obs.count(Op::CandidateIndexHits, index_hits);
+            obs.trace_test(actions_to_trace(actions), verdict);
+        }
         verdict
     }
 
@@ -163,6 +181,8 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         let mut check = ctx.check.borrow_mut();
         let crate::context::CheckState { ws, cand } = &mut *check;
         cand.apply_delta(ctx.user, &delta, &view);
+        let pushes_before = ws.pushes();
+        let drained_before = ws.mass_drained();
 
         // Same engine as `test`, run straight to the target ε.
         if ctx.cfg.dynamic_test {
@@ -195,6 +215,14 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
 
         ws.rollback();
         cand.revert();
+        if ctx.obs.is_enabled() {
+            let obs = &ctx.obs;
+            obs.count(Op::Checks, 1);
+            obs.count(Op::ForwardPushes, (ws.pushes() - pushes_before) as u64);
+            obs.add_mass(ws.mass_drained() - drained_before);
+            obs.count(Op::RowsPatched, touched.len() as u64);
+            obs.count(Op::CandidateIndexHits, cand.items().len() as u64);
+        }
         list
     }
 }

@@ -1,0 +1,135 @@
+//! Trace replay: the recorded TEST sequence of an `ExplainTrace` is
+//! faithful.
+//!
+//! Every method run with an enabled `ObsHandle` records each CHECK's action
+//! set and verdict into the trace. Feeding those action sets back through
+//! `Tester::test` on a *fresh* context (no shared workspace state, no obs)
+//! must reproduce every verdict — the trace is a replayable transcript of
+//! the search, not an approximation of it.
+
+use emigre_core::explanation::Action;
+use emigre_core::tester::Tester;
+use emigre_core::{EmigreConfig, ExplainContext, Explainer, Method};
+use emigre_hin::{Hin, NodeId};
+use emigre_obs::ObsHandle;
+use emigre_ppr::{PprConfig, TransitionModel};
+use emigre_rec::RecConfig;
+
+const ALL_METHODS: [Method; 10] = [
+    Method::AddIncremental,
+    Method::AddPowerset,
+    Method::AddExhaustive,
+    Method::RemoveIncremental,
+    Method::RemovePowerset,
+    Method::RemoveExhaustive,
+    Method::RemoveExhaustiveDirect,
+    Method::RemoveBruteForce,
+    Method::Combined,
+    Method::CombinedMinimal,
+];
+
+/// Fixture rich enough that most methods run at least one TEST: three
+/// rated items prop up `rec`, two of them must go for `wni` to win, and
+/// unrated boosters keep the Add mode solvable.
+fn fixture() -> (Hin, EmigreConfig, NodeId, NodeId) {
+    let mut g = Hin::new();
+    let user_t = g.registry_mut().node_type("user");
+    let item_t = g.registry_mut().node_type("item");
+    let rated = g.registry_mut().edge_type("rated");
+    let u = g.add_node(user_t, Some("u"));
+    let r1 = g.add_node(item_t, Some("r1"));
+    let r2 = g.add_node(item_t, Some("r2"));
+    let r3 = g.add_node(item_t, Some("r3"));
+    let rec = g.add_node(item_t, Some("rec"));
+    let wni = g.add_node(item_t, Some("wni"));
+    let b1 = g.add_node(item_t, Some("b1"));
+    let b2 = g.add_node(item_t, Some("b2"));
+    g.add_edge_bidirectional(u, r1, rated, 1.0).unwrap();
+    g.add_edge_bidirectional(u, r2, rated, 1.0).unwrap();
+    g.add_edge_bidirectional(u, r3, rated, 1.0).unwrap();
+    g.add_edge_bidirectional(r1, rec, rated, 2.0).unwrap();
+    g.add_edge_bidirectional(r2, rec, rated, 2.0).unwrap();
+    g.add_edge_bidirectional(r3, wni, rated, 1.0).unwrap();
+    g.add_edge_bidirectional(b1, wni, rated, 2.0).unwrap();
+    g.add_edge_bidirectional(b2, wni, rated, 1.0).unwrap();
+    let _ = rec;
+    let ppr = PprConfig {
+        transition: TransitionModel::Weighted,
+        epsilon: 1e-9,
+        ..PprConfig::default()
+    };
+    let cfg = EmigreConfig::new(RecConfig::new(item_t).with_ppr(ppr), rated);
+    (g, cfg, u, wni)
+}
+
+#[test]
+fn replaying_recorded_tests_reproduces_every_verdict() {
+    let (g, cfg, u, wni) = fixture();
+    let mut replayed_total = 0usize;
+    for method in ALL_METHODS {
+        let obs = ObsHandle::enabled();
+        let ctx = ExplainContext::build_with_obs(&g, cfg.clone(), u, wni, obs.clone())
+            .expect("valid question");
+        let outcome = Explainer::explain_with_context(&ctx, method);
+        let trace = obs.trace().expect("enabled handle records a trace");
+        assert_eq!(trace.method, method.label());
+
+        // Fresh, unobserved context: replay must not depend on any state
+        // the original search left behind.
+        let fresh = ExplainContext::build(&g, cfg.clone(), u, wni).expect("valid question");
+        let tester = Tester::new(&fresh);
+        for (k, t) in trace.tests.iter().enumerate() {
+            let actions: Vec<Action> = t.actions.iter().map(Action::from_trace).collect();
+            assert_eq!(
+                tester.test(&actions),
+                t.verdict,
+                "verdict {k} diverges on replay for {}",
+                method.label()
+            );
+            replayed_total += 1;
+        }
+
+        // Outcome bookkeeping in the trace matches the method's result.
+        match &outcome {
+            Ok(exp) => {
+                assert!(trace.found, "{} found but trace says not", method.label());
+                assert_eq!(trace.verified, exp.verified);
+                assert_eq!(trace.explanation.len(), exp.actions.len());
+                if exp.verified {
+                    // The recorded explanation replays to a passing TEST.
+                    let actions: Vec<Action> =
+                        trace.explanation.iter().map(Action::from_trace).collect();
+                    assert!(tester.test(&actions));
+                }
+            }
+            Err(f) => {
+                assert!(!trace.found);
+                assert_eq!(trace.failure, f.reason.to_string());
+            }
+        }
+    }
+    assert!(
+        replayed_total >= 5,
+        "expected several recorded TESTs across methods, got {replayed_total}"
+    );
+}
+
+#[test]
+fn trace_survives_json_round_trip_and_still_replays() {
+    let (g, cfg, u, wni) = fixture();
+    let obs = ObsHandle::enabled();
+    let ctx = ExplainContext::build_with_obs(&g, cfg.clone(), u, wni, obs.clone()).unwrap();
+    let _ = Explainer::explain_with_context(&ctx, Method::RemovePowerset);
+    let trace = obs.trace().unwrap();
+    assert!(!trace.tests.is_empty());
+
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: emigre_obs::ExplainTrace = serde_json::from_str(&json).unwrap();
+
+    let fresh = ExplainContext::build(&g, cfg, u, wni).unwrap();
+    let tester = Tester::new(&fresh);
+    for t in &back.tests {
+        let actions: Vec<Action> = t.actions.iter().map(Action::from_trace).collect();
+        assert_eq!(tester.test(&actions), t.verdict);
+    }
+}

@@ -13,6 +13,7 @@
 //! --max-checks N               CHECK budget per explanation attempt
 //! --threads N                  worker threads (default: all cores)
 //! --out DIR                    CSV/JSON output directory (default target/experiments)
+//! --trace-dir DIR              dump one JSON search trace per question into DIR
 //! ```
 
 use std::path::PathBuf;
@@ -40,6 +41,9 @@ pub struct EvalArgs {
     pub max_checks: Option<usize>,
     pub threads: usize,
     pub out_dir: PathBuf,
+    /// When set, the harness dumps one JSON `ExplainTrace` per
+    /// `(scenario, method)` run into this directory.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for EvalArgs {
@@ -55,6 +59,7 @@ impl Default for EvalArgs {
                 .map(|n| n.get())
                 .unwrap_or(4),
             out_dir: PathBuf::from("target/experiments"),
+            trace_dir: None,
         }
     }
 }
@@ -97,10 +102,12 @@ impl EvalArgs {
                 "--max-checks" => out.max_checks = Some(parse_num(&value("--max-checks"))),
                 "--threads" => out.threads = parse_num(&value("--threads")).max(1),
                 "--out" => out.out_dir = PathBuf::from(value("--out")),
+                "--trace-dir" => out.trace_dir = Some(PathBuf::from(value("--trace-dir"))),
                 "--help" | "-h" => {
                     println!(
                         "flags: --scale quick|medium|paper  --users N  --wni N  --seed N \
-                         --epsilon X | --paper-epsilon  --max-checks N  --threads N  --out DIR"
+                         --epsilon X | --paper-epsilon  --max-checks N  --threads N  --out DIR \
+                         --trace-dir DIR"
                     );
                     std::process::exit(0);
                 }
@@ -182,5 +189,13 @@ mod tests {
     fn paper_epsilon_flag() {
         let a = parse(&["--paper-epsilon"]);
         assert_eq!(a.epsilon, 2.7e-8);
+    }
+
+    #[test]
+    fn trace_dir_flag() {
+        let a = parse(&[]);
+        assert_eq!(a.trace_dir, None);
+        let a = parse(&["--trace-dir", "target/traces"]);
+        assert_eq!(a.trace_dir, Some(PathBuf::from("target/traces")));
     }
 }

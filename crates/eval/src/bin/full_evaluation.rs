@@ -65,6 +65,14 @@ fn main() {
         "{}",
         report::failure_breakdown_text(&report::failure_breakdown(&sweep))
     );
+    println!("=== Op counters (machine-independent cost) ===\n");
+    println!(
+        "{}",
+        report::counters_text(&report::counters_by_method(&sweep))
+    );
+    if let Some(dir) = &args.trace_dir {
+        println!("per-question search traces written to {}", dir.display());
+    }
 
     write_artifacts(&args, &sweep).expect("write artefacts");
     println!("artefacts written to {}", args.out_dir.display());

@@ -4,7 +4,7 @@
 use crate::args::EvalArgs;
 use crate::dataset::build_dataset;
 use crate::report;
-use crate::runner::{run_sweep, SweepResult};
+use crate::runner::{run_sweep_obs, ObsOptions, SweepResult};
 use crate::scenario::generate_scenarios;
 use emigre_core::Method;
 use emigre_hin::GraphView;
@@ -29,13 +29,20 @@ pub fn standard_sweep(args: &EvalArgs) -> SweepResult {
         scenarios.len() * Method::paper_methods().len(),
         args.threads
     );
-    run_sweep(
+    run_sweep_obs(
         &hin.graph,
         &cfg,
         &scenarios,
         &Method::paper_methods(),
         args.threads,
         true,
+        // The harness always collects counters and spans — they feed the
+        // counters.csv artefact and the per-scenario report columns; the
+        // sweep's own runtime_secs remain the timing source of truth.
+        &ObsOptions {
+            enabled: true,
+            trace_dir: args.trace_dir.clone(),
+        },
     )
 }
 
@@ -47,6 +54,7 @@ pub fn write_artifacts(args: &EvalArgs, sweep: &SweepResult) -> std::io::Result<
     fs::write(dir.join("sweep.json"), sweep.to_json())?;
     fs::write(dir.join("summary.csv"), report::summary_csv(sweep))?;
     fs::write(dir.join("records.csv"), report::records_csv(sweep))?;
+    fs::write(dir.join("counters.csv"), report::counters_csv(sweep))?;
     Ok(())
 }
 
@@ -79,5 +87,9 @@ mod tests {
         assert!(!report::figure4(&sweep).is_empty());
         assert!(!report::figure6(&sweep).is_empty());
         assert!(!report::table5(&sweep).is_empty());
+        // The harness always collects observability data.
+        assert!(sweep.records.iter().all(|r| r.counters.total_pushes() > 0));
+        assert!(sweep.records.iter().all(|r| !r.spans.is_empty()));
+        assert!(!report::counters_csv(&sweep).is_empty());
     }
 }

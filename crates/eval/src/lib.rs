@@ -27,5 +27,5 @@ pub mod runner;
 pub mod scenario;
 
 pub use args::EvalArgs;
-pub use runner::{MethodOutcome, RunRecord, SweepResult};
+pub use runner::{MethodOutcome, ObsOptions, RunRecord, SweepResult};
 pub use scenario::Scenario;

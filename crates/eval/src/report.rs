@@ -290,6 +290,75 @@ pub fn summary_csv(sweep: &SweepResult) -> String {
     s
 }
 
+/// Aggregate op counters per method: the sum of every run's snapshot.
+/// All-zero rows simply mean the sweep ran without observability.
+pub fn counters_by_method(sweep: &SweepResult) -> Vec<(Method, emigre_obs::CounterSnapshot)> {
+    sweep
+        .methods
+        .iter()
+        .map(|&m| {
+            let mut total = emigre_obs::CounterSnapshot::default();
+            for r in sweep.for_method(m) {
+                total.accumulate(&r.counters);
+            }
+            (m, total)
+        })
+        .collect()
+}
+
+/// Renders the per-method counter aggregates as a table.
+pub fn counters_text(rows: &[(Method, emigre_obs::CounterSnapshot)]) -> String {
+    let mut s = String::from("Aggregate op counters per method:\n");
+    s.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12} {:>14}\n",
+        "Method",
+        "fwd_push",
+        "rev_push",
+        "rows_patch",
+        "checks",
+        "subsets",
+        "cand_hits",
+        "mass_drained"
+    ));
+    for (m, c) in rows {
+        s.push_str(&format!(
+            "{:<22} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12} {:>14.4}\n",
+            m.label(),
+            c.forward_pushes,
+            c.reverse_pushes,
+            c.rows_patched,
+            c.checks,
+            c.subsets_enumerated,
+            c.candidate_index_hits,
+            c.residual_mass_drained
+        ));
+    }
+    s
+}
+
+/// CSV with one row per method: aggregate counters (see
+/// [`counters_by_method`]).
+pub fn counters_csv(sweep: &SweepResult) -> String {
+    let mut s = String::from(
+        "method,forward_pushes,reverse_pushes,rows_patched,checks,subsets_enumerated,\
+         candidate_index_hits,residual_mass_drained\n",
+    );
+    for (m, c) in counters_by_method(sweep) {
+        s.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.6}\n",
+            m.label(),
+            c.forward_pushes,
+            c.reverse_pushes,
+            c.rows_patched,
+            c.checks,
+            c.subsets_enumerated,
+            c.candidate_index_hits,
+            c.residual_mass_drained
+        ));
+    }
+    s
+}
+
 /// Per-record CSV (the raw sweep data).
 pub fn records_csv(sweep: &SweepResult) -> String {
     let mut s = String::from("user,wni,wni_rank,method,success,size,runtime_s,checks,outcome\n");
@@ -330,6 +399,12 @@ mod tests {
             outcome,
             runtime_secs: t,
             checks: 1,
+            counters: emigre_obs::CounterSnapshot {
+                checks: 1,
+                forward_pushes: 10,
+                ..Default::default()
+            },
+            spans: Vec::new(),
         }
     }
 
@@ -499,6 +574,23 @@ mod tests {
         assert_eq!(get("cold-start"), 0);
         let text = failure_breakdown_text(&rows);
         assert!(text.contains("popular-item"));
+    }
+
+    #[test]
+    fn counter_aggregates_sum_per_method() {
+        let sweep = sample_sweep();
+        let rows = counters_by_method(&sweep);
+        assert_eq!(rows.len(), sweep.methods.len());
+        // Each method in the sample sweep has exactly two records, each
+        // carrying checks = 1 and forward_pushes = 10.
+        for (_, c) in &rows {
+            assert_eq!(c.checks, 2);
+            assert_eq!(c.forward_pushes, 20);
+        }
+        let text = counters_text(&rows);
+        assert!(text.contains("fwd_push") && text.contains("remove_Powerset"));
+        let csv = counters_csv(&sweep);
+        assert_eq!(csv.lines().count(), 1 + sweep.methods.len());
     }
 
     #[test]

@@ -3,10 +3,40 @@
 use crate::scenario::Scenario;
 use emigre_core::{EmigreConfig, Explainer, FailureReason, Method};
 use emigre_hin::GraphView;
+use emigre_obs::{CounterSnapshot, ObsHandle, SpanExport};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Observability knobs for a sweep.
+///
+/// With everything off (the default) runs use [`ObsHandle::ambient`] — free
+/// unless the `obs` cargo feature is compiled in — so timing comparisons
+/// against older sweeps stay honest.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Collect op counters and timing spans into each [`RunRecord`].
+    pub enabled: bool,
+    /// Write one JSON [`emigre_obs::ExplainTrace`] per `(scenario, method)`
+    /// run into this directory (implies collection).
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl ObsOptions {
+    /// Collect counters and spans for every run.
+    pub fn collecting() -> Self {
+        ObsOptions {
+            enabled: true,
+            trace_dir: None,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.enabled || self.trace_dir.is_some()
+    }
+}
 
 /// What one method did on one scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +83,10 @@ pub struct RunRecord {
     pub outcome: MethodOutcome,
     pub runtime_secs: f64,
     pub checks: usize,
+    /// Op counters for this run (all-zero when observability was off).
+    pub counters: CounterSnapshot,
+    /// Timing span forest for this run (empty when observability was off).
+    pub spans: Vec<SpanExport>,
 }
 
 /// All measurements of a sweep plus its design parameters.
@@ -98,6 +132,19 @@ pub fn run_one<G: GraphView>(
     scenario: Scenario,
     method: Method,
 ) -> RunRecord {
+    run_one_obs(g, cfg, scenario, method, &ObsOptions::default())
+}
+
+/// [`run_one`] with explicit observability options. Each run gets a fresh
+/// handle so counters, spans, and the trace describe exactly this
+/// `(scenario, method)` pair.
+pub fn run_one_obs<G: GraphView>(
+    g: &G,
+    cfg: &EmigreConfig,
+    scenario: Scenario,
+    method: Method,
+    opts: &ObsOptions,
+) -> RunRecord {
     // The paper runs its brute-force baseline effectively unbounded (Table
     // 5 shows 900+ second averages); it is the reference that defines the
     // "solvable" scenario set for Fig. 5, so it gets a 5x CHECK budget.
@@ -106,47 +153,72 @@ pub fn run_one<G: GraphView>(
         cfg.max_checks = cfg.max_checks.saturating_mul(5);
     }
     let explainer = Explainer::new(cfg.clone());
-    let start = Instant::now();
-    let (outcome, runtime_secs, checks) = match explainer.context(g, scenario.user, scenario.wni) {
-        Err(_) => (
-            MethodOutcome::InvalidQuestion,
-            start.elapsed().as_secs_f64(),
-            0,
-        ),
-        Ok(ctx) => match Explainer::explain_with_context(&ctx, method) {
-            Ok(exp) => {
-                // Stop the clock before the harness's post-hoc correctness
-                // check: the paper's direct baseline is fast precisely
-                // because it skips verification.
-                let elapsed = start.elapsed().as_secs_f64();
-                let checks = exp.checks_performed;
-                let outcome = if exp.verified {
-                    MethodOutcome::Found { size: exp.size() }
-                } else {
-                    let tester = emigre_core::tester::Tester::new(&ctx);
-                    let correct = tester.test(&exp.actions);
-                    MethodOutcome::FoundUnverified {
-                        size: exp.size(),
-                        correct,
-                    }
-                };
-                (outcome, elapsed, checks)
-            }
-            Err(failure) => (
-                MethodOutcome::NotFound {
-                    reason: failure.reason,
-                },
-                start.elapsed().as_secs_f64(),
-                failure.checks_performed,
-            ),
-        },
+    let obs = if opts.active() {
+        ObsHandle::enabled()
+    } else {
+        ObsHandle::ambient()
     };
+    let question_span = obs.span("question");
+    let start = Instant::now();
+    let (outcome, runtime_secs, checks) =
+        match explainer.context_with_obs(g, scenario.user, scenario.wni, obs.clone()) {
+            Err(_) => (
+                MethodOutcome::InvalidQuestion,
+                start.elapsed().as_secs_f64(),
+                0,
+            ),
+            Ok(ctx) => match Explainer::explain_with_context(&ctx, method) {
+                Ok(exp) => {
+                    // Stop the clock before the harness's post-hoc correctness
+                    // check: the paper's direct baseline is fast precisely
+                    // because it skips verification.
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let checks = exp.checks_performed;
+                    let outcome = if exp.verified {
+                        MethodOutcome::Found { size: exp.size() }
+                    } else {
+                        let tester = emigre_core::tester::Tester::new(&ctx);
+                        let correct = tester.test(&exp.actions);
+                        MethodOutcome::FoundUnverified {
+                            size: exp.size(),
+                            correct,
+                        }
+                    };
+                    (outcome, elapsed, checks)
+                }
+                Err(failure) => (
+                    MethodOutcome::NotFound {
+                        reason: failure.reason,
+                    },
+                    start.elapsed().as_secs_f64(),
+                    failure.checks_performed,
+                ),
+            },
+        };
+    drop(question_span);
+    if let Some(dir) = &opts.trace_dir {
+        if let Some(trace) = obs.trace() {
+            let path = dir.join(format!(
+                "trace_u{}_w{}_{}.json",
+                scenario.user.0,
+                scenario.wni.0,
+                method.label()
+            ));
+            let json = serde_json::to_string_pretty(&trace).expect("serialisable");
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json))
+            {
+                eprintln!("warning: could not write trace {}: {e}", path.display());
+            }
+        }
+    }
     RunRecord {
         scenario,
         method,
         outcome,
         runtime_secs,
         checks,
+        counters: obs.counters(),
+        spans: obs.span_tree(),
     }
 }
 
@@ -160,6 +232,29 @@ pub fn run_sweep<G: GraphView + Sync>(
     methods: &[Method],
     threads: usize,
     progress: bool,
+) -> SweepResult {
+    run_sweep_obs(
+        g,
+        cfg,
+        scenarios,
+        methods,
+        threads,
+        progress,
+        &ObsOptions::default(),
+    )
+}
+
+/// [`run_sweep`] with explicit observability options; every run gets its
+/// own fresh handle (see [`run_one_obs`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_obs<G: GraphView + Sync>(
+    g: &G,
+    cfg: &EmigreConfig,
+    scenarios: &[Scenario],
+    methods: &[Method],
+    threads: usize,
+    progress: bool,
+    opts: &ObsOptions,
 ) -> SweepResult {
     let jobs: Vec<(usize, Scenario, Method)> = scenarios
         .iter()
@@ -183,7 +278,7 @@ pub fn run_sweep<G: GraphView + Sync>(
                 let Some(&(key, scenario, method)) = jobs.get(i) else {
                     break;
                 };
-                let record = run_one(g, cfg, scenario, method);
+                let record = run_one_obs(g, cfg, scenario, method, opts);
                 records.lock().push((key, record));
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if progress && (d.is_multiple_of(50) || d == jobs.len()) {
@@ -237,6 +332,69 @@ mod tests {
             let r = run_one(&ex.graph, &ex.config, s, m);
             assert!(r.outcome.success(), "{m} failed: {:?}", r.outcome);
             assert!(r.runtime_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn obs_collects_counters_spans_and_traces() {
+        let ex = running_example();
+        let s = Scenario {
+            user: ex.paul,
+            wni: ex.harry_potter,
+            rec: ex.python,
+            wni_rank: 2,
+        };
+        let dir = std::env::temp_dir().join(format!("emigre_traces_{}", std::process::id()));
+        let opts = ObsOptions {
+            enabled: true,
+            trace_dir: Some(dir.clone()),
+        };
+        let r = run_one_obs(&ex.graph, &ex.config, s, Method::RemovePowerset, &opts);
+        assert!(r.outcome.success());
+        // Counters: context construction alone performs pushes; the found
+        // explanation implies at least one CHECK.
+        assert!(r.counters.forward_pushes > 0);
+        assert!(r.counters.reverse_pushes > 0);
+        assert!(r.counters.checks > 0);
+        assert!(r.counters.residual_mass_drained > 0.0);
+        // Spans: the question span wraps context build and the TEST loop.
+        assert_eq!(r.spans.len(), 1);
+        let question = &r.spans[0];
+        assert_eq!(question.name, "question");
+        assert!(question.find("context_build").is_some());
+        assert!(question.find("test_loop").is_some());
+        // Trace file: parseable and describing this very question.
+        let f = dir.join(format!(
+            "trace_u{}_w{}_{}.json",
+            s.user.0,
+            s.wni.0,
+            Method::RemovePowerset.label()
+        ));
+        let text = std::fs::read_to_string(&f).expect("trace written");
+        let trace: emigre_obs::ExplainTrace = serde_json::from_str(&text).unwrap();
+        assert_eq!(trace.user, s.user.0);
+        assert_eq!(trace.wni, s.wni.0);
+        assert_eq!(trace.method, Method::RemovePowerset.label());
+        assert!(!trace.tests.is_empty());
+        assert!(trace.found);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_runs_follow_the_ambient_switch() {
+        let ex = running_example();
+        let s = Scenario {
+            user: ex.paul,
+            wni: ex.harry_potter,
+            rec: ex.python,
+            wni_rank: 2,
+        };
+        let r = run_one(&ex.graph, &ex.config, s, Method::RemovePowerset);
+        if cfg!(feature = "obs") {
+            assert!(r.counters.checks > 0);
+        } else {
+            assert_eq!(r.counters, CounterSnapshot::default());
+            assert!(r.spans.is_empty());
         }
     }
 

@@ -1,0 +1,29 @@
+//! # emigre-obs — observability for the EMiGRe explain path
+//!
+//! Three instruments behind one [`ObsHandle`]:
+//!
+//! 1. **Op counters** ([`Op`], [`CounterSnapshot`]): lock-free atomics for
+//!    forward/reverse pushes, residual mass drained, transition rows
+//!    patched, CHECKs run, subsets enumerated, and candidate-index hits.
+//! 2. **Timing spans** ([`SpanExport`]): a monotonic, hierarchical span
+//!    recorder (question → search-space → candidate-ranking → TEST loop)
+//!    with a JSON exporter.
+//! 3. **Explain traces** ([`ExplainTrace`]): the ranked candidate list,
+//!    every τ threshold crossing, and every TEST verdict of one question,
+//!    replayable offline.
+//!
+//! A disabled handle (the default) is a `None`: every call is a branch on
+//! a null pointer, no state is allocated, nothing is recorded. The
+//! `ambient` cargo feature (re-exported by downstream crates as `obs`)
+//! flips [`ObsHandle::ambient`] to enabled so an entire test run can be
+//! instrumented without threading handles by hand.
+
+mod counters;
+mod handle;
+mod spans;
+mod trace;
+
+pub use counters::{CounterSnapshot, Op, OpCounters};
+pub use handle::{ObsHandle, SpanGuard};
+pub use spans::{SpanExport, SpanRecorder};
+pub use trace::{ExplainTrace, TraceAction, TraceCandidate, TraceCrossing, TraceTest};

@@ -1,0 +1,193 @@
+//! Hierarchical timing spans over a monotonic clock.
+//!
+//! The recorder keeps a flat arena of span nodes plus an open-span stack;
+//! opening a span parents it under the innermost still-open span, so the
+//! eval runner's `question` span naturally contains `search_space`,
+//! `candidate_ranking`, and `test_loop` children. Timestamps are
+//! microseconds relative to the recorder's origin `Instant`, so exports are
+//! stable and never consult the wall clock.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+struct SpanNode {
+    name: String,
+    parent: Option<usize>,
+    start_us: u64,
+    duration_us: Option<u64>,
+}
+
+/// Arena-backed span recorder. One per enabled `ObsHandle`; callers reach
+/// it through `ObsHandle::span`, never directly.
+pub struct SpanRecorder {
+    origin: Instant,
+    nodes: Vec<SpanNode>,
+    open: Vec<usize>,
+}
+
+impl SpanRecorder {
+    pub fn new() -> Self {
+        SpanRecorder {
+            origin: Instant::now(),
+            nodes: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Opens a span named `name` under the innermost open span and returns
+    /// its arena index (held by the RAII guard).
+    pub fn open(&mut self, name: &str) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(SpanNode {
+            name: name.to_string(),
+            parent: self.open.last().copied(),
+            start_us: self.origin.elapsed().as_micros() as u64,
+            duration_us: None,
+        });
+        self.open.push(idx);
+        idx
+    }
+
+    /// Closes the span at `idx`, stamping its duration. Guards drop in
+    /// LIFO order in straight-line code; out-of-order closes (a guard kept
+    /// alive across siblings) are tolerated by retaining the rest of the
+    /// stack.
+    pub fn close(&mut self, idx: usize) {
+        let now = self.origin.elapsed().as_micros() as u64;
+        if let Some(node) = self.nodes.get_mut(idx) {
+            node.duration_us = Some(now.saturating_sub(node.start_us));
+        }
+        self.open.retain(|&i| i != idx);
+    }
+
+    /// Exports the recorded forest, children nested under parents in
+    /// creation order. Still-open spans export with the duration observed
+    /// at export time.
+    pub fn export(&self) -> Vec<SpanExport> {
+        let now = self.origin.elapsed().as_micros() as u64;
+        let mut exports: Vec<SpanExport> = self
+            .nodes
+            .iter()
+            .map(|n| SpanExport {
+                name: n.name.clone(),
+                start_us: n.start_us,
+                duration_us: n.duration_us.unwrap_or_else(|| now - n.start_us),
+                children: Vec::new(),
+            })
+            .collect();
+        // Attach children to parents back-to-front so each child is fully
+        // assembled (its own children already attached) when moved.
+        let mut roots = Vec::new();
+        for i in (0..self.nodes.len()).rev() {
+            let node = std::mem::replace(
+                &mut exports[i],
+                SpanExport {
+                    name: String::new(),
+                    start_us: 0,
+                    duration_us: 0,
+                    children: Vec::new(),
+                },
+            );
+            match self.nodes[i].parent {
+                Some(p) => exports[p].children.insert(0, node),
+                None => roots.insert(0, node),
+            }
+        }
+        roots
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// JSON-exportable span tree node. `start_us` is relative to the owning
+/// handle's creation instant (monotonic, not wall-clock).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanExport {
+    pub name: String,
+    pub start_us: u64,
+    pub duration_us: u64,
+    pub children: Vec<SpanExport>,
+}
+
+impl SpanExport {
+    /// Finds the first span named `name` in this subtree (depth-first).
+    pub fn find(&self, name: &str) -> Option<&SpanExport> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_under_open_parent() {
+        let mut r = SpanRecorder::new();
+        let q = r.open("question");
+        let s = r.open("search_space");
+        r.close(s);
+        let t = r.open("test_loop");
+        r.close(t);
+        r.close(q);
+        let roots = r.export();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "question");
+        let names: Vec<&str> = roots[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["search_space", "test_loop"]);
+        assert!(roots[0].find("test_loop").is_some());
+        assert!(roots[0].find("missing").is_none());
+    }
+
+    #[test]
+    fn siblings_after_close_are_roots() {
+        let mut r = SpanRecorder::new();
+        let a = r.open("a");
+        r.close(a);
+        let b = r.open("b");
+        r.close(b);
+        let roots = r.export();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].name, "a");
+        assert_eq!(roots[1].name, "b");
+    }
+
+    #[test]
+    fn durations_are_monotone() {
+        let mut r = SpanRecorder::new();
+        let outer = r.open("outer");
+        let inner = r.open("inner");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        r.close(inner);
+        r.close(outer);
+        let roots = r.export();
+        let o = &roots[0];
+        let i = &o.children[0];
+        assert!(i.duration_us >= 1000, "inner should span the sleep");
+        assert!(o.duration_us >= i.duration_us);
+        assert!(i.start_us >= o.start_us);
+    }
+
+    #[test]
+    fn export_json_round_trip() {
+        let mut r = SpanRecorder::new();
+        let q = r.open("question");
+        let s = r.open("search_space");
+        r.close(s);
+        r.close(q);
+        let roots = r.export();
+        let json = serde_json::to_string(&roots).unwrap();
+        let back: Vec<SpanExport> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, roots);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-question explain traces.
+//!
+//! An [`ExplainTrace`] records what one explanation run *decided*: the
+//! ranked candidate list the search walked, each threshold (τ) crossing
+//! that triggered a CHECK, and every TEST verdict with the exact actions
+//! tested. Node ids and edge types are stored as raw `u32` so the trace is
+//! a standalone JSON artifact, replayable offline against a fresh
+//! [`ExplainContext`] without this crate depending on the graph types.
+
+use serde::{Deserialize, Serialize};
+
+/// One counterfactual action as recorded in a trace (mirror of
+/// `emigre_core::Action` with unwrapped ids).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceAction {
+    pub src: u32,
+    pub dst: u32,
+    pub etype: u32,
+    pub weight: f64,
+    /// `true` = edge added, `false` = edge removed.
+    pub added: bool,
+}
+
+/// One entry of the ranked candidate list a search space produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceCandidate {
+    /// The action's target node (the item interacted with / suggested).
+    pub node: u32,
+    /// Estimated contribution toward closing the score gap.
+    pub contribution: f64,
+}
+
+/// A threshold crossing: after accounting for `candidate_index + 1`
+/// candidates (or, for subset methods, after `candidate_index` subsets),
+/// the remaining gap `tau` dropped within slack and a CHECK fired.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceCrossing {
+    pub candidate_index: u64,
+    pub tau: f64,
+}
+
+/// One TEST invocation: the actions handed to `Tester::test` and its
+/// verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceTest {
+    pub actions: Vec<TraceAction>,
+    pub verdict: bool,
+}
+
+/// Everything one explanation run decided, in order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExplainTrace {
+    /// Why-Not question identity.
+    pub user: u32,
+    pub wni: u32,
+    /// Current top-1 the question argues against.
+    pub rec: u32,
+    /// Method label (`Explainer::Method::label`), e.g. `remove_incremental`.
+    pub method: String,
+    /// Search-space mode the candidates below belong to
+    /// (`remove`/`add`/`combined`).
+    pub mode: String,
+    /// Ranked candidate list (descending contribution).
+    pub candidates: Vec<TraceCandidate>,
+    /// τ crossings that triggered CHECKs, in search order.
+    pub crossings: Vec<TraceCrossing>,
+    /// Every TEST verdict, in invocation order.
+    pub tests: Vec<TraceTest>,
+    /// Whether an explanation was found.
+    pub found: bool,
+    /// Whether the returned explanation passed the CHECK (false for
+    /// Exhaustive-direct, which skips it by design).
+    pub verified: bool,
+    /// The returned explanation's actions (empty on failure).
+    pub explanation: Vec<TraceAction>,
+    /// Failure reason label when `found` is false (empty otherwise).
+    pub failure: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_round_trip() {
+        let t = ExplainTrace {
+            user: 1,
+            wni: 7,
+            rec: 5,
+            method: "remove_incremental".to_string(),
+            mode: "remove".to_string(),
+            candidates: vec![TraceCandidate {
+                node: 3,
+                contribution: 0.25,
+            }],
+            crossings: vec![TraceCrossing {
+                candidate_index: 0,
+                tau: -1e-4,
+            }],
+            tests: vec![TraceTest {
+                actions: vec![TraceAction {
+                    src: 1,
+                    dst: 3,
+                    etype: 0,
+                    weight: 1.0,
+                    added: false,
+                }],
+                verdict: true,
+            }],
+            found: true,
+            verified: true,
+            explanation: vec![TraceAction {
+                src: 1,
+                dst: 3,
+                etype: 0,
+                weight: 1.0,
+                added: false,
+            }],
+            failure: String::new(),
+        };
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: ExplainTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn default_trace_is_empty() {
+        let t = ExplainTrace::default();
+        assert!(t.tests.is_empty() && t.candidates.is_empty() && !t.found);
+    }
+}

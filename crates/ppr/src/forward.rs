@@ -31,6 +31,11 @@ pub struct ForwardPush {
     pub residuals: Vec<f64>,
     /// Total push operations performed over the state's lifetime.
     pub pushes: usize,
+    /// Total |residual| mass retired by pushes over the state's lifetime
+    /// (each push drains `|r(u)|` off the frontier, re-spreading
+    /// `(1−α)·r(u)`). Like `pushes`, this is cumulative and never reset;
+    /// observability callers flush deltas into an `ObsHandle`.
+    pub drained: f64,
 }
 
 impl ForwardPush {
@@ -43,6 +48,7 @@ impl ForwardPush {
             estimates: vec![0.0; n],
             residuals: vec![0.0; n],
             pushes: 0,
+            drained: 0.0,
         };
         state.residuals[seed.index()] = 1.0;
         state.push_until_converged(g, cfg);
@@ -71,6 +77,7 @@ impl ForwardPush {
             self.residuals[u as usize] = 0.0;
             self.estimates[u as usize] += cfg.alpha * r;
             self.pushes += 1;
+            self.drained += r.abs();
             let spread = (1.0 - cfg.alpha) * r;
             let residuals = &mut self.residuals;
             cfg.transition.for_each_probability(g, NodeId(u), |v, p| {
@@ -94,6 +101,7 @@ impl ForwardPush {
             estimates: vec![0.0; n],
             residuals: vec![0.0; n],
             pushes: 0,
+            drained: 0.0,
         };
         state.residuals[seed.index()] = 1.0;
         state.push_until_converged_kernel(kernel, cfg);
@@ -130,6 +138,7 @@ impl ForwardPush {
                 self.residuals[u] = 0.0;
                 self.estimates[u] += cfg.alpha * r;
                 self.pushes += 1;
+                self.drained += r.abs();
                 let spread = (1.0 - cfg.alpha) * r;
                 let (dsts, probs) = kernel.forward_row(NodeId(u as u32));
                 for (&v, &p) in dsts.iter().zip(probs) {

@@ -31,6 +31,9 @@ pub struct ReversePush {
     pub residuals: Vec<f64>,
     /// Total push operations performed over the state's lifetime.
     pub pushes: usize,
+    /// Total |residual| mass retired by pushes over the state's lifetime
+    /// (cumulative, never reset — see `ForwardPush::drained`).
+    pub drained: f64,
 }
 
 impl ReversePush {
@@ -43,6 +46,7 @@ impl ReversePush {
             estimates: vec![0.0; n],
             residuals: vec![0.0; n],
             pushes: 0,
+            drained: 0.0,
         };
         state.residuals[target.index()] = 1.0;
         state.push_until_converged(g, cfg);
@@ -70,6 +74,7 @@ impl ReversePush {
             self.residuals[v as usize] = 0.0;
             self.estimates[v as usize] += cfg.alpha * r;
             self.pushes += 1;
+            self.drained += r.abs();
             let spread = (1.0 - cfg.alpha) * r;
             // Push backwards: every in-neighbour u gains (1−α)·W(u,v)·r.
             let vid = NodeId(v);
@@ -107,6 +112,7 @@ impl ReversePush {
             estimates: vec![0.0; n],
             residuals: vec![0.0; n],
             pushes: 0,
+            drained: 0.0,
         };
         state.residuals[target.index()] = 1.0;
         state.push_until_converged_kernel(kernel, cfg);
@@ -138,6 +144,7 @@ impl ReversePush {
                 self.residuals[v] = 0.0;
                 self.estimates[v] += cfg.alpha * r;
                 self.pushes += 1;
+                self.drained += r.abs();
                 let spread = (1.0 - cfg.alpha) * r;
                 let (srcs, probs) = kernel.reverse_row(NodeId(v as u32));
                 for (&u, &p) in srcs.iter().zip(probs) {

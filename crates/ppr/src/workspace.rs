@@ -56,6 +56,11 @@ pub struct PushWorkspace {
     mass: f64,
     /// Push operations across the workspace's lifetime.
     pushes: usize,
+    /// Total |residual| mass retired by pushes across the workspace's
+    /// lifetime. Cumulative like `pushes` — deliberately *not* restored by
+    /// [`PushWorkspace::rollback`], so per-check deltas survive the
+    /// transaction ending.
+    drained: f64,
 }
 
 impl PushWorkspace {
@@ -73,6 +78,7 @@ impl PushWorkspace {
             base_mass: 0.0,
             mass: 0.0,
             pushes: 0,
+            drained: 0.0,
         }
     }
 
@@ -125,6 +131,13 @@ impl PushWorkspace {
     #[inline]
     pub fn pushes(&self) -> usize {
         self.pushes
+    }
+
+    /// Total |residual| mass retired across all transactions (cumulative;
+    /// not reset by rollback).
+    #[inline]
+    pub fn mass_drained(&self) -> f64 {
+        self.drained
     }
 
     /// Nodes written by the current transaction.
@@ -212,6 +225,7 @@ impl PushWorkspace {
             self.touch(ui);
             self.residuals[ui] = 0.0;
             self.mass -= r.abs();
+            self.drained += r.abs();
             self.estimates[ui] += cfg.alpha * r;
             self.pushes += 1;
             let spread = (1.0 - cfg.alpha) * r;

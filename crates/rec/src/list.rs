@@ -14,6 +14,12 @@ pub struct RecList {
 impl RecList {
     /// Builds a list by selecting the top `k` of `candidates` under the
     /// dense `scores` vector.
+    ///
+    /// Equal scores are broken by **ascending `NodeId`** — the list (and in
+    /// particular the top-1 used to pose Why-Not questions) never depends
+    /// on candidate iteration order, so repeated runs and the batched /
+    /// per-question context paths always agree. Scores must be finite
+    /// (NaN panics).
     pub fn from_scores<I>(scores: &[f64], candidates: I, k: usize) -> Self
     where
         I: IntoIterator<Item = NodeId>,
@@ -90,6 +96,20 @@ mod tests {
         assert_eq!(list.rank_of(n(3)), Some(2));
         assert_eq!(list.rank_of(n(2)), None); // truncated out
         assert_eq!(list.score_of(n(0)), Some(0.3));
+    }
+
+    #[test]
+    fn equal_scores_break_ties_by_ascending_node_id() {
+        // All candidates share one score: order (and top-1) is decided
+        // purely by ascending NodeId, whatever order candidates arrive in.
+        let scores = vec![0.5; 6];
+        let list = RecList::from_scores(&scores, [n(4), n(2), n(5), n(0)], 3);
+        assert_eq!(list.items(), vec![n(0), n(2), n(4)]);
+        assert_eq!(list.top(), Some(n(0)));
+        // Partial tie below a clear winner: the tied block is id-ordered.
+        let scores = vec![0.1, 0.9, 0.1, 0.1];
+        let list = RecList::from_scores(&scores, (0..4).map(n), 4);
+        assert_eq!(list.items(), vec![n(1), n(0), n(2), n(3)]);
     }
 
     #[test]

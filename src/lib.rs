@@ -21,7 +21,9 @@
 //!   combined add+remove extension, failure meta-explanations);
 //! * [`data`] — synthetic Amazon-style datasets, embeddings, the §6.1
 //!   preprocessing pipeline, and the paper's worked examples;
-//! * [`eval`] — the experiment harness reproducing every table and figure.
+//! * [`eval`] — the experiment harness reproducing every table and figure;
+//! * [`obs`] — explain-path observability: op counters, timing spans, and
+//!   replayable per-question search traces.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use emigre_core as core;
 pub use emigre_data as data;
 pub use emigre_eval as eval;
 pub use emigre_hin as hin;
+pub use emigre_obs as obs;
 pub use emigre_ppr as ppr;
 pub use emigre_rec as rec;
 
