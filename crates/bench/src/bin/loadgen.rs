@@ -1,0 +1,598 @@
+//! `loadgen` — closed-loop load generator for `emigre serve`.
+//!
+//! Spawns the real `emigre` binary (`serve` subcommand) on a synthetic
+//! Amazon-style HIN, drives it with mixed `/explain` + `/recommend`
+//! traffic over persistent HTTP/1.1 connections, and verifies **every**
+//! response against the single-threaded reference oracle
+//! ([`emigre_serve::reference_explain`] /
+//! [`emigre_serve::reference_recommend`]) — a divergence is a hard
+//! failure, not a statistic. Reports QPS and p50/p95/p99 latency per
+//! endpoint and writes `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen --smoke                       # CI: one verified pass + clean shutdown
+//! loadgen --duration-secs 10 --threads 4 --items 300
+//! ```
+//!
+//! The server binary is found next to the running executable
+//! (`target/<profile>/emigre`), or via `--server-bin` / `$EMIGRE_BIN`.
+
+use emigre_core::{EmigreConfig, ExplainFailure, Explanation, QuestionError};
+use emigre_hin::{GraphView, Hin, NodeId};
+use emigre_ppr::{PprConfig, TransitionModel};
+use emigre_rec::RecConfig;
+use emigre_serve::{reference_explain, reference_recommend, MetricsSnapshot};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("loadgen error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad {name}: {raw:?}")),
+    }
+}
+
+/// Mirrors the CLI's `config_for`: `item` nodes recommendable, `rated`
+/// edges actionable, weighted transitions, ε = 1e-8. The reference oracle
+/// MUST use this (not `AmazonHin::emigre_config`) because it is what
+/// `emigre serve` builds for the same graph file.
+fn serve_config(g: &Hin) -> Result<EmigreConfig, String> {
+    let item_t = g
+        .registry()
+        .find_node_type("item")
+        .ok_or("graph has no `item` node type")?;
+    let rated = g
+        .registry()
+        .find_edge_type("rated")
+        .ok_or("graph has no `rated` edge type")?;
+    let ppr = PprConfig::default()
+        .with_transition(TransitionModel::Weighted)
+        .with_epsilon(1e-8);
+    Ok(EmigreConfig::new(
+        RecConfig::new(item_t).with_ppr(ppr),
+        rated,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Request plan: precomputed (request, expected response) pairs.
+// ---------------------------------------------------------------------------
+
+/// Wire-format mirrors of the server's response bodies. Serialized with
+/// the same serde through identically-ordered fields, so expected vs
+/// actual compare as plain strings.
+#[derive(Serialize)]
+struct ExplainOkBody {
+    status: String,
+    explanation: Explanation,
+}
+
+#[derive(Serialize)]
+struct ExplainFailureBody {
+    status: String,
+    failure: ExplainFailure,
+}
+
+#[derive(Serialize)]
+struct ItemScore {
+    item: u32,
+    score: f64,
+}
+
+#[derive(Serialize)]
+struct RecommendOkBody {
+    status: String,
+    items: Vec<ItemScore>,
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    error: String,
+    detail: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Endpoint {
+    Explain,
+    Recommend,
+}
+
+#[derive(Clone)]
+struct PlannedRequest {
+    endpoint: Endpoint,
+    path: &'static str,
+    body: String,
+    expected_status: u16,
+    expected_body: String,
+}
+
+fn expected_explain(
+    outcome: Result<Result<Explanation, ExplainFailure>, QuestionError>,
+) -> (u16, String) {
+    match outcome {
+        Ok(Ok(explanation)) => (
+            200,
+            serde_json::to_string(&ExplainOkBody {
+                status: "ok".to_owned(),
+                explanation,
+            })
+            .unwrap(),
+        ),
+        Ok(Err(failure)) => (
+            200,
+            serde_json::to_string(&ExplainFailureBody {
+                status: "failure".to_owned(),
+                failure,
+            })
+            .unwrap(),
+        ),
+        Err(q) => (
+            400,
+            serde_json::to_string(&ErrorBody {
+                error: "invalid_question".to_owned(),
+                detail: q.to_string(),
+            })
+            .unwrap(),
+        ),
+    }
+}
+
+/// Builds the verified request mix: for every sampled user one
+/// `/recommend` plus why-not questions over the head of their list,
+/// alternating a cheap remove method with the paper's default add method.
+fn build_plan(graph: &Hin, cfg: &EmigreConfig, users: &[NodeId], k: usize) -> Vec<PlannedRequest> {
+    let mut plan = Vec::new();
+    for &user in users {
+        let rec = match reference_recommend(graph, cfg, user, k) {
+            Ok(items) => items,
+            Err(_) => continue, // inactive user: nothing servable either
+        };
+        plan.push(PlannedRequest {
+            endpoint: Endpoint::Recommend,
+            path: "/recommend",
+            body: format!("{{\"user\":{},\"k\":{}}}", user.0, k),
+            expected_status: 200,
+            expected_body: serde_json::to_string(&RecommendOkBody {
+                status: "ok".to_owned(),
+                items: rec
+                    .iter()
+                    .map(|&(n, s)| ItemScore {
+                        item: n.0,
+                        score: s,
+                    })
+                    .collect(),
+            })
+            .unwrap(),
+        });
+        for (i, &(wni, _)) in rec.iter().skip(1).take(2).enumerate() {
+            let method = if i % 2 == 0 {
+                emigre_core::Method::RemoveIncremental
+            } else {
+                emigre_core::Method::AddPowerset
+            };
+            let (expected_status, expected_body) =
+                expected_explain(reference_explain(graph, cfg, user, wni, method));
+            plan.push(PlannedRequest {
+                endpoint: Endpoint::Explain,
+                path: "/explain",
+                body: format!(
+                    "{{\"user\":{},\"why_not\":{},\"method\":\"{}\"}}",
+                    user.0,
+                    wni.0,
+                    method.label()
+                ),
+                expected_status,
+                expected_body,
+            });
+        }
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP/1.1 client over a persistent TcpStream.
+// ---------------------------------------------------------------------------
+
+struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    fn connect(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        Ok(HttpClient { stream })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|_| self.stream.write_all(body.as_bytes()))
+            .map_err(|e| format!("send: {e}"))?;
+
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed connection mid-response".to_owned()),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line: {head:?}"))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed connection mid-body".to_owned()),
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("recv body: {e}")),
+            }
+        }
+        body.truncate(content_length);
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server process management.
+// ---------------------------------------------------------------------------
+
+fn server_binary(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(p) = flag(args, "--server-bin") {
+        return Ok(PathBuf::from(p));
+    }
+    if let Ok(p) = std::env::var("EMIGRE_BIN") {
+        return Ok(PathBuf::from(p));
+    }
+    let me = std::env::current_exe().map_err(|e| e.to_string())?;
+    let sibling = me
+        .parent()
+        .ok_or("current_exe has no parent dir")?
+        .join(format!("emigre{}", std::env::consts::EXE_SUFFIX));
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "server binary not found at {} — build it (`cargo build --bin emigre`) or pass --server-bin",
+            sibling.display()
+        ))
+    }
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_server(bin: &Path, graph_file: &Path) -> Result<Server, String> {
+    let mut child = Command::new(bin)
+        .args([
+            "serve",
+            "--graph",
+            &graph_file.display().to_string(),
+            "--port",
+            "0",
+            "--deadline-ms",
+            "60000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("emigre-serve listening on ") {
+                    break addr.trim().to_owned();
+                }
+            }
+            Some(Err(e)) => return Err(format!("reading server stdout: {e}")),
+            None => {
+                let _ = child.wait();
+                return Err("server exited before announcing its address".to_owned());
+            }
+        }
+    };
+    Ok(Server { child, addr })
+}
+
+// ---------------------------------------------------------------------------
+// Measurement.
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize, Default)]
+struct LatencyReport {
+    count: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: u64,
+    max_us: u64,
+}
+
+fn latency_report(mut lat_us: Vec<u64>) -> LatencyReport {
+    if lat_us.is_empty() {
+        return LatencyReport::default();
+    }
+    lat_us.sort_unstable();
+    let n = lat_us.len();
+    let q = |p: f64| lat_us[(((n as f64) * p).ceil() as usize).clamp(1, n) - 1];
+    LatencyReport {
+        count: n as u64,
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+        mean_us: lat_us.iter().sum::<u64>() / n as u64,
+        max_us: lat_us[n - 1],
+    }
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    items: usize,
+    threads: usize,
+    duration_secs: f64,
+    requests: u64,
+    divergences: u64,
+    qps: f64,
+    explain: LatencyReport,
+    recommend: LatencyReport,
+    server_metrics: MetricsSnapshot,
+}
+
+struct WorkerOutput {
+    explain_us: Vec<u64>,
+    recommend_us: Vec<u64>,
+    divergences: Vec<String>,
+}
+
+/// One closed-loop client: next request as soon as the last one answered.
+fn worker(
+    addr: String,
+    plan: Arc<Vec<PlannedRequest>>,
+    cursor: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    max_requests: Option<usize>,
+) -> Result<WorkerOutput, String> {
+    let mut client = HttpClient::connect(&addr)?;
+    let mut out = WorkerOutput {
+        explain_us: Vec::new(),
+        recommend_us: Vec::new(),
+        divergences: Vec::new(),
+    };
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(out);
+        }
+        let seq = cursor.fetch_add(1, Ordering::Relaxed);
+        if let Some(max) = max_requests {
+            if seq >= max {
+                return Ok(out);
+            }
+        }
+        let req = &plan[seq % plan.len()];
+        let t0 = Instant::now();
+        let (status, body) = client.request("POST", req.path, &req.body)?;
+        let us = t0.elapsed().as_micros() as u64;
+        match req.endpoint {
+            Endpoint::Explain => out.explain_us.push(us),
+            Endpoint::Recommend => out.recommend_us.push(us),
+        }
+        if status != req.expected_status || body != req.expected_body {
+            out.divergences.push(format!(
+                "{} {} -> {status} {body:.200} (expected {} {:.200})",
+                req.path, req.body, req.expected_status, req.expected_body
+            ));
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let items: usize = parse_flag(args, "--items", if smoke { 200 } else { 300 })?;
+    let threads: usize = parse_flag(args, "--threads", if smoke { 2 } else { 4 })?;
+    let duration_secs: u64 = parse_flag(args, "--duration-secs", 10)?;
+    let k: usize = parse_flag(args, "--k", 5)?;
+    let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    // Build the synthetic world, write it out, and re-parse the written
+    // file: reference and server then explain the *same parsed graph*.
+    eprintln!("loadgen: building synthetic HIN ({items} items)");
+    let w = emigre_bench::world(items, 1e-8);
+    let text = emigre_hin::io::to_edge_list(&w.hin.graph);
+    let graph_file =
+        std::env::temp_dir().join(format!("emigre-loadgen-{}.hin", std::process::id()));
+    std::fs::write(&graph_file, &text).map_err(|e| format!("writing graph file: {e}"))?;
+    let graph = emigre_hin::io::from_edge_list(&text).map_err(|e| format!("reparse: {e}"))?;
+    let cfg = serve_config(&graph)?;
+
+    eprintln!(
+        "loadgen: precomputing reference answers for {} users",
+        w.hin.users.len()
+    );
+    let plan = build_plan(&graph, &cfg, &w.hin.users, k);
+    if plan.is_empty() {
+        return Err("empty request plan — no servable users in the world".to_owned());
+    }
+    let n_explain = plan
+        .iter()
+        .filter(|p| p.endpoint == Endpoint::Explain)
+        .count();
+    eprintln!(
+        "loadgen: plan has {} requests ({} explain, {} recommend)",
+        plan.len(),
+        n_explain,
+        plan.len() - n_explain
+    );
+
+    let bin = server_binary(args)?;
+    let mut server = spawn_server(&bin, &graph_file)?;
+    eprintln!("loadgen: server {} up at {}", bin.display(), server.addr);
+
+    let result = drive(
+        &server.addr,
+        plan,
+        smoke,
+        threads,
+        duration_secs,
+        items,
+        &out_path,
+    );
+
+    // Graceful stop: POST /shutdown, then require a clean exit.
+    let shutdown = HttpClient::connect(&server.addr)
+        .and_then(|mut c| c.request("POST", "/shutdown", ""))
+        .map(|(status, _)| status);
+    let exit = server.child.wait().map_err(|e| format!("wait: {e}"))?;
+    let _ = std::fs::remove_file(&graph_file);
+    if shutdown != Ok(200) {
+        return Err(format!("POST /shutdown failed: {shutdown:?}"));
+    }
+    if !exit.success() {
+        return Err(format!("server exited with {exit}"));
+    }
+    eprintln!("loadgen: server drained and exited cleanly");
+    result
+}
+
+fn drive(
+    addr: &str,
+    plan: Vec<PlannedRequest>,
+    smoke: bool,
+    threads: usize,
+    duration_secs: u64,
+    items: usize,
+    out_path: &str,
+) -> Result<(), String> {
+    // Health check before measuring.
+    let mut probe = HttpClient::connect(addr)?;
+    let (status, _) = probe.request("GET", "/healthz", "")?;
+    if status != 200 {
+        return Err(format!("healthz returned {status}"));
+    }
+
+    let plan = Arc::new(plan);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Smoke: exactly one verified pass over the plan. Load: run for the
+    // requested wall-clock duration.
+    let max_requests = smoke.then_some(plan.len());
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads.max(1))
+        .map(|_| {
+            let (addr, plan, cursor, stop) = (
+                addr.to_owned(),
+                Arc::clone(&plan),
+                Arc::clone(&cursor),
+                Arc::clone(&stop),
+            );
+            std::thread::spawn(move || worker(addr, plan, cursor, stop, max_requests))
+        })
+        .collect();
+    if !smoke {
+        std::thread::sleep(Duration::from_secs(duration_secs));
+        stop.store(true, Ordering::Relaxed);
+    }
+    let outputs = handles
+        .into_iter()
+        .map(|h| h.join().map_err(|_| "worker panicked".to_owned())?)
+        .collect::<Result<Vec<_>, String>>()?;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut explain_us = Vec::new();
+    let mut recommend_us = Vec::new();
+    let mut divergences = Vec::new();
+    for o in outputs {
+        explain_us.extend(o.explain_us);
+        recommend_us.extend(o.recommend_us);
+        divergences.extend(o.divergences);
+    }
+    let requests = (explain_us.len() + recommend_us.len()) as u64;
+
+    // Server-side view, fetched before shutdown.
+    let (_, metrics_json) = probe.request("GET", "/metrics", "")?;
+    let server_metrics: MetricsSnapshot =
+        serde_json::from_str(&metrics_json).map_err(|e| format!("parsing /metrics: {e}"))?;
+
+    let report = BenchReport {
+        smoke,
+        items,
+        threads,
+        duration_secs: elapsed,
+        requests,
+        divergences: divergences.len() as u64,
+        qps: requests as f64 / elapsed.max(1e-9),
+        explain: latency_report(explain_us),
+        recommend: latency_report(recommend_us),
+        server_metrics,
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("{json}");
+    eprintln!(
+        "loadgen: {requests} requests in {elapsed:.2}s — {:.1} QPS, {} divergence(s); wrote {out_path}",
+        report.qps,
+        divergences.len()
+    );
+
+    for d in divergences.iter().take(5) {
+        eprintln!("divergence: {d}");
+    }
+    if !divergences.is_empty() {
+        return Err(format!(
+            "{} served response(s) diverged from the single-threaded reference",
+            divergences.len()
+        ));
+    }
+    Ok(())
+}

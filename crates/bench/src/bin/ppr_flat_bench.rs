@@ -69,7 +69,7 @@ fn legacy_check<G: GraphView>(ctx: &ExplainContext<'_, G>, actions: &[Action]) -
     }
 
     let mut state = if ctx.cfg.dynamic_test {
-        let mut s = ctx.user_push.clone();
+        let mut s = (*ctx.user_push).clone();
         for u in delta.touched_sources() {
             let old_row = emigre_ppr::transition_row(ctx.graph, ctx.cfg.rec.ppr.transition, u);
             let new_row = emigre_ppr::transition_row(&view, ctx.cfg.rec.ppr.transition, u);

@@ -8,7 +8,7 @@
 //! per-question setup from three push runs to one.
 
 use crate::config::EmigreConfig;
-use crate::context::{CandidateIndex, CheckState, ExplainContext};
+use crate::context::{ExplainContext, UserArtifacts};
 use crate::explainer::{Explainer, Method};
 use crate::explanation::Explanation;
 use crate::failure::ExplainFailure;
@@ -17,7 +17,7 @@ use emigre_hin::{GraphView, NodeId};
 use emigre_obs::{ObsHandle, Op};
 use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
-use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Builds contexts for several Why-Not items of the same user, sharing the
 /// user push, recommendation list and `PPR(·, rec)` column across them.
@@ -47,60 +47,30 @@ pub fn batch_contexts_with_obs<'g, G: GraphView>(
     cfg.validate();
     let batch_span = obs.span("batch_setup");
     // Shared artefacts — identical to ExplainContext::build.
-    let kernel = TransitionCsr::build(graph, cfg.rec.ppr.transition);
-    let recommender = PprRecommender::new(cfg.rec);
-    let user_push = ForwardPush::compute_kernel(&kernel, &cfg.rec.ppr, user);
-    obs.count(Op::ForwardPushes, user_push.pushes as u64);
-    obs.add_mass(user_push.drained);
-    let floor = crate::tester::score_floor(cfg);
-    let candidates = recommender
-        .candidates(graph, user)
-        .into_iter()
-        .filter(|n| user_push.estimates[n.index()] > floor);
-    let rec_list = RecList::from_scores(&user_push.estimates, candidates, cfg.target_list_size);
-    let Some(rec) = rec_list.top() else {
-        return wnis
-            .iter()
-            .map(|_| Err(QuestionError::InvalidUser(user)))
-            .collect();
+    let kernel = Arc::new(TransitionCsr::build(graph, cfg.rec.ppr.transition));
+    let artifacts = match UserArtifacts::build(graph, cfg, kernel, user, &obs) {
+        Ok(a) => a,
+        Err(e) => return wnis.iter().map(|_| Err(e)).collect(),
     };
-    let ppr_to_rec = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, rec);
-    obs.count(Op::ReversePushes, ppr_to_rec.pushes as u64);
-    obs.add_mass(ppr_to_rec.drained);
-    // Satellite of the shared artefacts: the candidate index only depends on
-    // the user, so build it once and clone the (override-free) base per
-    // question instead of rescanning the graph for every WNI.
-    let cand_base = CandidateIndex::build(graph, cfg.rec.item_type, user);
     drop(batch_span);
 
     wnis.iter()
         .map(|&wni| {
-            WhyNotQuestion::validate(graph, cfg, user, wni, Some(rec))?;
+            // Reject malformed questions before paying for their column.
+            WhyNotQuestion::validate(graph, cfg, user, wni, Some(artifacts.rec))?;
             let _span = obs.span("context_build");
-            let ppr_to_wni = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, wni);
+            let ppr_to_wni = ReversePush::compute_kernel(&*artifacts.kernel, &cfg.rec.ppr, wni);
             obs.count(Op::ReversePushes, ppr_to_wni.pushes as u64);
             obs.add_mass(ppr_to_wni.drained);
-            let mut ws = PushWorkspace::new(graph.num_nodes());
-            if cfg.dynamic_test {
-                ws.load_base(&user_push);
-            }
-            Ok(ExplainContext {
+            ExplainContext::from_artifacts(
                 graph,
-                cfg: cfg.clone(),
-                user,
+                cfg.clone(),
+                &artifacts,
                 wni,
-                rec,
-                rec_list: rec_list.clone(),
-                user_push: user_push.clone(),
-                ppr_to_rec: ppr_to_rec.clone(),
-                ppr_to_wni,
-                kernel: kernel.clone(),
-                check: RefCell::new(CheckState {
-                    ws,
-                    cand: cand_base.clone(),
-                }),
-                obs: obs.clone(),
-            })
+                Arc::new(ppr_to_wni),
+                PushWorkspace::new(graph.num_nodes()),
+                obs.clone(),
+            )
         })
         .collect()
 }

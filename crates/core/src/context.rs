@@ -18,6 +18,7 @@ use emigre_obs::{ObsHandle, Op};
 use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Index over the recommendation candidate pool: the item-typed nodes and
 /// a bitset of the user's interactions.
@@ -114,6 +115,76 @@ pub(crate) struct CheckState {
     pub(crate) cand: CandidateIndex,
 }
 
+/// The per-user half of a question's pre-computed state: everything that
+/// depends on the user but **not** on the Why-Not item.
+///
+/// One user's session asks many Why-Not questions (the §6.2 batch loop, or
+/// a serving session cache); all of them share the forward push, the
+/// recommendation list, the `PPR(·, rec)` column, and the candidate index.
+/// The artefacts are `Arc`-shared so assembling a context from them is
+/// `O(1)` — no `O(n)`/`O(E)` clones per question.
+#[derive(Clone)]
+pub struct UserArtifacts {
+    pub user: NodeId,
+    /// Flat transition rows of the base graph.
+    pub kernel: Arc<TransitionCsr>,
+    /// Forward-push state personalised on the user.
+    pub user_push: Arc<ForwardPush>,
+    /// The current top-1 recommendation.
+    pub rec: NodeId,
+    /// The user's top-`target_list_size` recommendation list.
+    pub rec_list: RecList,
+    /// `PPR(·, rec)` estimates for every node.
+    pub ppr_to_rec: Arc<ReversePush>,
+    /// Override-free candidate index, cloned into each context.
+    pub cand_base: CandidateIndex,
+}
+
+impl UserArtifacts {
+    /// Computes the user-shared artefacts: one forward push, the
+    /// recommendation list (or `InvalidUser` if it is empty), one reverse
+    /// push on `rec`, and the candidate index. The caller supplies the
+    /// graph-wide `kernel` so it can be shared across users too.
+    pub fn build<G: GraphView>(
+        graph: &G,
+        cfg: &EmigreConfig,
+        kernel: Arc<TransitionCsr>,
+        user: NodeId,
+        obs: &ObsHandle,
+    ) -> Result<Self, QuestionError> {
+        if user.0 >= graph.num_nodes() as u32 {
+            return Err(QuestionError::InvalidUser(user));
+        }
+        let recommender = PprRecommender::new(cfg.rec);
+        let user_push = ForwardPush::compute_kernel(&*kernel, &cfg.rec.ppr, user);
+        obs.count(Op::ForwardPushes, user_push.pushes as u64);
+        obs.add_mass(user_push.drained);
+        // Same zero-score floor as the CHECK step (see
+        // [`crate::tester::score_floor`]): vacuous candidates never enter
+        // the target list.
+        let floor = crate::tester::score_floor(cfg);
+        let candidates = recommender
+            .candidates(graph, user)
+            .into_iter()
+            .filter(|n| user_push.estimates[n.index()] > floor);
+        let rec_list = RecList::from_scores(&user_push.estimates, candidates, cfg.target_list_size);
+        let rec = rec_list.top().ok_or(QuestionError::InvalidUser(user))?;
+        let ppr_to_rec = ReversePush::compute_kernel(&*kernel, &cfg.rec.ppr, rec);
+        obs.count(Op::ReversePushes, ppr_to_rec.pushes as u64);
+        obs.add_mass(ppr_to_rec.drained);
+        let cand_base = CandidateIndex::build(graph, cfg.rec.item_type, user);
+        Ok(UserArtifacts {
+            user,
+            kernel,
+            user_push: Arc::new(user_push),
+            rec,
+            rec_list,
+            ppr_to_rec: Arc::new(ppr_to_rec),
+            cand_base,
+        })
+    }
+}
+
 /// Pre-computed state shared by every explanation algorithm for one
 /// `(user, WNI)` question.
 pub struct ExplainContext<'g, G: GraphView> {
@@ -127,15 +198,16 @@ pub struct ExplainContext<'g, G: GraphView> {
     /// The user's top-`target_list_size` recommendation list (the target
     /// set `T` of Algorithm 5; includes `rec`, may include `wni`).
     pub rec_list: RecList,
-    /// Forward-push state personalised on the user (base graph).
-    pub user_push: ForwardPush,
+    /// Forward-push state personalised on the user (base graph). Shared
+    /// with the user's other questions; read-only through the context.
+    pub user_push: Arc<ForwardPush>,
     /// `PPR(·, rec)` estimates for every node.
-    pub ppr_to_rec: ReversePush,
+    pub ppr_to_rec: Arc<ReversePush>,
     /// `PPR(·, wni)` estimates for every node.
-    pub ppr_to_wni: ReversePush,
+    pub ppr_to_wni: Arc<ReversePush>,
     /// Flat transition rows of the base graph, shared by every push in
     /// this context; counterfactual CHECKs patch the touched rows on top.
-    pub kernel: TransitionCsr,
+    pub kernel: Arc<TransitionCsr>,
     /// Reusable CHECK scratch (push workspace + candidate index).
     pub(crate) check: RefCell<CheckState>,
     /// Observability sink for everything computed through this context
@@ -174,53 +246,65 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
 
         // All pushes in this context run over the flat transition kernel;
         // building it is one O(E) sweep amortised across every CHECK.
-        let kernel = TransitionCsr::build(graph, cfg.rec.ppr.transition);
+        let kernel = Arc::new(TransitionCsr::build(graph, cfg.rec.ppr.transition));
+        let artifacts = UserArtifacts::build(graph, &cfg, kernel, user, &obs)?;
 
-        let recommender = PprRecommender::new(cfg.rec);
-        let user_push = ForwardPush::compute_kernel(&kernel, &cfg.rec.ppr, user);
-        obs.count(Op::ForwardPushes, user_push.pushes as u64);
-        obs.add_mass(user_push.drained);
-        // Same zero-score floor as the CHECK step (see
-        // [`crate::tester::score_floor`]): vacuous candidates never enter
-        // the target list.
-        let floor = crate::tester::score_floor(&cfg);
-        let candidates = recommender
-            .candidates(graph, user)
-            .into_iter()
-            .filter(|n| user_push.estimates[n.index()] > floor);
-        let rec_list = RecList::from_scores(&user_push.estimates, candidates, cfg.target_list_size);
-        let rec = rec_list.top().ok_or(QuestionError::InvalidUser(user))?;
-        // Re-validate now that the recommendation is known.
-        WhyNotQuestion::validate(graph, &cfg, user, wni, Some(rec))?;
+        let ppr_to_wni = ReversePush::compute_kernel(&*artifacts.kernel, &cfg.rec.ppr, wni);
+        obs.count(Op::ReversePushes, ppr_to_wni.pushes as u64);
+        obs.add_mass(ppr_to_wni.drained);
 
-        let ppr_to_rec = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, rec);
-        let ppr_to_wni = ReversePush::compute_kernel(&kernel, &cfg.rec.ppr, wni);
-        obs.count(
-            Op::ReversePushes,
-            (ppr_to_rec.pushes + ppr_to_wni.pushes) as u64,
-        );
-        obs.add_mass(ppr_to_rec.drained + ppr_to_wni.drained);
-        obs.trace_question(user.0, wni.0, rec.0);
+        let ws = PushWorkspace::new(graph.num_nodes());
+        Self::from_artifacts(graph, cfg, &artifacts, wni, Arc::new(ppr_to_wni), ws, obs)
+    }
 
-        let mut ws = PushWorkspace::new(graph.num_nodes());
+    /// Assembles a context from a user's shared artefacts, the
+    /// WNI-specific `PPR(·, wni)` column, and a recycled workspace.
+    ///
+    /// `O(1)` plus the candidate-index clone and the workspace reload —
+    /// no pushes run. This is the serving fast path: artefacts come from a
+    /// session cache, the column from a column cache, and the workspace
+    /// from the worker's scratch. Validation against `rec` still happens
+    /// here (`AlreadyRecommended` etc.), so cache hits fail questions with
+    /// the same errors as cold builds.
+    pub fn from_artifacts(
+        graph: &'g G,
+        cfg: EmigreConfig,
+        artifacts: &UserArtifacts,
+        wni: NodeId,
+        ppr_to_wni: Arc<ReversePush>,
+        mut ws: PushWorkspace,
+        obs: ObsHandle,
+    ) -> Result<Self, QuestionError> {
+        WhyNotQuestion::validate(graph, &cfg, artifacts.user, wni, Some(artifacts.rec))?;
+        obs.trace_question(artifacts.user.0, wni.0, artifacts.rec.0);
         if cfg.dynamic_test {
-            ws.load_base(&user_push);
+            ws.load_base(&artifacts.user_push);
+        } else {
+            ws.clear(graph.num_nodes());
         }
-        let cand = CandidateIndex::build(graph, cfg.rec.item_type, user);
         Ok(ExplainContext {
             graph,
             cfg,
-            user,
+            user: artifacts.user,
             wni,
-            rec,
-            rec_list,
-            user_push,
-            ppr_to_rec,
+            rec: artifacts.rec,
+            rec_list: artifacts.rec_list.clone(),
+            user_push: Arc::clone(&artifacts.user_push),
+            ppr_to_rec: Arc::clone(&artifacts.ppr_to_rec),
             ppr_to_wni,
-            kernel,
-            check: RefCell::new(CheckState { ws, cand }),
+            kernel: Arc::clone(&artifacts.kernel),
+            check: RefCell::new(CheckState {
+                ws,
+                cand: artifacts.cand_base.clone(),
+            }),
             obs,
         })
+    }
+
+    /// Consumes the context, handing its push workspace back for reuse by
+    /// the next question (see [`ExplainContext::from_artifacts`]).
+    pub fn into_workspace(self) -> PushWorkspace {
+        self.check.into_inner().ws
     }
 
     /// `PPR(n, rec)` for a candidate node `n`.

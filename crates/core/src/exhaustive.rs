@@ -110,7 +110,7 @@ fn run<G: GraphView>(
         .iter()
         .map(|&t| {
             if t == ctx.rec {
-                ctx.ppr_to_rec.clone()
+                (*ctx.ppr_to_rec).clone()
             } else {
                 let p = ReversePush::compute(ctx.graph, &ctx.cfg.rec.ppr, t);
                 ctx.obs

@@ -52,10 +52,10 @@ pub mod tester;
 pub mod weighted;
 
 pub use config::EmigreConfig;
-pub use context::{CandidateIndex, ExplainContext};
+pub use context::{CandidateIndex, ExplainContext, UserArtifacts};
 pub use exhaustive::ExhaustiveTrace;
 pub use explainer::{Explainer, Method};
 pub use explanation::{Action, Explanation, Mode};
 pub use failure::{ExplainFailure, FailureReason};
-pub use question::WhyNotQuestion;
+pub use question::{QuestionError, WhyNotQuestion};
 pub use search::{Candidate, SearchSpace};

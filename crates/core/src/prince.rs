@@ -72,7 +72,7 @@ pub fn prince<G: GraphView>(ctx: &ExplainContext<'_, G>) -> Result<WhyExplanatio
     let mut best: Option<WhyExplanation> = None;
     for r_star in replacements {
         let ppr_to_r = if r_star == ctx.wni {
-            ctx.ppr_to_wni.clone()
+            (*ctx.ppr_to_wni).clone()
         } else {
             ReversePush::compute(g, &ctx.cfg.rec.ppr, r_star)
         };

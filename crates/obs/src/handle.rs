@@ -15,8 +15,11 @@ use std::sync::Arc;
 
 struct ObsInner {
     counters: OpCounters,
-    spans: Mutex<SpanRecorder>,
-    trace: Mutex<ExplainTrace>,
+    /// `None` in counters-only handles: a long-running service records
+    /// counters forever, but the span arena and trace grow per call and
+    /// would leak unboundedly.
+    spans: Option<Mutex<SpanRecorder>>,
+    trace: Option<Mutex<ExplainTrace>>,
 }
 
 /// Cheap, cloneable observability handle. See module docs.
@@ -33,8 +36,21 @@ impl ObsHandle {
     pub fn enabled() -> Self {
         ObsHandle(Some(Arc::new(ObsInner {
             counters: OpCounters::default(),
-            spans: Mutex::new(SpanRecorder::new()),
-            trace: Mutex::new(ExplainTrace::default()),
+            spans: Some(Mutex::new(SpanRecorder::new())),
+            trace: Some(Mutex::new(ExplainTrace::default())),
+        })))
+    }
+
+    /// A handle that records **counters only**: spans and traces are
+    /// no-ops and allocate nothing. This is the handle for long-running
+    /// servers — counter memory is constant, while the span arena and the
+    /// trace grow with every instrumented call and would leak over an
+    /// unbounded request stream.
+    pub fn counters_only() -> Self {
+        ObsHandle(Some(Arc::new(ObsInner {
+            counters: OpCounters::default(),
+            spans: None,
+            trace: None,
         })))
     }
 
@@ -86,19 +102,22 @@ impl ObsHandle {
     /// Returns an inert guard when disabled.
     pub fn span(&self, name: &str) -> SpanGuard {
         match &self.0 {
-            Some(inner) => {
-                let idx = inner.spans.lock().open(name);
-                SpanGuard(Some((Arc::clone(inner), idx)))
-            }
+            Some(inner) => match &inner.spans {
+                Some(spans) => {
+                    let idx = spans.lock().open(name);
+                    SpanGuard(Some((Arc::clone(inner), idx)))
+                }
+                None => SpanGuard(None),
+            },
             None => SpanGuard(None),
         }
     }
 
-    /// Exports the recorded span forest (empty when disabled or nothing
-    /// was recorded).
+    /// Exports the recorded span forest (empty when disabled, counters-only,
+    /// or nothing was recorded).
     pub fn span_tree(&self) -> Vec<SpanExport> {
-        match &self.0 {
-            Some(inner) => inner.spans.lock().export(),
+        match self.0.as_ref().and_then(|inner| inner.spans.as_ref()) {
+            Some(spans) => spans.lock().export(),
             None => Vec::new(),
         }
     }
@@ -107,8 +126,8 @@ impl ObsHandle {
 
     /// Records the Why-Not question identity.
     pub fn trace_question(&self, user: u32, wni: u32, rec: u32) {
-        if let Some(inner) = &self.0 {
-            let mut t = inner.trace.lock();
+        if let Some(trace) = self.trace_sink() {
+            let mut t = trace.lock();
             t.user = user;
             t.wni = wni;
             t.rec = rec;
@@ -117,16 +136,16 @@ impl ObsHandle {
 
     /// Records the method label.
     pub fn trace_method(&self, label: &str) {
-        if let Some(inner) = &self.0 {
-            inner.trace.lock().method = label.to_string();
+        if let Some(trace) = self.trace_sink() {
+            trace.lock().method = label.to_string();
         }
     }
 
     /// Records the ranked candidate list for mode `mode` (overwrites any
     /// previous list — the last search space the method built wins).
     pub fn trace_candidates(&self, mode: &str, candidates: Vec<TraceCandidate>) {
-        if let Some(inner) = &self.0 {
-            let mut t = inner.trace.lock();
+        if let Some(trace) = self.trace_sink() {
+            let mut t = trace.lock();
             t.mode = mode.to_string();
             t.candidates = candidates;
         }
@@ -134,8 +153,8 @@ impl ObsHandle {
 
     /// Records a τ threshold crossing.
     pub fn trace_crossing(&self, candidate_index: u64, tau: f64) {
-        if let Some(inner) = &self.0 {
-            inner.trace.lock().crossings.push(TraceCrossing {
+        if let Some(trace) = self.trace_sink() {
+            trace.lock().crossings.push(TraceCrossing {
                 candidate_index,
                 tau,
             });
@@ -144,19 +163,15 @@ impl ObsHandle {
 
     /// Records one TEST invocation and its verdict.
     pub fn trace_test(&self, actions: Vec<TraceAction>, verdict: bool) {
-        if let Some(inner) = &self.0 {
-            inner
-                .trace
-                .lock()
-                .tests
-                .push(TraceTest { actions, verdict });
+        if let Some(trace) = self.trace_sink() {
+            trace.lock().tests.push(TraceTest { actions, verdict });
         }
     }
 
     /// Records a successful outcome.
     pub fn trace_found(&self, explanation: Vec<TraceAction>, verified: bool) {
-        if let Some(inner) = &self.0 {
-            let mut t = inner.trace.lock();
+        if let Some(trace) = self.trace_sink() {
+            let mut t = trace.lock();
             t.found = true;
             t.verified = verified;
             t.explanation = explanation;
@@ -166,8 +181,8 @@ impl ObsHandle {
 
     /// Records a failed outcome with its reason label.
     pub fn trace_failure(&self, reason: &str) {
-        if let Some(inner) = &self.0 {
-            let mut t = inner.trace.lock();
+        if let Some(trace) = self.trace_sink() {
+            let mut t = trace.lock();
             t.found = false;
             t.verified = false;
             t.explanation.clear();
@@ -175,9 +190,14 @@ impl ObsHandle {
         }
     }
 
-    /// Clones out the accumulated trace (None when disabled).
+    /// Clones out the accumulated trace (None when disabled or
+    /// counters-only).
     pub fn trace(&self) -> Option<ExplainTrace> {
-        self.0.as_ref().map(|inner| inner.trace.lock().clone())
+        self.trace_sink().map(|trace| trace.lock().clone())
+    }
+
+    fn trace_sink(&self) -> Option<&Mutex<ExplainTrace>> {
+        self.0.as_ref().and_then(|inner| inner.trace.as_ref())
     }
 }
 
@@ -188,7 +208,9 @@ pub struct SpanGuard(Option<(Arc<ObsInner>, usize)>);
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((inner, idx)) = self.0.take() {
-            inner.spans.lock().close(idx);
+            if let Some(spans) = &inner.spans {
+                spans.lock().close(idx);
+            }
         }
     }
 }
@@ -248,6 +270,21 @@ mod tests {
         assert_eq!(t.tests.len(), 1);
         assert!(!t.found);
         assert_eq!(t.failure, "NoExplanationExists");
+    }
+
+    #[test]
+    fn counters_only_records_counters_but_no_spans_or_trace() {
+        let h = ObsHandle::counters_only();
+        assert!(h.is_enabled());
+        h.count(Op::Checks, 3);
+        {
+            let _g = h.span("question");
+        }
+        h.trace_question(1, 2, 3);
+        h.trace_failure("NoExplanationExists");
+        assert_eq!(h.counters().checks, 3);
+        assert!(h.span_tree().is_empty());
+        assert!(h.trace().is_none());
     }
 
     #[test]

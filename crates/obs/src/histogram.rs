@@ -1,0 +1,225 @@
+//! Lock-free latency histograms for long-running serving paths.
+//!
+//! The eval harness records exact per-question durations because it owns
+//! the whole run; a server cannot — it needs bounded-memory, concurrent
+//! recording over an unbounded request stream. [`LatencyHistogram`] is a
+//! fixed array of power-of-two microsecond buckets updated with relaxed
+//! atomics: recording is two `fetch_add`s and a `fetch_max`, reading takes
+//! a [`HistogramSnapshot`] with estimated quantiles.
+//!
+//! Bucket `i` covers `[2^(i-1), 2^i)` µs (bucket 0 is `[0, 1)` µs), so 40
+//! buckets span sub-microsecond to ~6 days — more than any deadline this
+//! workspace allows. Quantiles are read at the upper edge of the bucket
+//! containing the target rank: a conservative (never under-reporting)
+//! estimate with ≤2× resolution error, the standard trade-off for
+//! log-bucketed histograms.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets. `2^39` µs ≈ 6.4 days.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Concurrent fixed-memory latency histogram. See module docs.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket covering `us` microseconds.
+#[inline]
+fn bucket_of(us: u64) -> usize {
+    // 0 → bucket 0, otherwise 1 + floor(log2(us)), clamped to the last.
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Upper edge (exclusive) of bucket `i` in microseconds.
+#[inline]
+fn bucket_upper_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy with precomputed quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Per-field relaxed loads can skew against racing writers; derive
+        // the count from the bucket copy so quantile ranks stay consistent.
+        let count: u64 = buckets.iter().sum();
+        let mut snap = HistogramSnapshot {
+            count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            buckets,
+        };
+        snap.p50_us = snap.quantile_us(0.50);
+        snap.p95_us = snap.quantile_us(0.95);
+        snap.p99_us = snap.quantile_us(0.99);
+        snap
+    }
+}
+
+/// Plain-old-data copy of a [`LatencyHistogram`], serializable for
+/// `/metrics` responses and `BENCH_serve.json`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_us: u64,
+    pub max_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    /// Per-bucket counts; bucket `i` covers `[2^(i-1), 2^i)` µs.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Upper-edge estimate of the `q`-quantile (0 < q ≤ 1) in µs; 0 when
+    /// empty. Never under-reports: the true quantile lies in the returned
+    /// bucket, whose exclusive upper edge is reported (capped at `max_us`).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_us(i).min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean observation in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max_us, 1000);
+        // p50 over {10..90, 1000}: true median 50, upper-edge estimate ≤ 64.
+        assert!(s.p50_us >= 50 && s.p50_us <= 64, "p50={}", s.p50_us);
+        // p99 lands in the 1000 bucket: [512, 1024), capped at max 1000.
+        assert!(s.p99_us >= 1000 && s.p99_us <= 1024, "p99={}", s.p99_us);
+        assert!((s.mean_us() - 145.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.quantile_us(0.99), 0);
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record_us(t * 1000 + i);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(s.max_us, 3999);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(150));
+        h.record(Duration::from_millis(2));
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

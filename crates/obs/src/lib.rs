@@ -11,6 +11,9 @@
 //! 3. **Explain traces** ([`ExplainTrace`]): the ranked candidate list,
 //!    every τ threshold crossing, and every TEST verdict of one question,
 //!    replayable offline.
+//! 4. **Latency histograms** ([`LatencyHistogram`]): fixed-memory
+//!    log-bucketed timing distributions for long-running serving paths,
+//!    snapshotted with estimated p50/p95/p99.
 //!
 //! A disabled handle (the default) is a `None`: every call is a branch on
 //! a null pointer, no state is allocated, nothing is recorded. The
@@ -20,10 +23,12 @@
 
 mod counters;
 mod handle;
+mod histogram;
 mod spans;
 mod trace;
 
 pub use counters::{CounterSnapshot, Op, OpCounters};
 pub use handle::{ObsHandle, SpanGuard};
+pub use histogram::{HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use spans::{SpanExport, SpanRecorder};
 pub use trace::{ExplainTrace, TraceAction, TraceCandidate, TraceCrossing, TraceTest};

@@ -101,6 +101,26 @@ impl PushWorkspace {
         self.mass = self.base_mass;
     }
 
+    /// Resets to the all-zero base state over `n` nodes, keeping buffer
+    /// capacity. The reuse counterpart of [`PushWorkspace::new`] for
+    /// workspaces recycled across questions (e.g. a serving worker's
+    /// scratch); cumulative `pushes`/`drained` tallies are preserved.
+    pub fn clear(&mut self, n: usize) {
+        self.estimates.clear();
+        self.estimates.resize(n, 0.0);
+        self.residuals.clear();
+        self.residuals.resize(n, 0.0);
+        self.queued.clear();
+        self.queued.resize(n, false);
+        self.touch_epoch.clear();
+        self.touch_epoch.resize(n, 0);
+        self.epoch = 1;
+        self.queue.clear();
+        self.undo.clear();
+        self.base_mass = 0.0;
+        self.mass = 0.0;
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {

@@ -1,0 +1,161 @@
+//! A small size-bounded LRU cache for serving state.
+//!
+//! Two instances back the service: the **session cache** (user →
+//! [`emigre_core::UserArtifacts`]) and the **column cache** (Why-Not item
+//! → reverse-push `PPR(·, WNI)` column). Both hold `Arc`ed values, so a
+//! hit is a pointer clone and an eviction never invalidates state a
+//! worker is still using.
+//!
+//! Recency is a logical clock stamped on every access; eviction scans for
+//! the minimum stamp. `O(capacity)` per eviction — the caches are tens to
+//! hundreds of entries, far below the threshold where an intrusive list
+//! would pay for its complexity.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+/// Least-recently-used map with hit/miss/eviction accounting. Not
+/// internally synchronised — the service wraps it in a `Mutex`.
+pub struct LruCache<K: Eq + Hash, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, Entry<V>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "LruCache capacity must be at least 1");
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Clone of the cached value, refreshing its recency. Counts a hit or
+    /// a miss.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.stamp = tick;
+                self.hits += 1;
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                stamp: self.tick,
+            },
+        );
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Accounting snapshot for `/metrics`.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            len: self.map.len() as u64,
+            capacity: self.cap as u64,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// Point-in-time cache accounting, serialisable for `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub len: u64,
+    pub capacity: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // refresh 1; 2 becomes LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh, no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&1), Some(11));
+    }
+}

@@ -1,0 +1,455 @@
+//! std-only HTTP/1.1 JSON front end over the [`ExplanationService`].
+//!
+//! No HTTP framework: the whole protocol surface this service needs is
+//! request-line + headers + `Content-Length` framing, which `std::net`
+//! covers. One thread per connection (keep-alive supported), a
+//! non-blocking accept loop that polls the shutdown flag, and JSON bodies
+//! via the workspace's serde.
+//!
+//! ## Endpoints
+//!
+//! | route             | body                                                        |
+//! |-------------------|-------------------------------------------------------------|
+//! | `POST /explain`   | `{"user":N,"why_not":N,"method":"...","deadline_ms":N}`     |
+//! | `POST /recommend` | `{"user":N,"k":N,"deadline_ms":N}`                          |
+//! | `GET  /healthz`   | —                                                           |
+//! | `GET  /metrics`   | —                                                           |
+//! | `POST /shutdown`  | — (SIGTERM equivalent: drain in-flight requests, then exit) |
+//!
+//! `method`, `k`, and `deadline_ms` are optional. Service rejections map
+//! to status codes: 400 invalid question, 429 overloaded, 503 shutting
+//! down, 504 deadline exceeded.
+
+use crate::service::{ExplanationService, ServeError};
+use emigre_core::{Explanation, Method};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Resolves a paper method label (`add_Powerset`, `remove_Incremental`,
+/// ...) to its [`Method`].
+pub fn method_from_label(label: &str) -> Option<Method> {
+    [
+        Method::AddIncremental,
+        Method::AddPowerset,
+        Method::AddExhaustive,
+        Method::RemoveIncremental,
+        Method::RemovePowerset,
+        Method::RemoveExhaustive,
+        Method::RemoveExhaustiveDirect,
+        Method::RemoveBruteForce,
+        Method::Combined,
+        Method::CombinedMinimal,
+    ]
+    .into_iter()
+    .find(|m| m.label() == label)
+}
+
+#[derive(Deserialize)]
+struct ExplainBody {
+    user: u32,
+    why_not: u32,
+    method: Option<String>,
+    deadline_ms: Option<u64>,
+}
+
+#[derive(Deserialize)]
+struct RecommendBody {
+    user: u32,
+    k: Option<u64>,
+    deadline_ms: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct StatusBody {
+    status: String,
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    error: String,
+    detail: String,
+}
+
+#[derive(Serialize)]
+struct ExplainOkBody {
+    status: String,
+    explanation: Explanation,
+}
+
+#[derive(Serialize)]
+struct ExplainFailureBody {
+    status: String,
+    failure: emigre_core::ExplainFailure,
+}
+
+#[derive(Serialize)]
+struct ItemScore {
+    item: u32,
+    score: f64,
+}
+
+#[derive(Serialize)]
+struct RecommendOkBody {
+    status: String,
+    items: Vec<ItemScore>,
+}
+
+/// A bound, not-yet-running HTTP server.
+pub struct HttpServer {
+    service: Arc<ExplanationService>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(service: Arc<ExplanationService>, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(HttpServer {
+            service,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the accept loop when set — the programmatic
+    /// equivalent of `POST /shutdown`.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until `POST /shutdown` (or the shutdown flag). On exit the
+    /// underlying service drains every admitted request before this
+    /// returns — a SIGTERM-style graceful stop.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    let service = Arc::clone(&self.service);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    conns.push(std::thread::spawn(move || {
+                        handle_connection(stream, service, shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: answer everything admitted, reject the rest, then stop.
+        self.service.shutdown();
+        for c in conns {
+            let _ = c.join();
+        }
+        Ok(())
+    }
+}
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    body: Vec<u8>,
+}
+
+enum ReadOutcome {
+    Request(HttpRequest),
+    /// Peer closed (or sent garbage framing) — drop the connection.
+    Closed,
+    /// Nothing arrived within the read timeout; poll the shutdown flag.
+    Idle,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request; `Idle` only when no byte of it has arrived yet.
+fn read_request(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<ReadOutcome> {
+    const MAX_HEAD: usize = 64 * 1024;
+    const MAX_BODY: usize = 1024 * 1024;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Ok(ReadOutcome::Closed);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() {
+                    return Ok(ReadOutcome::Idle);
+                }
+                // Mid-request: keep waiting unless the server is draining.
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Closed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(ReadOutcome::Closed);
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value.parse().unwrap_or(0);
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Ok(ReadOutcome::Closed);
+    }
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Closed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    Ok(ReadOutcome::Request(HttpRequest {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        keep_alive,
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    service: Arc<ExplanationService>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    loop {
+        match read_request(&mut stream, &shutdown) {
+            Ok(ReadOutcome::Request(req)) => {
+                let keep_alive = req.keep_alive;
+                let (status, body) = route(&service, &shutdown, &req);
+                if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) | Err(_) => return,
+            Ok(ReadOutcome::Idle) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn json_error(error: &str, detail: impl Into<String>) -> String {
+    serde_json::to_string(&ErrorBody {
+        error: error.to_owned(),
+        detail: detail.into(),
+    })
+    .unwrap_or_else(|_| format!("{{\"error\":\"{error}\"}}"))
+}
+
+fn serve_error_response(e: ServeError) -> (u16, String) {
+    match e {
+        ServeError::Overloaded => (429, json_error("overloaded", e.to_string())),
+        ServeError::DeadlineExceeded => (504, json_error("deadline_exceeded", e.to_string())),
+        ServeError::ShuttingDown => (503, json_error("shutting_down", e.to_string())),
+        ServeError::InvalidQuestion(q) => (400, json_error("invalid_question", q.to_string())),
+    }
+}
+
+fn route(service: &ExplanationService, shutdown: &AtomicBool, req: &HttpRequest) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            serde_json::to_string(&StatusBody {
+                status: "ok".to_owned(),
+            })
+            .unwrap(),
+        ),
+        ("GET", "/metrics") => match serde_json::to_string(&service.metrics()) {
+            Ok(body) => (200, body),
+            Err(e) => (500, json_error("internal", e.to_string())),
+        },
+        ("POST", "/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            (
+                200,
+                serde_json::to_string(&StatusBody {
+                    status: "draining".to_owned(),
+                })
+                .unwrap(),
+            )
+        }
+        ("POST", "/explain") => handle_explain(service, &req.body),
+        ("POST", "/recommend") => handle_recommend(service, &req.body),
+        ("POST", "/healthz" | "/metrics") | ("GET", "/explain" | "/recommend" | "/shutdown") => {
+            (405, json_error("method_not_allowed", req.method.clone()))
+        }
+        _ => (404, json_error("not_found", req.path.clone())),
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|e| e.to_string())?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+fn handle_explain(service: &ExplanationService, body: &[u8]) -> (u16, String) {
+    let req: ExplainBody = match parse_body(body) {
+        Ok(r) => r,
+        Err(e) => return (400, json_error("bad_request", e)),
+    };
+    let method = match req.method.as_deref() {
+        None => Method::AddPowerset,
+        Some(label) => match method_from_label(label) {
+            Some(m) => m,
+            None => {
+                return (
+                    400,
+                    json_error("bad_request", format!("unknown method {label:?}")),
+                )
+            }
+        },
+    };
+    let result = match req.deadline_ms {
+        Some(ms) => service.explain_deadline(
+            emigre_hin::NodeId(req.user),
+            emigre_hin::NodeId(req.why_not),
+            method,
+            Duration::from_millis(ms),
+        ),
+        None => service.explain(
+            emigre_hin::NodeId(req.user),
+            emigre_hin::NodeId(req.why_not),
+            method,
+        ),
+    };
+    match result {
+        Ok(Ok(explanation)) => (
+            200,
+            serde_json::to_string(&ExplainOkBody {
+                status: "ok".to_owned(),
+                explanation,
+            })
+            .unwrap_or_else(|e| json_error("internal", e.to_string())),
+        ),
+        Ok(Err(failure)) => (
+            200,
+            serde_json::to_string(&ExplainFailureBody {
+                status: "failure".to_owned(),
+                failure,
+            })
+            .unwrap_or_else(|e| json_error("internal", e.to_string())),
+        ),
+        Err(e) => serve_error_response(e),
+    }
+}
+
+fn handle_recommend(service: &ExplanationService, body: &[u8]) -> (u16, String) {
+    let req: RecommendBody = match parse_body(body) {
+        Ok(r) => r,
+        Err(e) => return (400, json_error("bad_request", e)),
+    };
+    let k = req.k.unwrap_or(10) as usize;
+    let result = match req.deadline_ms {
+        Some(ms) => {
+            service.recommend_deadline(emigre_hin::NodeId(req.user), k, Duration::from_millis(ms))
+        }
+        None => service.recommend(emigre_hin::NodeId(req.user), k),
+    };
+    match result {
+        Ok(items) => (
+            200,
+            serde_json::to_string(&RecommendOkBody {
+                status: "ok".to_owned(),
+                items: items
+                    .into_iter()
+                    .map(|(n, s)| ItemScore {
+                        item: n.0,
+                        score: s,
+                    })
+                    .collect(),
+            })
+            .unwrap_or_else(|e| json_error("internal", e.to_string())),
+        ),
+        Err(e) => serve_error_response(e),
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,32 @@
+//! # emigre-serve — concurrent Why-Not explanation serving
+//!
+//! Two layers over one shared read-only graph:
+//!
+//! 1. [`ExplanationService`] — an in-process worker pool with a bounded
+//!    admission queue, per-request deadlines, an LRU **session cache** of
+//!    per-user artefacts (forward push, recommendation list, `PPR(·,rec)`
+//!    column, candidate index) and an LRU **column cache** of reverse-push
+//!    `PPR(·,WNI)` columns. Graceful shutdown drains every admitted
+//!    request.
+//! 2. [`HttpServer`] — a std-only HTTP/1.1 JSON front end (`POST
+//!    /explain`, `POST /recommend`, `GET /healthz`, `GET /metrics`,
+//!    `POST /shutdown`).
+//!
+//! Served answers are identical to the single-threaded
+//! [`emigre_core::ExplainContext::build`] path — see
+//! [`service`]'s determinism notes and the `concurrency` test. The
+//! [`reference_explain`]/[`reference_recommend`] functions are that
+//! single-threaded oracle, used by the load generator's divergence check.
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod service;
+
+pub use cache::{CacheStats, LruCache};
+pub use http::{method_from_label, HttpServer};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use service::{
+    recommend_from_push, reference_explain, reference_recommend, ExplainOutcome,
+    ExplanationService, RecommendOutcome, ServeError, ServiceConfig,
+};

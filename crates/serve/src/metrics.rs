@@ -1,0 +1,85 @@
+//! Serving metrics: request counters and per-endpoint latency histograms.
+//!
+//! Everything here is updated with relaxed atomics on the hot path and
+//! snapshotted into a serialisable [`MetricsSnapshot`] for `/metrics` and
+//! `BENCH_serve.json`. PPR op counters (pushes, checks, residual mass)
+//! come from the service's counters-only [`emigre_obs::ObsHandle`] and
+//! are merged into the snapshot by the service.
+
+use crate::cache::CacheStats;
+use emigre_obs::{CounterSnapshot, HistogramSnapshot, LatencyHistogram};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live serving metrics; one instance per service, shared by all workers.
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// Requests admitted or rejected — everything that reached `submit`.
+    pub requests_total: AtomicU64,
+    /// Jobs a worker finished (including deadline-expired ones).
+    pub completed_total: AtomicU64,
+    /// Explain jobs that produced a verified explanation.
+    pub explanations_found: AtomicU64,
+    /// Explain jobs that ended in a meta-explained failure.
+    pub explanations_failed: AtomicU64,
+    /// Requests rejected for malformed questions (any endpoint).
+    pub invalid_questions: AtomicU64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Jobs dropped because their deadline expired while queued.
+    pub rejected_deadline: AtomicU64,
+    /// End-to-end worker latency of explain jobs.
+    pub explain_latency: LatencyHistogram,
+    /// End-to-end worker latency of recommend jobs.
+    pub recommend_latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of every serving metric, serialisable as the
+/// `/metrics` response body.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub requests_total: u64,
+    pub completed_total: u64,
+    pub explanations_found: u64,
+    pub explanations_failed: u64,
+    pub invalid_questions: u64,
+    pub rejected_overload: u64,
+    pub rejected_deadline: u64,
+    /// Jobs admitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    pub session_cache: CacheStats,
+    pub column_cache: CacheStats,
+    pub explain_latency: HistogramSnapshot,
+    pub recommend_latency: HistogramSnapshot,
+    /// PPR/CHECK op counters aggregated across all requests.
+    pub ops: CounterSnapshot,
+}
+
+impl ServeMetrics {
+    /// Copies the atomic state; the service fills in queue depth, cache
+    /// stats, and op counters it owns.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            completed_total: self.completed_total.load(Ordering::Relaxed),
+            explanations_found: self.explanations_found.load(Ordering::Relaxed),
+            explanations_failed: self.explanations_failed.load(Ordering::Relaxed),
+            invalid_questions: self.invalid_questions.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            queue_depth: 0,
+            session_cache: CacheStats::default(),
+            column_cache: CacheStats::default(),
+            explain_latency: self.explain_latency.snapshot(),
+            recommend_latency: self.recommend_latency.snapshot(),
+            ops: CounterSnapshot::default(),
+        }
+    }
+}

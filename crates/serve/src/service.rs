@@ -1,0 +1,488 @@
+//! The in-process explanation service: a worker pool over one shared
+//! read-only graph.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  callers ──try_send──▶ bounded queue ──recv──▶ N workers
+//!     ▲                      │                      │
+//!     │   Overloaded when    │                      ├─ session cache (user → UserArtifacts)
+//!     └── full: admission    │                      ├─ column cache  (WNI → PPR(·,WNI))
+//!         control, never     │                      └─ per-worker PushWorkspace
+//!         unbounded queueing │
+//!                            └─ jobs carry a deadline; expired jobs are
+//!                               dropped when dequeued (DeadlineExceeded)
+//! ```
+//!
+//! The graph, its [`TransitionCsr`] kernel, and every cached artefact are
+//! immutable and `Arc`-shared: workers never copy `O(n)`/`O(E)` state per
+//! request. Each worker owns one [`PushWorkspace`], recycled across every
+//! question it answers ([`ExplainContext::into_workspace`]).
+//!
+//! ## Determinism
+//!
+//! A served answer is bit-identical to the single-threaded
+//! [`ExplainContext::build`] → [`Explainer::explain_with_context`] path:
+//! artefact builds, column pushes, and CHECKs are deterministic, caches
+//! only memoise values those deterministic computations would recompute,
+//! and workspace recycling restores the exact base state
+//! ([`PushWorkspace::load_base`]/[`PushWorkspace::clear`]). The
+//! `concurrency` integration test asserts this equivalence under mixed
+//! parallel traffic.
+//!
+//! ## Shutdown
+//!
+//! [`ExplanationService::shutdown`] drops the queue's only `Sender` and
+//! joins the workers. The channel keeps delivering queued messages after
+//! disconnection, so every admitted request is answered — drain, not
+//! abort. New submissions fail with [`ServeError::ShuttingDown`].
+
+use crate::cache::LruCache;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use emigre_core::{
+    EmigreConfig, ExplainContext, ExplainFailure, Explainer, Explanation, Method, QuestionError,
+    UserArtifacts, WhyNotQuestion,
+};
+use emigre_hin::{GraphView, Hin, NodeId};
+use emigre_obs::{ObsHandle, Op};
+use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
+use emigre_rec::{PprRecommender, RecList, Recommender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing and admission knobs of the worker pool.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads sharing the request queue.
+    pub workers: usize,
+    /// Bounded queue capacity: requests beyond it are rejected with
+    /// [`ServeError::Overloaded`] instead of queueing without limit.
+    pub queue_capacity: usize,
+    /// Deadline applied when the caller does not pass one.
+    pub default_deadline: Duration,
+    /// Users whose [`UserArtifacts`] stay cached (LRU).
+    pub session_capacity: usize,
+    /// Why-Not items whose `PPR(·, WNI)` column stays cached (LRU).
+    pub column_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(10),
+            session_capacity: 64,
+            column_capacity: 256,
+        }
+    }
+}
+
+/// Why the service did not answer a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue was full; retry later or shed load.
+    Overloaded,
+    /// The request's deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// The service is draining; no new requests are admitted.
+    ShuttingDown,
+    /// The question itself is malformed (bad node ids, already
+    /// interacted, already the recommendation, ...).
+    InvalidQuestion(QuestionError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "service overloaded: admission queue full"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::InvalidQuestion(e) => write!(f, "invalid question: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served explain answer: the explanation, or the meta-explained search
+/// failure (both are *successful* service responses).
+pub type ExplainOutcome = Result<Explanation, ExplainFailure>;
+
+/// A served recommendation list: `(item, score)` descending.
+pub type RecommendOutcome = Vec<(NodeId, f64)>;
+
+enum Work {
+    Explain {
+        user: NodeId,
+        wni: NodeId,
+        method: Method,
+        reply: Sender<Result<ExplainOutcome, ServeError>>,
+    },
+    Recommend {
+        user: NodeId,
+        k: usize,
+        reply: Sender<Result<RecommendOutcome, ServeError>>,
+    },
+}
+
+struct Job {
+    work: Work,
+    deadline: Instant,
+}
+
+/// State shared between the front-end handle and every worker.
+struct Shared {
+    graph: Arc<Hin>,
+    cfg: EmigreConfig,
+    kernel: Arc<TransitionCsr>,
+    sessions: Mutex<LruCache<u32, Arc<UserArtifacts>>>,
+    columns: Mutex<LruCache<u32, Arc<ReversePush>>>,
+    metrics: ServeMetrics,
+    /// Counters-only: spans/traces would grow without bound over an
+    /// unbounded request stream.
+    obs: ObsHandle,
+}
+
+/// Handle to a running worker pool. Cheap to share behind an `Arc`; all
+/// request methods take `&self`.
+pub struct ExplanationService {
+    shared: Arc<Shared>,
+    /// `None` once shutdown started. Dropping the sender disconnects the
+    /// queue; workers drain what is left and exit.
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    default_deadline: Duration,
+}
+
+impl ExplanationService {
+    /// Builds the transition kernel, starts the workers, and returns the
+    /// handle. The graph is frozen for the service's lifetime.
+    pub fn start(graph: Hin, cfg: EmigreConfig, sc: ServiceConfig) -> Self {
+        cfg.validate();
+        assert!(sc.workers >= 1, "service needs at least one worker");
+        let kernel = Arc::new(TransitionCsr::build(&graph, cfg.rec.ppr.transition));
+        let shared = Arc::new(Shared {
+            graph: Arc::new(graph),
+            cfg,
+            kernel,
+            sessions: Mutex::new(LruCache::new(sc.session_capacity)),
+            columns: Mutex::new(LruCache::new(sc.column_capacity)),
+            metrics: ServeMetrics::default(),
+            obs: ObsHandle::counters_only(),
+        });
+        let (tx, rx) = bounded::<Job>(sc.queue_capacity);
+        let workers = (0..sc.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("emigre-serve-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawning service worker")
+            })
+            .collect();
+        ExplanationService {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            default_deadline: sc.default_deadline,
+        }
+    }
+
+    /// Answers one Why-Not question under the default deadline.
+    pub fn explain(
+        &self,
+        user: NodeId,
+        wni: NodeId,
+        method: Method,
+    ) -> Result<ExplainOutcome, ServeError> {
+        self.explain_deadline(user, wni, method, self.default_deadline)
+    }
+
+    /// Answers one Why-Not question; the job is dropped with
+    /// [`ServeError::DeadlineExceeded`] if still queued past `deadline`.
+    pub fn explain_deadline(
+        &self,
+        user: NodeId,
+        wni: NodeId,
+        method: Method,
+        deadline: Duration,
+    ) -> Result<ExplainOutcome, ServeError> {
+        let (reply, rx) = bounded(1);
+        self.submit(Job {
+            work: Work::Explain {
+                user,
+                wni,
+                method,
+                reply,
+            },
+            deadline: Instant::now() + deadline,
+        })?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// The user's top-`k` recommendation list under the default deadline.
+    pub fn recommend(&self, user: NodeId, k: usize) -> Result<RecommendOutcome, ServeError> {
+        self.recommend_deadline(user, k, self.default_deadline)
+    }
+
+    /// The user's top-`k` recommendation list with an explicit deadline.
+    pub fn recommend_deadline(
+        &self,
+        user: NodeId,
+        k: usize,
+        deadline: Duration,
+    ) -> Result<RecommendOutcome, ServeError> {
+        let (reply, rx) = bounded(1);
+        self.submit(Job {
+            work: Work::Recommend { user, k, reply },
+            deadline: Instant::now() + deadline,
+        })?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Admission control: non-blocking enqueue or immediate rejection.
+    fn submit(&self, job: Job) -> Result<(), ServeError> {
+        ServeMetrics::bump(&self.shared.metrics.requests_total);
+        let guard = self.tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                ServeMetrics::bump(&self.shared.metrics.rejected_overload);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Current metrics, including queue depth, cache stats, and the PPR op
+    /// counters aggregated across all served requests.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.metrics.snapshot();
+        snap.queue_depth = self
+            .tx
+            .lock()
+            .as_ref()
+            .map(|tx| tx.len() as u64)
+            .unwrap_or(0);
+        snap.session_cache = self.shared.sessions.lock().stats();
+        snap.column_cache = self.shared.columns.lock().stats();
+        snap.ops = self.shared.obs.counters();
+        snap
+    }
+
+    /// Graceful shutdown: stops admitting, lets workers drain every
+    /// already-admitted job, and joins them. Idempotent.
+    pub fn shutdown(&self) {
+        let tx = self.tx.lock().take();
+        drop(tx); // last Sender: disconnects the queue after it drains
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// The service's graph (read-only, shared with the workers).
+    pub fn graph(&self) -> &Arc<Hin> {
+        &self.shared.graph
+    }
+
+    /// The serving configuration (recommender + explanation settings).
+    pub fn config(&self) -> &EmigreConfig {
+        &self.shared.cfg
+    }
+}
+
+impl Drop for ExplanationService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
+    // One workspace per worker, recycled across every question. Sized lazily
+    // by load_base/clear, so starting at the graph size just pre-warms it.
+    let mut ws = PushWorkspace::new(shared.graph.num_nodes());
+    // recv drains queued jobs even after the sender disconnects: graceful
+    // shutdown answers everything that was admitted.
+    while let Ok(job) = rx.recv() {
+        let start = Instant::now();
+        let expired = start >= job.deadline;
+        match job.work {
+            Work::Explain {
+                user,
+                wni,
+                method,
+                reply,
+            } => {
+                let result = if expired {
+                    ServeMetrics::bump(&shared.metrics.rejected_deadline);
+                    Err(ServeError::DeadlineExceeded)
+                } else {
+                    run_explain(&shared, user, wni, method, &mut ws)
+                };
+                match &result {
+                    Ok(Ok(_)) => ServeMetrics::bump(&shared.metrics.explanations_found),
+                    Ok(Err(_)) => ServeMetrics::bump(&shared.metrics.explanations_failed),
+                    Err(ServeError::InvalidQuestion(_)) => {
+                        ServeMetrics::bump(&shared.metrics.invalid_questions)
+                    }
+                    Err(_) => {}
+                }
+                shared.metrics.explain_latency.record(start.elapsed());
+                // Count completion before replying: once a caller has its
+                // answer, the metrics must already include that request.
+                ServeMetrics::bump(&shared.metrics.completed_total);
+                let _ = reply.try_send(result); // caller may have gone away
+            }
+            Work::Recommend { user, k, reply } => {
+                let result = if expired {
+                    ServeMetrics::bump(&shared.metrics.rejected_deadline);
+                    Err(ServeError::DeadlineExceeded)
+                } else {
+                    run_recommend(&shared, user, k)
+                };
+                if matches!(&result, Err(ServeError::InvalidQuestion(_))) {
+                    ServeMetrics::bump(&shared.metrics.invalid_questions);
+                }
+                shared.metrics.recommend_latency.record(start.elapsed());
+                ServeMetrics::bump(&shared.metrics.completed_total);
+                let _ = reply.try_send(result);
+            }
+        }
+    }
+}
+
+/// User artefacts from the session cache, building on miss. Concurrent
+/// misses for the same user may build twice; both builds are deterministic
+/// and identical, so the race costs time, never correctness.
+fn artifacts(shared: &Shared, user: NodeId) -> Result<Arc<UserArtifacts>, QuestionError> {
+    if let Some(hit) = shared.sessions.lock().get(&user.0) {
+        return Ok(hit);
+    }
+    let built = UserArtifacts::build(
+        &*shared.graph,
+        &shared.cfg,
+        Arc::clone(&shared.kernel),
+        user,
+        &shared.obs,
+    )?;
+    let art = Arc::new(built);
+    shared.sessions.lock().insert(user.0, Arc::clone(&art));
+    Ok(art)
+}
+
+/// `PPR(·, wni)` from the column cache, computing on miss. The caller must
+/// have validated `wni` (in bounds) first.
+fn column(shared: &Shared, wni: NodeId) -> Arc<ReversePush> {
+    if let Some(hit) = shared.columns.lock().get(&wni.0) {
+        return hit;
+    }
+    let col = ReversePush::compute_kernel(&*shared.kernel, &shared.cfg.rec.ppr, wni);
+    shared.obs.count(Op::ReversePushes, col.pushes as u64);
+    shared.obs.add_mass(col.drained);
+    let col = Arc::new(col);
+    shared.columns.lock().insert(wni.0, Arc::clone(&col));
+    col
+}
+
+fn run_explain(
+    shared: &Shared,
+    user: NodeId,
+    wni: NodeId,
+    method: Method,
+    ws_slot: &mut PushWorkspace,
+) -> Result<ExplainOutcome, ServeError> {
+    let art = artifacts(shared, user).map_err(ServeError::InvalidQuestion)?;
+    // Full question validation before paying for the WNI column.
+    WhyNotQuestion::validate(&*shared.graph, &shared.cfg, user, wni, Some(art.rec))
+        .map_err(ServeError::InvalidQuestion)?;
+    let col = column(shared, wni);
+    // Lend the worker's workspace to the context; take it back afterwards.
+    let ws = std::mem::replace(ws_slot, PushWorkspace::new(0));
+    match ExplainContext::from_artifacts(
+        &*shared.graph,
+        shared.cfg.clone(),
+        &art,
+        wni,
+        col,
+        ws,
+        shared.obs.clone(),
+    ) {
+        Ok(ctx) => {
+            let outcome = Explainer::explain_with_context(&ctx, method);
+            *ws_slot = ctx.into_workspace();
+            Ok(outcome)
+        }
+        // Unreachable after the validation above; the workspace was
+        // consumed, but clear()/load_base() re-grow the placeholder.
+        Err(e) => Err(ServeError::InvalidQuestion(e)),
+    }
+}
+
+fn run_recommend(shared: &Shared, user: NodeId, k: usize) -> Result<RecommendOutcome, ServeError> {
+    let art = artifacts(shared, user).map_err(ServeError::InvalidQuestion)?;
+    Ok(recommend_from_push(
+        &*shared.graph,
+        &shared.cfg,
+        user,
+        &art.user_push,
+        k,
+    ))
+}
+
+/// The canonical scoring of a top-`k` list from a converged user push:
+/// candidates are every non-interacted item-typed node (no score floor —
+/// this is the recommender surface, not the explain target list). Both the
+/// service and the load generator's reference path call this exact
+/// function, so divergence checks compare identical code.
+pub fn recommend_from_push<G: emigre_hin::GraphView>(
+    graph: &G,
+    cfg: &EmigreConfig,
+    user: NodeId,
+    push: &ForwardPush,
+    k: usize,
+) -> RecommendOutcome {
+    let recommender = PprRecommender::new(cfg.rec);
+    let candidates = recommender.candidates(graph, user);
+    RecList::from_scores(&push.estimates, candidates, k)
+        .entries()
+        .to_vec()
+}
+
+/// Single-threaded reference for the service's `/recommend`: same
+/// artefact build, same scoring. Used by the load generator to detect
+/// correctness divergences.
+pub fn reference_recommend(
+    graph: &Hin,
+    cfg: &EmigreConfig,
+    user: NodeId,
+    k: usize,
+) -> Result<RecommendOutcome, QuestionError> {
+    let kernel = Arc::new(TransitionCsr::build(graph, cfg.rec.ppr.transition));
+    let art = UserArtifacts::build(graph, cfg, kernel, user, &ObsHandle::disabled())?;
+    Ok(recommend_from_push(graph, cfg, user, &art.user_push, k))
+}
+
+/// Single-threaded reference for the service's `/explain`: the plain
+/// [`ExplainContext::build`] → [`Explainer::explain_with_context`] path.
+pub fn reference_explain(
+    graph: &Hin,
+    cfg: &EmigreConfig,
+    user: NodeId,
+    wni: NodeId,
+    method: Method,
+) -> Result<ExplainOutcome, QuestionError> {
+    let ctx = ExplainContext::build(graph, cfg.clone(), user, wni)?;
+    Ok(Explainer::explain_with_context(&ctx, method))
+}

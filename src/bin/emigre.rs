@@ -8,6 +8,8 @@
 //! emigre demo                                  # write the running example to paul.hin
 //! emigre recommend --graph paul.hin --user 1
 //! emigre explain   --graph paul.hin --user 1 --why-not 7 [--method remove_Powerset]
+//! emigre explain   --graph paul.hin --user 1 --why-not all
+//! emigre serve     --graph paul.hin --port 7878
 //! emigre dot       --graph paul.hin > graph.dot
 //! ```
 //!
@@ -17,14 +19,19 @@
 
 use emigre::core::{minimal, Explainer, Method};
 use emigre::prelude::*;
+use emigre::serve::{ExplanationService, HttpServer, ServiceConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage:
   emigre demo [--out FILE]                        write the paper's running example graph
   emigre recommend --graph FILE --user ID [--top N]
-  emigre explain --graph FILE --user ID --why-not ID
+  emigre explain --graph FILE --user ID --why-not ID|all
                  [--method NAME] [--minimise]
+  emigre serve --graph FILE [--port P] [--workers N]
+               [--queue N] [--deadline-ms N]      HTTP explanation service
   emigre dot --graph FILE                         Graphviz to stdout
 methods: add_Incremental add_Powerset add_ex remove_Incremental
          remove_Powerset remove_ex remove_ex_direct remove_brute
@@ -43,11 +50,20 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Looks up `name` in `args` and returns the value that follows it.
+///
+/// Distinguishes "flag absent" (`Ok(None)`) from "flag present but
+/// valueless" (`Err`): a trailing `--flag`, or `--flag` directly followed
+/// by another `--option`, is a usage error rather than silently consuming
+/// the next flag as its value.
+fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("flag {name} expects a value")),
+        },
+    }
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -55,13 +71,13 @@ fn has_flag(args: &[String], name: &str) -> bool {
 }
 
 fn load_graph(args: &[String]) -> Result<Hin, String> {
-    let path = flag(args, "--graph").ok_or("missing --graph FILE")?;
+    let path = flag(args, "--graph")?.ok_or("missing --graph FILE")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
     emigre::hin::io::from_edge_list(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 fn node_arg(args: &[String], name: &str) -> Result<NodeId, String> {
-    let raw = flag(args, name).ok_or_else(|| format!("missing {name} ID"))?;
+    let raw = flag(args, name)?.ok_or_else(|| format!("missing {name} ID"))?;
     raw.parse::<u32>()
         .map(NodeId)
         .map_err(|_| format!("{name} must be a numeric node id, got {raw:?}"))
@@ -88,7 +104,7 @@ fn config_for(g: &Hin) -> Result<EmigreConfig, String> {
 }
 
 fn parse_method(args: &[String]) -> Result<Method, String> {
-    let raw = flag(args, "--method").unwrap_or_else(|| "add_Powerset".to_owned());
+    let raw = flag(args, "--method")?.unwrap_or_else(|| "add_Powerset".to_owned());
     [
         Method::AddIncremental,
         Method::AddPowerset,
@@ -106,10 +122,52 @@ fn parse_method(args: &[String]) -> Result<Method, String> {
     .ok_or_else(|| format!("unknown method {raw:?}"))
 }
 
+/// `emigre explain --why-not all`: answer the Why-Not question for every
+/// non-top item of the user's list via the shared-artefact batch path.
+fn explain_all(g: &Hin, user: NodeId, method: Method, cfg: EmigreConfig) -> Result<(), String> {
+    let explainer = Explainer::new(cfg);
+    let results = emigre::core::batch::explain_whole_list(&explainer, g, user, method)
+        .map_err(|e| format!("invalid question: {e}"))?;
+    if results.is_empty() {
+        println!(
+            "{} has no non-top recommendations to explain",
+            g.display_name(user)
+        );
+        return Ok(());
+    }
+    println!(
+        "why-not for every non-top item of {}'s list [{}]:",
+        g.display_name(user),
+        method.label()
+    );
+    for entry in &results {
+        match &entry.result {
+            Ok(exp) => println!(
+                "  #{:<2} [{:>4}] {:<28} {} ({} edge(s), {} checks)",
+                entry.rank,
+                entry.wni.0,
+                g.display_name(entry.wni),
+                exp.describe(g),
+                exp.size(),
+                exp.checks_performed
+            ),
+            Err(failure) => println!(
+                "  #{:<2} [{:>4}] {:<28} no explanation: {failure}",
+                entry.rank,
+                entry.wni.0,
+                g.display_name(entry.wni)
+            ),
+        }
+    }
+    let found = results.iter().filter(|r| r.result.is_ok()).count();
+    println!("explained {found}/{} items", results.len());
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("demo") => {
-            let out = flag(args, "--out").unwrap_or_else(|| "paul.hin".to_owned());
+            let out = flag(args, "--out")?.unwrap_or_else(|| "paul.hin".to_owned());
             let ex = emigre::data::examples::running_example();
             std::fs::write(&out, emigre::hin::io::to_edge_list(&ex.graph))
                 .map_err(|e| format!("writing {out}: {e}"))?;
@@ -124,7 +182,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("recommend") => {
             let g = load_graph(args)?;
             let user = node_arg(args, "--user")?;
-            let top: usize = flag(args, "--top")
+            let top: usize = flag(args, "--top")?
                 .map(|s| s.parse().map_err(|_| "bad --top"))
                 .transpose()?
                 .unwrap_or(10);
@@ -152,9 +210,16 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("explain") => {
             let g = load_graph(args)?;
             let user = node_arg(args, "--user")?;
-            let wni = node_arg(args, "--why-not")?;
             let method = parse_method(args)?;
             let cfg = config_for(&g)?;
+            let raw_wni = flag(args, "--why-not")?.ok_or("missing --why-not ID")?;
+            if raw_wni == "all" {
+                return explain_all(&g, user, method, cfg);
+            }
+            let wni = raw_wni
+                .parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| format!("--why-not must be a node id or `all`, got {raw_wni:?}"))?;
             let explainer = Explainer::new(cfg);
             let ctx = explainer
                 .context(&g, user, wni)
@@ -187,6 +252,40 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        Some("serve") => {
+            let g = load_graph(args)?;
+            let cfg = config_for(&g)?;
+            let port: u16 = flag(args, "--port")?
+                .map(|s| s.parse().map_err(|_| "bad --port"))
+                .transpose()?
+                .unwrap_or(7878);
+            let mut sc = ServiceConfig::default();
+            if let Some(w) = flag(args, "--workers")? {
+                sc.workers = w.parse().map_err(|_| "bad --workers")?;
+                if sc.workers == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+            }
+            if let Some(q) = flag(args, "--queue")? {
+                sc.queue_capacity = q.parse().map_err(|_| "bad --queue")?;
+                if sc.queue_capacity == 0 {
+                    return Err("--queue must be at least 1".to_owned());
+                }
+            }
+            if let Some(d) = flag(args, "--deadline-ms")? {
+                let ms: u64 = d.parse().map_err(|_| "bad --deadline-ms")?;
+                sc.default_deadline = Duration::from_millis(ms);
+            }
+            let service = Arc::new(ExplanationService::start(g, cfg, sc));
+            let server = HttpServer::bind(service, &format!("127.0.0.1:{port}"))
+                .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| format!("resolving bound address: {e}"))?;
+            // The load generator parses this exact line to find the port.
+            println!("emigre-serve listening on {addr}");
+            server.run().map_err(|e| format!("serving: {e}"))
+        }
         Some("dot") => {
             let g = load_graph(args)?;
             print!("{}", emigre::hin::io::to_dot(&g));
@@ -200,5 +299,53 @@ fn run(args: &[String]) -> Result<(), String> {
             Some(cmd) => format!("unknown command {cmd:?}"),
             None => "no command given".to_owned(),
         }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::flag;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_ok_none() {
+        assert_eq!(flag(&args(&["--user", "1"]), "--graph"), Ok(None));
+    }
+
+    #[test]
+    fn present_flag_returns_its_value() {
+        let a = args(&["--graph", "g.hin", "--user", "1"]);
+        assert_eq!(flag(&a, "--graph"), Ok(Some("g.hin".to_owned())));
+        assert_eq!(flag(&a, "--user"), Ok(Some("1".to_owned())));
+    }
+
+    #[test]
+    fn trailing_flag_without_value_errors() {
+        let a = args(&["--user", "1", "--graph"]);
+        assert_eq!(
+            flag(&a, "--graph"),
+            Err("flag --graph expects a value".to_owned())
+        );
+    }
+
+    #[test]
+    fn flag_does_not_swallow_the_next_flag_as_value() {
+        // The pre-fix behaviour returned Some("--minimise") here, silently
+        // treating the next option as this flag's value.
+        let a = args(&["--method", "--minimise"]);
+        assert_eq!(
+            flag(&a, "--method"),
+            Err("flag --method expects a value".to_owned())
+        );
+    }
+
+    #[test]
+    fn negative_looking_value_is_still_a_value() {
+        // Single-dash values (e.g. "-1") are not flags in this CLI.
+        let a = args(&["--why-not", "-1"]);
+        assert_eq!(flag(&a, "--why-not"), Ok(Some("-1".to_owned())));
     }
 }

@@ -23,7 +23,9 @@
 //!   preprocessing pipeline, and the paper's worked examples;
 //! * [`eval`] — the experiment harness reproducing every table and figure;
 //! * [`obs`] — explain-path observability: op counters, timing spans, and
-//!   replayable per-question search traces.
+//!   replayable per-question search traces;
+//! * [`serve`] — the concurrent explanation service (worker pool, session
+//!   caches, admission control) and its std-only HTTP JSON front end.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use emigre_hin as hin;
 pub use emigre_obs as obs;
 pub use emigre_ppr as ppr;
 pub use emigre_rec as rec;
+pub use emigre_serve as serve;
 
 /// The commonly-needed names in one import.
 pub mod prelude {

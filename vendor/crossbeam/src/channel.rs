@@ -1,0 +1,360 @@
+//! Offline stand-in for `crossbeam::channel`: a bounded multi-producer
+//! multi-consumer queue with the upstream's disconnect semantics, over
+//! `std::sync::{Mutex, Condvar}`.
+//!
+//! Scope matches what this workspace uses: `bounded`, `Sender::{send,
+//! try_send}`, `Receiver::{recv, try_recv, recv_timeout}`, clonable
+//! endpoints, and disconnection when one side's handles all drop. A
+//! disconnected, *non-empty* channel keeps delivering queued messages —
+//! the property `emigre-serve` leans on for drain-on-shutdown.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message is queued or all senders drop.
+    not_empty: Condvar,
+    /// Signalled when a slot frees up or all receivers drop.
+    not_full: Condvar,
+    cap: usize,
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` queued messages.
+/// `cap` must be at least 1 (a zero-capacity rendezvous channel is not
+/// needed by this workspace and is not implemented).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "bounded(0) rendezvous channels are not supported");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(cap),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+/// Error of a non-blocking send.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error of a blocking send: every receiver dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error of a blocking receive: the channel is empty and every sender
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error of a non-blocking or timed receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+/// Error of a timed receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+/// Producer endpoint. Cloning adds a producer; the channel disconnects for
+/// receivers when the last clone drops.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Queues `msg` without blocking, or reports `Full`/`Disconnected`.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if st.queue.len() >= self.inner.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a slot is free, then queues `msg`.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if st.queue.len() < self.inner.cap {
+                st.queue.push_back(msg);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.inner.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Messages currently queued (snapshot; may be stale immediately).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.senders -= 1;
+            st.senders == 0
+        };
+        if last {
+            // Wake blocked receivers so they observe the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+/// Consumer endpoint. Cloning adds a consumer; each queued message is
+/// delivered to exactly one consumer.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives. Returns `Err(RecvError)` once the
+    /// queue is empty *and* every sender dropped — queued messages are
+    /// always drained first.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.inner.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(msg) = st.queue.pop_front() {
+            drop(st);
+            self.inner.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .inner
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+        }
+    }
+
+    /// Messages currently queued (snapshot; may be stale immediately).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.receivers -= 1;
+            st.receivers == 0
+        };
+        if last {
+            // Wake blocked senders so they observe the disconnect.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn try_send_reports_full_and_delivers_in_order() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drained_after_disconnect_then_err() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.try_send(7).unwrap();
+        tx.try_send(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Ok(8));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+        assert_eq!(tx.send(2), Err(SendError(2)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.try_send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = bounded::<usize>(8);
+        let received = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let received = &received;
+                let sum = &sum;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        received.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            for chunk in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(chunk * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            drop(rx);
+        });
+        assert_eq!(received.load(Ordering::Relaxed), 400);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..400).sum::<usize>());
+    }
+
+    #[test]
+    fn blocking_send_waits_for_capacity() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Blocks until the main thread drains a slot.
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        });
+    }
+}

@@ -3,6 +3,10 @@
 //! Provides `crossbeam::scope` with the upstream signature — the closure
 //! and each spawned thread receive a `&Scope`, and the call returns
 //! `Err` if any worker panicked — implemented over `std::thread::scope`.
+//! Also provides [`channel`], a bounded MPMC queue with upstream
+//! disconnect semantics (see that module's docs for scope).
+
+pub mod channel;
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
