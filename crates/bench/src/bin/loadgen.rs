@@ -3,11 +3,24 @@
 //! Spawns the real `emigre` binary (`serve` subcommand) on a synthetic
 //! Amazon-style HIN, drives it with mixed `/explain` + `/recommend`
 //! traffic over persistent HTTP/1.1 connections, and verifies **every**
-//! response against the single-threaded reference oracle
+//! response field-by-field against the single-threaded reference oracle
 //! ([`emigre_serve::reference_explain`] /
 //! [`emigre_serve::reference_recommend`]) — a divergence is a hard
-//! failure, not a statistic. Reports QPS and p50/p95/p99 latency per
-//! endpoint and writes `BENCH_serve.json`.
+//! failure, not a statistic. Every response must also carry the
+//! `request_id` assigned at admission and per-stage latency attribution.
+//!
+//! In `--smoke` mode the harness additionally:
+//!
+//! * fetches `GET /trace/<request-id>` for every explain answer and
+//!   **replays** the recorded TEST verdicts on a fresh single-threaded
+//!   context — the served trace must reproduce the served verdicts;
+//! * runs the server with `--event-log` and, after the drain, asserts
+//!   the log parses line-by-line as JSON with exactly one event per
+//!   request (zero lost events).
+//!
+//! Reports QPS, p50/p95/p99 latency per endpoint, and the server's
+//! per-stage (queue/context/search/test) percentiles; writes
+//! `BENCH_serve.json`.
 //!
 //! ```text
 //! loadgen --smoke                       # CI: one verified pass + clean shutdown
@@ -17,12 +30,15 @@
 //! The server binary is found next to the running executable
 //! (`target/<profile>/emigre`), or via `--server-bin` / `$EMIGRE_BIN`.
 
-use emigre_core::{EmigreConfig, ExplainFailure, Explanation, QuestionError};
+use emigre_core::explanation::Action;
+use emigre_core::tester::Tester;
+use emigre_core::{EmigreConfig, ExplainContext, ExplainFailure, Explanation, QuestionError};
 use emigre_hin::{GraphView, Hin, NodeId};
+use emigre_obs::{ExplainTrace, HistogramSnapshot, StageLatencies};
 use emigre_ppr::{PprConfig, TransitionModel};
 use emigre_rec::RecConfig;
-use emigre_serve::{reference_explain, reference_recommend, MetricsSnapshot};
-use serde::Serialize;
+use emigre_serve::{reference_explain, reference_recommend, MetricsSnapshot, RequestEvent};
+use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
@@ -83,37 +99,42 @@ fn serve_config(g: &Hin) -> Result<EmigreConfig, String> {
 // Request plan: precomputed (request, expected response) pairs.
 // ---------------------------------------------------------------------------
 
-/// Wire-format mirrors of the server's response bodies. Serialized with
-/// the same serde through identically-ordered fields, so expected vs
-/// actual compare as plain strings.
-#[derive(Serialize)]
-struct ExplainOkBody {
-    status: String,
-    explanation: Explanation,
+/// Wire-format mirror of the server's `/explain` response bodies (success,
+/// failure, and error shapes overlaid — absent fields parse to `None`).
+/// Telemetry fields the reference cannot predict (`request_id`, `stages`)
+/// are checked for presence and shape, payload fields for equality.
+#[derive(Deserialize)]
+struct WireExplain {
+    status: Option<String>,
+    request_id: Option<u64>,
+    explanation: Option<Explanation>,
+    failure: Option<ExplainFailure>,
+    stages: Option<StageLatencies>,
+    error: Option<String>,
 }
 
-#[derive(Serialize)]
-struct ExplainFailureBody {
-    status: String,
-    failure: ExplainFailure,
-}
-
-#[derive(Serialize)]
-struct ItemScore {
+#[derive(Deserialize)]
+struct WireItem {
     item: u32,
     score: f64,
 }
 
-#[derive(Serialize)]
-struct RecommendOkBody {
-    status: String,
-    items: Vec<ItemScore>,
+/// Wire-format mirror of the `/recommend` response body.
+#[derive(Deserialize)]
+struct WireRecommend {
+    status: Option<String>,
+    request_id: Option<u64>,
+    items: Option<Vec<WireItem>>,
+    stages: Option<StageLatencies>,
 }
 
-#[derive(Serialize)]
-struct ErrorBody {
-    error: String,
-    detail: String,
+/// What the reference oracle says a planned request must answer.
+#[derive(Clone)]
+enum Expected {
+    ExplainOk(Explanation),
+    ExplainFailure(ExplainFailure),
+    InvalidQuestion,
+    Recommend(Vec<(u32, f64)>),
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -128,37 +149,16 @@ struct PlannedRequest {
     path: &'static str,
     body: String,
     expected_status: u16,
-    expected_body: String,
+    expected: Expected,
 }
 
 fn expected_explain(
     outcome: Result<Result<Explanation, ExplainFailure>, QuestionError>,
-) -> (u16, String) {
+) -> (u16, Expected) {
     match outcome {
-        Ok(Ok(explanation)) => (
-            200,
-            serde_json::to_string(&ExplainOkBody {
-                status: "ok".to_owned(),
-                explanation,
-            })
-            .unwrap(),
-        ),
-        Ok(Err(failure)) => (
-            200,
-            serde_json::to_string(&ExplainFailureBody {
-                status: "failure".to_owned(),
-                failure,
-            })
-            .unwrap(),
-        ),
-        Err(q) => (
-            400,
-            serde_json::to_string(&ErrorBody {
-                error: "invalid_question".to_owned(),
-                detail: q.to_string(),
-            })
-            .unwrap(),
-        ),
+        Ok(Ok(explanation)) => (200, Expected::ExplainOk(explanation)),
+        Ok(Err(failure)) => (200, Expected::ExplainFailure(failure)),
+        Err(_) => (400, Expected::InvalidQuestion),
     }
 }
 
@@ -177,17 +177,7 @@ fn build_plan(graph: &Hin, cfg: &EmigreConfig, users: &[NodeId], k: usize) -> Ve
             path: "/recommend",
             body: format!("{{\"user\":{},\"k\":{}}}", user.0, k),
             expected_status: 200,
-            expected_body: serde_json::to_string(&RecommendOkBody {
-                status: "ok".to_owned(),
-                items: rec
-                    .iter()
-                    .map(|&(n, s)| ItemScore {
-                        item: n.0,
-                        score: s,
-                    })
-                    .collect(),
-            })
-            .unwrap(),
+            expected: Expected::Recommend(rec.iter().map(|&(n, s)| (n.0, s)).collect()),
         });
         for (i, &(wni, _)) in rec.iter().skip(1).take(2).enumerate() {
             let method = if i % 2 == 0 {
@@ -195,7 +185,7 @@ fn build_plan(graph: &Hin, cfg: &EmigreConfig, users: &[NodeId], k: usize) -> Ve
             } else {
                 emigre_core::Method::AddPowerset
             };
-            let (expected_status, expected_body) =
+            let (expected_status, expected) =
                 expected_explain(reference_explain(graph, cfg, user, wni, method));
             plan.push(PlannedRequest {
                 endpoint: Endpoint::Explain,
@@ -207,11 +197,93 @@ fn build_plan(graph: &Hin, cfg: &EmigreConfig, users: &[NodeId], k: usize) -> Ve
                     method.label()
                 ),
                 expected_status,
-                expected_body,
+                expected,
             });
         }
     }
     plan
+}
+
+/// Field-level verification of one response against its plan entry.
+/// Returns the server-assigned request id on success, a divergence
+/// description on any mismatch.
+fn verify_response(req: &PlannedRequest, status: u16, body: &str) -> Result<u64, String> {
+    if status != req.expected_status {
+        return Err(format!(
+            "status {status} (expected {}): {body:.200}",
+            req.expected_status
+        ));
+    }
+    let require_id = |id: Option<u64>| -> Result<u64, String> {
+        match id {
+            Some(id) if id >= 1 => Ok(id),
+            other => Err(format!("missing request_id ({other:?}): {body:.200}")),
+        }
+    };
+    match &req.expected {
+        Expected::Recommend(expected_items) => {
+            let w: WireRecommend = serde_json::from_str(body)
+                .map_err(|e| format!("unparseable recommend body: {e} ({body:.200})"))?;
+            if w.status.as_deref() != Some("ok") {
+                return Err(format!("status field {:?}, expected \"ok\"", w.status));
+            }
+            let got: Vec<(u32, f64)> = w
+                .items
+                .unwrap_or_default()
+                .iter()
+                .map(|i| (i.item, i.score))
+                .collect();
+            if &got != expected_items {
+                return Err(format!(
+                    "items diverge: got {got:?}, expected {expected_items:?}"
+                ));
+            }
+            if w.stages.is_none() {
+                return Err(format!("missing stages: {body:.200}"));
+            }
+            require_id(w.request_id)
+        }
+        expected => {
+            let w: WireExplain = serde_json::from_str(body)
+                .map_err(|e| format!("unparseable explain body: {e} ({body:.200})"))?;
+            match expected {
+                Expected::ExplainOk(exp) => {
+                    if w.status.as_deref() != Some("ok") {
+                        return Err(format!("status field {:?}, expected \"ok\"", w.status));
+                    }
+                    if w.explanation.as_ref() != Some(exp) {
+                        return Err(format!("explanation diverges: {body:.200}"));
+                    }
+                    if w.stages.is_none() {
+                        return Err(format!("missing stages: {body:.200}"));
+                    }
+                    require_id(w.request_id)
+                }
+                Expected::ExplainFailure(f) => {
+                    if w.status.as_deref() != Some("failure") {
+                        return Err(format!("status field {:?}, expected \"failure\"", w.status));
+                    }
+                    if w.failure.as_ref() != Some(f) {
+                        return Err(format!("failure diverges: {body:.200}"));
+                    }
+                    if w.stages.is_none() {
+                        return Err(format!("missing stages: {body:.200}"));
+                    }
+                    require_id(w.request_id)
+                }
+                Expected::InvalidQuestion => {
+                    if w.error.as_deref() != Some("invalid_question") {
+                        return Err(format!(
+                            "error field {:?}, expected \"invalid_question\"",
+                            w.error
+                        ));
+                    }
+                    require_id(w.request_id)
+                }
+                Expected::Recommend(_) => unreachable!("matched above"),
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -310,7 +382,7 @@ struct Server {
     addr: String,
 }
 
-fn spawn_server(bin: &Path, graph_file: &Path) -> Result<Server, String> {
+fn spawn_server(bin: &Path, graph_file: &Path, event_log: &Path) -> Result<Server, String> {
     let mut child = Command::new(bin)
         .args([
             "serve",
@@ -320,6 +392,8 @@ fn spawn_server(bin: &Path, graph_file: &Path) -> Result<Server, String> {
             "0",
             "--deadline-ms",
             "60000",
+            "--event-log",
+            &event_log.display().to_string(),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -375,6 +449,41 @@ fn latency_report(mut lat_us: Vec<u64>) -> LatencyReport {
     }
 }
 
+/// Server-attributed percentiles for one pipeline stage (from the
+/// service's stage histograms, so they cover every request it served).
+#[derive(Serialize, Default)]
+struct StageQuantiles {
+    count: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+fn stage_quantiles(h: &HistogramSnapshot) -> StageQuantiles {
+    StageQuantiles {
+        count: h.count,
+        p50_us: h.p50_us,
+        p95_us: h.p95_us,
+        p99_us: h.p99_us,
+        max_us: h.max_us,
+    }
+}
+
+#[derive(Serialize)]
+struct StageReport {
+    queue: StageQuantiles,
+    context: StageQuantiles,
+    search: StageQuantiles,
+    test: StageQuantiles,
+}
+
+#[derive(Serialize, Default)]
+struct EventLogReport {
+    lines: u64,
+    verified: bool,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
@@ -386,6 +495,12 @@ struct BenchReport {
     qps: f64,
     explain: LatencyReport,
     recommend: LatencyReport,
+    /// `/trace/<id>` replays performed (smoke mode) and the total number
+    /// of recorded TEST verdicts re-executed and matched.
+    traces_replayed: u64,
+    verdicts_replayed: u64,
+    stages: StageReport,
+    event_log: EventLogReport,
     server_metrics: MetricsSnapshot,
 }
 
@@ -393,6 +508,9 @@ struct WorkerOutput {
     explain_us: Vec<u64>,
     recommend_us: Vec<u64>,
     divergences: Vec<String>,
+    /// `(plan index, served trace)` pairs fetched right after each
+    /// explain answer (smoke mode only).
+    traces: Vec<(usize, ExplainTrace)>,
 }
 
 /// One closed-loop client: next request as soon as the last one answered.
@@ -402,12 +520,14 @@ fn worker(
     cursor: Arc<AtomicUsize>,
     stop: Arc<AtomicBool>,
     max_requests: Option<usize>,
+    fetch_traces: bool,
 ) -> Result<WorkerOutput, String> {
     let mut client = HttpClient::connect(&addr)?;
     let mut out = WorkerOutput {
         explain_us: Vec::new(),
         recommend_us: Vec::new(),
         divergences: Vec::new(),
+        traces: Vec::new(),
     };
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -427,13 +547,82 @@ fn worker(
             Endpoint::Explain => out.explain_us.push(us),
             Endpoint::Recommend => out.recommend_us.push(us),
         }
-        if status != req.expected_status || body != req.expected_body {
-            out.divergences.push(format!(
-                "{} {} -> {status} {body:.200} (expected {} {:.200})",
-                req.path, req.body, req.expected_status, req.expected_body
-            ));
+        match verify_response(req, status, &body) {
+            Err(d) => out
+                .divergences
+                .push(format!("{} {} -> {d}", req.path, req.body)),
+            Ok(request_id) => {
+                // Fetched outside the timed section: the trace endpoint is
+                // an operator tool, not part of the serving path.
+                if fetch_traces && req.endpoint == Endpoint::Explain && status == 200 {
+                    let path = format!("/trace/{request_id}");
+                    let (ts, tbody) = client.request("GET", &path, "")?;
+                    if ts != 200 {
+                        out.divergences
+                            .push(format!("GET {path} -> {ts} {tbody:.200}"));
+                    } else {
+                        match serde_json::from_str::<ExplainTrace>(&tbody) {
+                            Ok(t) => out.traces.push((seq % plan.len(), t)),
+                            Err(e) => out
+                                .divergences
+                                .push(format!("GET {path}: unparseable trace: {e}")),
+                        }
+                    }
+                }
+            }
         }
     }
+}
+
+/// Replays every fetched trace on a fresh single-threaded context: each
+/// recorded TEST verdict must reproduce, and the trace's outcome
+/// bookkeeping must agree with the response the reference predicted.
+/// Returns the number of verdicts re-executed.
+fn replay_traces(
+    graph: &Hin,
+    cfg: &EmigreConfig,
+    plan: &[PlannedRequest],
+    traces: &[(usize, ExplainTrace)],
+    divergences: &mut Vec<String>,
+) -> u64 {
+    let mut verdicts = 0u64;
+    for (seq, t) in traces {
+        let who = format!("trace(user {}, wni {})", t.user, t.wni);
+        let ctx = match ExplainContext::build(graph, cfg.clone(), NodeId(t.user), NodeId(t.wni)) {
+            Ok(c) => c,
+            Err(e) => {
+                divergences.push(format!("{who}: context rebuild failed: {e}"));
+                continue;
+            }
+        };
+        let tester = Tester::new(&ctx);
+        for (k, test) in t.tests.iter().enumerate() {
+            let actions: Vec<Action> = test.actions.iter().map(Action::from_trace).collect();
+            let verdict = tester.test(&actions);
+            verdicts += 1;
+            if verdict != test.verdict {
+                divergences.push(format!(
+                    "{who}: replayed TEST {k} says {verdict}, trace recorded {}",
+                    test.verdict
+                ));
+            }
+        }
+        match &plan[*seq].expected {
+            Expected::ExplainOk(exp) if !t.found || t.explanation.len() != exp.actions.len() => {
+                divergences.push(format!(
+                    "{who}: trace outcome (found={}, {} actions) disagrees with served explanation ({} actions)",
+                    t.found,
+                    t.explanation.len(),
+                    exp.actions.len()
+                ));
+            }
+            Expected::ExplainFailure(_) if t.found => {
+                divergences.push(format!("{who}: trace claims found for a failed explain"));
+            }
+            _ => {}
+        }
+    }
+    verdicts
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -451,6 +640,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let text = emigre_hin::io::to_edge_list(&w.hin.graph);
     let graph_file =
         std::env::temp_dir().join(format!("emigre-loadgen-{}.hin", std::process::id()));
+    let event_log = std::env::temp_dir().join(format!(
+        "emigre-loadgen-{}.events.jsonl",
+        std::process::id()
+    ));
     std::fs::write(&graph_file, &text).map_err(|e| format!("writing graph file: {e}"))?;
     let graph = emigre_hin::io::from_edge_list(&text).map_err(|e| format!("reparse: {e}"))?;
     let cfg = serve_config(&graph)?;
@@ -475,7 +668,7 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let bin = server_binary(args)?;
-    let mut server = spawn_server(&bin, &graph_file)?;
+    let mut server = spawn_server(&bin, &graph_file, &event_log)?;
     eprintln!("loadgen: server {} up at {}", bin.display(), server.addr);
 
     let result = drive(
@@ -485,10 +678,12 @@ fn run(args: &[String]) -> Result<(), String> {
         threads,
         duration_secs,
         items,
-        &out_path,
+        &graph,
+        &cfg,
     );
 
-    // Graceful stop: POST /shutdown, then require a clean exit.
+    // Graceful stop: POST /shutdown, then require a clean exit. The
+    // drain flushes the event log, so it is only read after the wait.
     let shutdown = HttpClient::connect(&server.addr)
         .and_then(|mut c| c.request("POST", "/shutdown", ""))
         .map(|(status, _)| status);
@@ -501,9 +696,53 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(format!("server exited with {exit}"));
     }
     eprintln!("loadgen: server drained and exited cleanly");
-    result
+    let mut report = result?;
+
+    // Structured event log: one JSON line per request, zero lost events.
+    report.event_log = verify_event_log(&event_log, report.requests)?;
+    let _ = std::fs::remove_file(&event_log);
+    eprintln!(
+        "loadgen: event log verified — {} parseable line(s), zero lost",
+        report.event_log.lines
+    );
+
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("{json}");
+    eprintln!(
+        "loadgen: {} requests in {:.2}s — {:.1} QPS, {} divergence(s); wrote {out_path}",
+        report.requests, report.duration_secs, report.qps, report.divergences
+    );
+    Ok(())
 }
 
+/// Every line of the event log must parse as a [`RequestEvent`] with a
+/// valid request id, and the line count must equal the number of
+/// requests the workers issued — fewer means events were dropped.
+fn verify_event_log(path: &Path, requests: u64) -> Result<EventLogReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let ev: RequestEvent = serde_json::from_str(line)
+            .map_err(|e| format!("event log line {}: {e} ({line:.200})", i + 1))?;
+        if ev.request_id == 0 {
+            return Err(format!("event log line {}: request_id is 0", i + 1));
+        }
+        lines += 1;
+    }
+    if lines != requests {
+        return Err(format!(
+            "event log has {lines} line(s) for {requests} request(s) — events were lost"
+        ));
+    }
+    Ok(EventLogReport {
+        lines,
+        verified: true,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn drive(
     addr: &str,
     plan: Vec<PlannedRequest>,
@@ -511,8 +750,9 @@ fn drive(
     threads: usize,
     duration_secs: u64,
     items: usize,
-    out_path: &str,
-) -> Result<(), String> {
+    graph: &Hin,
+    cfg: &EmigreConfig,
+) -> Result<BenchReport, String> {
     // Health check before measuring.
     let mut probe = HttpClient::connect(addr)?;
     let (status, _) = probe.request("GET", "/healthz", "")?;
@@ -536,7 +776,7 @@ fn drive(
                 Arc::clone(&cursor),
                 Arc::clone(&stop),
             );
-            std::thread::spawn(move || worker(addr, plan, cursor, stop, max_requests))
+            std::thread::spawn(move || worker(addr, plan, cursor, stop, max_requests, smoke))
         })
         .collect();
     if !smoke {
@@ -552,12 +792,21 @@ fn drive(
     let mut explain_us = Vec::new();
     let mut recommend_us = Vec::new();
     let mut divergences = Vec::new();
+    let mut traces = Vec::new();
     for o in outputs {
         explain_us.extend(o.explain_us);
         recommend_us.extend(o.recommend_us);
         divergences.extend(o.divergences);
+        traces.extend(o.traces);
     }
     let requests = (explain_us.len() + recommend_us.len()) as u64;
+
+    let verdicts_replayed = if smoke {
+        eprintln!("loadgen: replaying {} served trace(s)", traces.len());
+        replay_traces(graph, cfg, &plan, &traces, &mut divergences)
+    } else {
+        0
+    };
 
     // Server-side view, fetched before shutdown.
     let (_, metrics_json) = probe.request("GET", "/metrics", "")?;
@@ -574,16 +823,17 @@ fn drive(
         qps: requests as f64 / elapsed.max(1e-9),
         explain: latency_report(explain_us),
         recommend: latency_report(recommend_us),
+        traces_replayed: traces.len() as u64,
+        verdicts_replayed,
+        stages: StageReport {
+            queue: stage_quantiles(&server_metrics.queue_wait),
+            context: stage_quantiles(&server_metrics.stage_context),
+            search: stage_quantiles(&server_metrics.stage_search),
+            test: stage_quantiles(&server_metrics.stage_test),
+        },
+        event_log: EventLogReport::default(),
         server_metrics,
     };
-    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-    std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
-    println!("{json}");
-    eprintln!(
-        "loadgen: {requests} requests in {elapsed:.2}s — {:.1} QPS, {} divergence(s); wrote {out_path}",
-        report.qps,
-        divergences.len()
-    );
 
     for d in divergences.iter().take(5) {
         eprintln!("divergence: {d}");
@@ -594,5 +844,5 @@ fn drive(
             divergences.len()
         ));
     }
-    Ok(())
+    Ok(report)
 }

@@ -73,6 +73,27 @@ impl OpCounters {
                 });
     }
 
+    /// Folds a finished snapshot into these counters. The serving stack
+    /// runs each request on a private handle (so spans/traces stay
+    /// request-scoped) and merges the request's counter deltas into the
+    /// service-lifetime block afterwards.
+    pub fn add_snapshot(&self, s: &CounterSnapshot) {
+        self.forward_pushes
+            .fetch_add(s.forward_pushes, Ordering::Relaxed);
+        self.reverse_pushes
+            .fetch_add(s.reverse_pushes, Ordering::Relaxed);
+        self.rows_patched
+            .fetch_add(s.rows_patched, Ordering::Relaxed);
+        self.checks.fetch_add(s.checks, Ordering::Relaxed);
+        self.subsets_enumerated
+            .fetch_add(s.subsets_enumerated, Ordering::Relaxed);
+        self.candidate_index_hits
+            .fetch_add(s.candidate_index_hits, Ordering::Relaxed);
+        if s.residual_mass_drained != 0.0 {
+            self.add_mass(s.residual_mass_drained);
+        }
+    }
+
     /// Takes a point-in-time copy of every counter.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -195,6 +216,29 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.candidate_index_hits, 4000);
         assert!((s.residual_mass_drained - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_snapshot_merges_request_deltas() {
+        let svc = OpCounters::default();
+        svc.add(Op::Checks, 2);
+        let req = CounterSnapshot {
+            forward_pushes: 10,
+            reverse_pushes: 20,
+            rows_patched: 3,
+            checks: 5,
+            subsets_enumerated: 7,
+            candidate_index_hits: 11,
+            residual_mass_drained: 0.5,
+        };
+        svc.add_snapshot(&req);
+        svc.add_snapshot(&CounterSnapshot::default());
+        let s = svc.snapshot();
+        assert_eq!(s.forward_pushes, 10);
+        assert_eq!(s.reverse_pushes, 20);
+        assert_eq!(s.checks, 7);
+        assert_eq!(s.candidate_index_hits, 11);
+        assert!((s.residual_mass_drained - 0.5).abs() < 1e-15);
     }
 
     #[test]

@@ -96,6 +96,16 @@ impl ObsHandle {
         }
     }
 
+    /// Folds a finished per-request snapshot into this handle's counters.
+    /// No-op when disabled. Lets a service keep one long-lived
+    /// counters-only handle while each request records on a private
+    /// enabled handle whose totals are merged here on completion.
+    pub fn merge_counters(&self, s: &CounterSnapshot) {
+        if let Some(inner) = &self.0 {
+            inner.counters.add_snapshot(s);
+        }
+    }
+
     // --------------------------------------------------------------- spans
 
     /// Opens a timing span; it closes when the returned guard drops.
@@ -285,6 +295,20 @@ mod tests {
         assert_eq!(h.counters().checks, 3);
         assert!(h.span_tree().is_empty());
         assert!(h.trace().is_none());
+    }
+
+    #[test]
+    fn merge_counters_folds_request_totals_into_service_handle() {
+        let svc = ObsHandle::counters_only();
+        let req = ObsHandle::enabled();
+        req.count(Op::Checks, 4);
+        req.count(Op::ForwardPushes, 9);
+        svc.merge_counters(&req.counters());
+        let s = svc.counters();
+        assert_eq!(s.checks, 4);
+        assert_eq!(s.forward_pushes, 9);
+        // Disabled handles swallow merges silently.
+        ObsHandle::disabled().merge_counters(&req.counters());
     }
 
     #[test]

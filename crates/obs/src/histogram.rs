@@ -182,6 +182,68 @@ mod tests {
     }
 
     #[test]
+    fn exact_powers_of_two_land_in_exactly_one_bucket() {
+        // A power of two is the *inclusive lower* edge of its bucket:
+        // 2^k → bucket k+1 ([2^k, 2^(k+1))), never split across two.
+        for k in 0..(HISTOGRAM_BUCKETS - 2) {
+            let v = 1u64 << k;
+            let h = LatencyHistogram::new();
+            h.record_us(v);
+            let s = h.snapshot();
+            let nonzero: Vec<usize> = (0..s.buckets.len()).filter(|&i| s.buckets[i] > 0).collect();
+            assert_eq!(
+                nonzero,
+                vec![k + 1],
+                "2^{k} must occupy only bucket {}",
+                k + 1
+            );
+            // And the value just below the edge lands one bucket lower
+            // (2^k − 1 → bucket k; for k = 0 that value is 0 → bucket 0).
+            assert_eq!(bucket_of(v - 1), k, "2^{k}-1 below the edge");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_p0_and_p100() {
+        let h = LatencyHistogram::new();
+        for us in [5u64, 100, 3000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        // q→0 clamps the rank to 1: the first occupied bucket's upper edge.
+        assert_eq!(s.quantile_us(0.0), 8);
+        assert_eq!(s.quantile_us(f64::MIN_POSITIVE), 8);
+        // q=1 is the last observation's bucket, capped at the exact max.
+        assert_eq!(s.quantile_us(1.0), 3000);
+        // Never under-reports anywhere in between.
+        for q in [0.25, 0.5, 0.75, 0.9] {
+            assert!(s.quantile_us(q) >= 5);
+            assert!(s.quantile_us(q) <= 3000);
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_on_empty_histogram() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.quantile_us(0.0), 0);
+        assert_eq!(s.quantile_us(0.5), 0);
+        assert_eq!(s.quantile_us(1.0), 0);
+    }
+
+    #[test]
+    fn single_zero_observation_quantiles() {
+        let h = LatencyHistogram::new();
+        h.record_us(0);
+        let s = h.snapshot();
+        // Bucket 0's upper edge is 1µs but max_us=0 → capped to max(1)=1;
+        // the estimate stays within one bucket of the truth.
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_us, 0);
+        assert!(s.quantile_us(0.5) <= 1);
+        assert!(s.quantile_us(1.0) <= 1);
+    }
+
+    #[test]
     fn empty_histogram_is_all_zero() {
         let s = LatencyHistogram::new().snapshot();
         assert_eq!(s.count, 0);

@@ -24,11 +24,17 @@
 mod counters;
 mod handle;
 mod histogram;
+pub mod prometheus;
 mod spans;
+mod stages;
 mod trace;
+mod window;
 
 pub use counters::{CounterSnapshot, Op, OpCounters};
 pub use handle::{ObsHandle, SpanGuard};
 pub use histogram::{HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
+pub use prometheus::{validate_exposition, PromText};
 pub use spans::{SpanExport, SpanRecorder};
+pub use stages::StageLatencies;
 pub use trace::{ExplainTrace, TraceAction, TraceCandidate, TraceCrossing, TraceTest};
+pub use window::{SlidingWindow, WindowRing, WindowStats};

@@ -1,0 +1,472 @@
+//! Prometheus text-format exposition: a small encoder and an even smaller
+//! lint.
+//!
+//! The serving stack exposes `/metrics?format=prometheus` so a standard
+//! scraper can ingest it without a JSON adapter. [`PromText`] renders the
+//! exposition format (version 0.0.4): `# HELP` / `# TYPE` headers, label
+//! escaping, and cumulative histogram buckets ending in the mandatory
+//! `+Inf`.
+//!
+//! Histogram convention: our latency histograms bucket integer
+//! microseconds into `[2^(i-1), 2^i)` ranges. Because observations are
+//! integers, the *inclusive* upper bound of bucket `i` is `2^i − 1`, so
+//! `le` boundaries are emitted as `0, 1, 3, 7, …, 2^39−1, +Inf` — exact
+//! cumulative counts, not the off-by-one-observation approximation that
+//! `le="2^i"` would give.
+//!
+//! [`validate_exposition`] is the in-repo lint the CI test runs against
+//! everything we emit: metric-name charset, one value per line, per-series
+//! monotone cumulative buckets, and a terminal `+Inf` bucket for every
+//! histogram.
+
+use crate::histogram::HistogramSnapshot;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Incremental builder for one exposition document.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+/// Escapes a label value per the exposition format (`\\`, `\"`, `\n`).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+impl PromText {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", help.replace('\n', " "));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// One integer sample line.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// One float sample line.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels);
+        self.out.push(' ');
+        write_f64(&mut self.out, value);
+        self.out.push('\n');
+    }
+
+    /// Renders a [`HistogramSnapshot`] as `<name>_bucket{le=…}` cumulative
+    /// series plus `<name>_sum` and `<name>_count`. Trailing all-zero
+    /// buckets are collapsed into the `+Inf` line to keep the exposition
+    /// compact; emitted boundaries stay cumulative and exact.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let mut cumulative = 0u64;
+        // Highest non-empty bucket; everything above it is flat.
+        let last = snap
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0)
+            .min(snap.buckets.len());
+        let bucket_name = format!("{name}_bucket");
+        for (i, &c) in snap.buckets.iter().take(last).enumerate() {
+            cumulative += c;
+            // Inclusive integer upper bound of bucket i: 2^i − 1 (bucket 0
+            // holds only the value 0).
+            let le = (1u64 << i) - 1;
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            let le_s = le.to_string();
+            ls.push(("le", le_s.as_str()));
+            self.sample_u64(&bucket_name, &ls, cumulative);
+        }
+        let mut ls: Vec<(&str, &str)> = labels.to_vec();
+        ls.push(("le", "+Inf"));
+        self.sample_u64(&bucket_name, &ls, snap.count);
+        self.sample_u64(&format!("{name}_sum"), labels, snap.sum_us);
+        self.sample_u64(&format!("{name}_count"), labels, snap.count);
+    }
+
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exposition lint
+// ---------------------------------------------------------------------------
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+    line_no: usize,
+}
+
+fn parse_sample(line: &str, line_no: usize) -> Result<Sample, String> {
+    let err = |msg: &str| format!("line {line_no}: {msg}: {line:?}");
+    let (name_labels, value_str) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or_else(|| err("unclosed label set"))?;
+            if close < brace {
+                return Err(err("mismatched braces"));
+            }
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let sp = line.find(' ').ok_or_else(|| err("missing value"))?;
+            (&line[..sp], line[sp + 1..].trim())
+        }
+    };
+    let (name, labels) = match name_labels.find('{') {
+        Some(brace) => {
+            let inner = &name_labels[brace + 1..name_labels.len() - 1];
+            let mut labels = Vec::new();
+            let mut rest = inner.trim();
+            while !rest.is_empty() {
+                let eq = rest.find('=').ok_or_else(|| err("label without '='"))?;
+                let lname = rest[..eq].trim();
+                if !valid_label_name(lname) {
+                    return Err(err(&format!("bad label name {lname:?}")));
+                }
+                let after = &rest[eq + 1..];
+                if !after.starts_with('"') {
+                    return Err(err("unquoted label value"));
+                }
+                // Find the closing quote, honouring backslash escapes.
+                let mut end = None;
+                let bytes = after.as_bytes();
+                let mut i = 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let end = end.ok_or_else(|| err("unterminated label value"))?;
+                labels.push((lname.to_string(), after[1..end].to_string()));
+                rest = after[end + 1..].trim_start_matches(',').trim();
+            }
+            (&name_labels[..brace], labels)
+        }
+        None => (name_labels, Vec::new()),
+    };
+    if !valid_metric_name(name) {
+        return Err(err(&format!("bad metric name {name:?}")));
+    }
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| err(&format!("bad sample value {v:?}")))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+        line_no,
+    })
+}
+
+/// Lints one Prometheus text exposition document.
+///
+/// Checks, per the format spec:
+/// 1. every sample line parses (`name{labels} value`), metric and label
+///    names match the allowed charsets, label values are quoted/escaped;
+/// 2. `# TYPE` lines name a known type;
+/// 3. every `*_bucket` series group (same base name + non-`le` labels) has
+///    strictly increasing finite `le` boundaries, non-decreasing
+///    cumulative counts, and a terminal `le="+Inf"` bucket;
+/// 4. when `<base>_count` exists, it equals the `+Inf` bucket.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut samples: Vec<Sample> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts.next().unwrap_or_default();
+                    let kind = parts.next().unwrap_or_default();
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {line_no}: bad TYPE metric name {name:?}"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {line_no}: unknown metric type {kind:?}"));
+                    }
+                }
+                Some("HELP") => {}
+                // Free-form comments are legal.
+                _ => {}
+            }
+            continue;
+        }
+        samples.push(parse_sample(line, line_no)?);
+    }
+
+    // Group histogram buckets by (base name, labels-without-le).
+    let mut groups: HashMap<String, Vec<(Option<f64>, f64, usize)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    for s in &samples {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            let le_raw = s.labels.iter().find(|(k, _)| k == "le");
+            let Some((_, le_val)) = le_raw else {
+                return Err(format!(
+                    "line {}: histogram bucket {} without an le label",
+                    s.line_no, s.name
+                ));
+            };
+            let le = match le_val.as_str() {
+                "+Inf" => None,
+                v => Some(
+                    v.parse::<f64>()
+                        .map_err(|_| format!("line {}: non-numeric le {v:?}", s.line_no))?,
+                ),
+            };
+            let mut key_labels: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            key_labels.sort();
+            let key = format!("{base}|{}", key_labels.join(","));
+            groups
+                .entry(key)
+                .or_default()
+                .push((le, s.value, s.line_no));
+        } else if let Some(base) = s.name.strip_suffix("_count") {
+            let mut key_labels: Vec<String> =
+                s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            key_labels.sort();
+            counts.insert(format!("{base}|{}", key_labels.join(",")), s.value);
+        }
+    }
+    for (key, buckets) in &groups {
+        // Emission order is the series order; boundaries must ascend with
+        // +Inf last and cumulative values must be monotone.
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_v = f64::NEG_INFINITY;
+        for (i, (le, v, line_no)) in buckets.iter().enumerate() {
+            match le {
+                Some(b) => {
+                    if i == buckets.len() - 1 {
+                        return Err(format!(
+                            "histogram {key}: terminal bucket must be le=\"+Inf\" (line {line_no})"
+                        ));
+                    }
+                    if *b <= prev_le {
+                        return Err(format!(
+                            "histogram {key}: le boundaries not increasing at line {line_no}"
+                        ));
+                    }
+                    prev_le = *b;
+                }
+                None => {
+                    if i != buckets.len() - 1 {
+                        return Err(format!(
+                            "histogram {key}: le=\"+Inf\" must be the last bucket (line {line_no})"
+                        ));
+                    }
+                }
+            }
+            if *v < prev_v {
+                return Err(format!(
+                    "histogram {key}: cumulative bucket counts decrease at line {line_no}"
+                ));
+            }
+            prev_v = *v;
+        }
+        if buckets
+            .last()
+            .map(|(le, _, _)| le.is_some())
+            .unwrap_or(true)
+        {
+            return Err(format!("histogram {key}: missing le=\"+Inf\" bucket"));
+        }
+        if let Some(count) = counts.get(key) {
+            let inf = buckets.last().unwrap().1;
+            if (count - inf).abs() > f64::EPSILON * count.abs().max(1.0) {
+                return Err(format!(
+                    "histogram {key}: _count {count} != +Inf bucket {inf}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LatencyHistogram;
+
+    #[test]
+    fn encoder_output_passes_the_lint() {
+        let h = LatencyHistogram::new();
+        for us in [0u64, 1, 5, 900, 70_000] {
+            h.record_us(us);
+        }
+        let mut p = PromText::new();
+        p.header("emigre_requests_total", "counter", "All requests");
+        p.sample_u64("emigre_requests_total", &[], 42);
+        p.header("emigre_rejected_total", "counter", "Rejected requests");
+        p.sample_u64("emigre_rejected_total", &[("reason", "overload")], 7);
+        p.sample_u64("emigre_rejected_total", &[("reason", "deadline")], 3);
+        p.header("emigre_explain_latency_us", "histogram", "Explain latency");
+        p.histogram("emigre_explain_latency_us", &[], &h.snapshot());
+        p.header("emigre_window_qps", "gauge", "Trailing QPS");
+        p.sample_f64("emigre_window_qps", &[("window", "10s")], 12.5);
+        let text = p.into_string();
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("emigre_rejected_total{reason=\"overload\"} 7"));
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("emigre_explain_latency_us_count 5"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.sample_u64("m", &[("path", "a\"b\\c\nd")], 1);
+        let text = p.into_string();
+        assert_eq!(text, "m{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn lint_rejects_bad_metric_names() {
+        assert!(validate_exposition("9bad_name 1\n").is_err());
+        assert!(validate_exposition("bad-name 1\n").is_err());
+        assert!(validate_exposition("good_name 1\n").is_ok());
+    }
+
+    #[test]
+    fn lint_rejects_non_monotone_buckets() {
+        let text = "\
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"3\"} 4
+h_bucket{le=\"+Inf\"} 6
+";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("decrease"), "{err}");
+    }
+
+    #[test]
+    fn lint_rejects_missing_or_misplaced_inf() {
+        let missing = "\
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"3\"} 6
+";
+        assert!(validate_exposition(missing).is_err());
+        let misplaced = "\
+h_bucket{le=\"+Inf\"} 6
+h_bucket{le=\"3\"} 6
+";
+        assert!(validate_exposition(misplaced).is_err());
+    }
+
+    #[test]
+    fn lint_rejects_count_bucket_mismatch() {
+        let text = "\
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"+Inf\"} 6
+h_count 7
+";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn lint_accepts_unordered_series_interleaving() {
+        // Two label-sets of one histogram family interleave; each series
+        // is monotone on its own.
+        let text = "\
+h_bucket{op=\"a\",le=\"1\"} 1
+h_bucket{op=\"b\",le=\"1\"} 2
+h_bucket{op=\"a\",le=\"+Inf\"} 1
+h_bucket{op=\"b\",le=\"+Inf\"} 3
+";
+        validate_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn empty_histogram_is_a_single_inf_bucket() {
+        let mut p = PromText::new();
+        p.histogram("h", &[], &LatencyHistogram::new().snapshot());
+        let text = p.into_string();
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 0"));
+        validate_exposition(&text).unwrap();
+    }
+}

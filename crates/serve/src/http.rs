@@ -8,20 +8,25 @@
 //!
 //! ## Endpoints
 //!
-//! | route             | body                                                        |
-//! |-------------------|-------------------------------------------------------------|
-//! | `POST /explain`   | `{"user":N,"why_not":N,"method":"...","deadline_ms":N}`     |
-//! | `POST /recommend` | `{"user":N,"k":N,"deadline_ms":N}`                          |
-//! | `GET  /healthz`   | —                                                           |
-//! | `GET  /metrics`   | —                                                           |
-//! | `POST /shutdown`  | — (SIGTERM equivalent: drain in-flight requests, then exit) |
+//! | route              | body                                                        |
+//! |--------------------|-------------------------------------------------------------|
+//! | `POST /explain`    | `{"user":N,"why_not":N,"method":"...","deadline_ms":N}`     |
+//! | `POST /recommend`  | `{"user":N,"k":N,"deadline_ms":N}`                          |
+//! | `GET  /healthz`    | — (build/version info, worker count, uptime)                |
+//! | `GET  /metrics`    | — (JSON; `?format=prometheus` for text exposition)          |
+//! | `GET  /trace/<id>` | — (replayable `ExplainTrace` of a recent request)           |
+//! | `POST /shutdown`   | — (SIGTERM equivalent: drain in-flight requests, then exit) |
 //!
 //! `method`, `k`, and `deadline_ms` are optional. Service rejections map
 //! to status codes: 400 invalid question, 429 overloaded, 503 shutting
-//! down, 504 deadline exceeded.
+//! down, 504 deadline exceeded. Every `/explain` and `/recommend`
+//! response — success or rejection — carries the `request_id` assigned at
+//! admission; successful ones also carry per-stage latency attribution.
 
+use crate::metrics::prometheus_text;
 use crate::service::{ExplanationService, ServeError};
 use emigre_core::{Explanation, Method};
+use emigre_obs::StageLatencies;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -69,21 +74,35 @@ struct StatusBody {
 }
 
 #[derive(Serialize)]
+struct HealthBody {
+    status: String,
+    version: String,
+    git_hash: String,
+    workers: u64,
+    uptime_secs: u64,
+}
+
+#[derive(Serialize)]
 struct ErrorBody {
     error: String,
     detail: String,
+    request_id: Option<u64>,
 }
 
 #[derive(Serialize)]
 struct ExplainOkBody {
     status: String,
+    request_id: u64,
     explanation: Explanation,
+    stages: StageLatencies,
 }
 
 #[derive(Serialize)]
 struct ExplainFailureBody {
     status: String,
+    request_id: u64,
     failure: emigre_core::ExplainFailure,
+    stages: StageLatencies,
 }
 
 #[derive(Serialize)]
@@ -95,7 +114,9 @@ struct ItemScore {
 #[derive(Serialize)]
 struct RecommendOkBody {
     status: String,
+    request_id: u64,
     items: Vec<ItemScore>,
+    stages: StageLatencies,
 }
 
 /// A bound, not-yet-running HTTP server.
@@ -272,8 +293,10 @@ fn handle_connection(
         match read_request(&mut stream, &shutdown) {
             Ok(ReadOutcome::Request(req)) => {
                 let keep_alive = req.keep_alive;
-                let (status, body) = route(&service, &shutdown, &req);
-                if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+                let (status, content_type, body) = route(&service, &shutdown, &req);
+                if write_response(&mut stream, status, content_type, &body, keep_alive).is_err()
+                    || !keep_alive
+                {
                     return;
                 }
             }
@@ -287,40 +310,78 @@ fn handle_connection(
     }
 }
 
+const JSON: &str = "application/json";
+/// Prometheus text exposition content type (format version 0.0.4).
+const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 fn json_error(error: &str, detail: impl Into<String>) -> String {
+    json_error_id(error, detail, None)
+}
+
+fn json_error_id(error: &str, detail: impl Into<String>, request_id: Option<u64>) -> String {
     serde_json::to_string(&ErrorBody {
         error: error.to_owned(),
         detail: detail.into(),
+        request_id,
     })
     .unwrap_or_else(|_| format!("{{\"error\":\"{error}\"}}"))
 }
 
-fn serve_error_response(e: ServeError) -> (u16, String) {
-    match e {
-        ServeError::Overloaded => (429, json_error("overloaded", e.to_string())),
-        ServeError::DeadlineExceeded => (504, json_error("deadline_exceeded", e.to_string())),
-        ServeError::ShuttingDown => (503, json_error("shutting_down", e.to_string())),
-        ServeError::InvalidQuestion(q) => (400, json_error("invalid_question", q.to_string())),
-    }
+fn serve_error_response(e: ServeError, request_id: Option<u64>) -> (u16, &'static str, String) {
+    let (status, label) = match &e {
+        ServeError::Overloaded => (429, "overloaded"),
+        ServeError::DeadlineExceeded => (504, "deadline_exceeded"),
+        ServeError::ShuttingDown => (503, "shutting_down"),
+        ServeError::InvalidQuestion(_) => (400, "invalid_question"),
+    };
+    (
+        status,
+        JSON,
+        json_error_id(label, e.to_string(), request_id),
+    )
 }
 
-fn route(service: &ExplanationService, shutdown: &AtomicBool, req: &HttpRequest) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
+fn route(
+    service: &ExplanationService,
+    shutdown: &AtomicBool,
+    req: &HttpRequest,
+) -> (u16, &'static str, String) {
+    // Split off the query string; only /metrics interprets one today.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => (
             200,
-            serde_json::to_string(&StatusBody {
+            JSON,
+            serde_json::to_string(&HealthBody {
                 status: "ok".to_owned(),
+                version: env!("CARGO_PKG_VERSION").to_owned(),
+                git_hash: option_env!("EMIGRE_GIT_HASH")
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                workers: service.workers() as u64,
+                uptime_secs: service.uptime().as_secs(),
             })
             .unwrap(),
         ),
-        ("GET", "/metrics") => match serde_json::to_string(&service.metrics()) {
-            Ok(body) => (200, body),
-            Err(e) => (500, json_error("internal", e.to_string())),
-        },
+        ("GET", "/metrics") => {
+            let snap = service.metrics();
+            if query.split('&').any(|kv| kv == "format=prometheus") {
+                return (200, PROM_TEXT, prometheus_text(&snap));
+            }
+            match serde_json::to_string(&snap) {
+                Ok(body) => (200, JSON, body),
+                Err(e) => (500, JSON, json_error("internal", e.to_string())),
+            }
+        }
+        ("GET", p) if p.starts_with("/trace/") => handle_trace(service, &p["/trace/".len()..]),
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
             (
                 200,
+                JSON,
                 serde_json::to_string(&StatusBody {
                     status: "draining".to_owned(),
                 })
@@ -329,10 +390,39 @@ fn route(service: &ExplanationService, shutdown: &AtomicBool, req: &HttpRequest)
         }
         ("POST", "/explain") => handle_explain(service, &req.body),
         ("POST", "/recommend") => handle_recommend(service, &req.body),
-        ("POST", "/healthz" | "/metrics") | ("GET", "/explain" | "/recommend" | "/shutdown") => {
-            (405, json_error("method_not_allowed", req.method.clone()))
-        }
-        _ => (404, json_error("not_found", req.path.clone())),
+        ("POST", "/healthz" | "/metrics") | ("GET", "/explain" | "/recommend" | "/shutdown") => (
+            405,
+            JSON,
+            json_error("method_not_allowed", req.method.clone()),
+        ),
+        _ => (404, JSON, json_error("not_found", req.path.clone())),
+    }
+}
+
+/// `GET /trace/<request-id>`: the stored [`emigre_obs::ExplainTrace`] of a
+/// recent explain request, replayable offline. 404 once evicted from the
+/// bounded store (or for ids that never ran an explain).
+fn handle_trace(service: &ExplanationService, id_str: &str) -> (u16, &'static str, String) {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return (
+            400,
+            JSON,
+            json_error("bad_request", format!("invalid request id {id_str:?}")),
+        );
+    };
+    match service.trace(id) {
+        Some(trace) => match serde_json::to_string(&*trace) {
+            Ok(body) => (200, JSON, body),
+            Err(e) => (500, JSON, json_error("internal", e.to_string())),
+        },
+        None => (
+            404,
+            JSON,
+            json_error(
+                "trace_not_found",
+                format!("no stored trace for request {id} (expired or never traced)"),
+            ),
+        ),
     }
 }
 
@@ -341,10 +431,10 @@ fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, String> {
     serde_json::from_str(text).map_err(|e| e.to_string())
 }
 
-fn handle_explain(service: &ExplanationService, body: &[u8]) -> (u16, String) {
+fn handle_explain(service: &ExplanationService, body: &[u8]) -> (u16, &'static str, String) {
     let req: ExplainBody = match parse_body(body) {
         Ok(r) => r,
-        Err(e) => return (400, json_error("bad_request", e)),
+        Err(e) => return (400, JSON, json_error("bad_request", e)),
     };
     let method = match req.method.as_deref() {
         None => Method::AddPowerset,
@@ -353,73 +443,82 @@ fn handle_explain(service: &ExplanationService, body: &[u8]) -> (u16, String) {
             None => {
                 return (
                     400,
+                    JSON,
                     json_error("bad_request", format!("unknown method {label:?}")),
                 )
             }
         },
     };
-    let result = match req.deadline_ms {
-        Some(ms) => service.explain_deadline(
-            emigre_hin::NodeId(req.user),
-            emigre_hin::NodeId(req.why_not),
-            method,
-            Duration::from_millis(ms),
-        ),
-        None => service.explain(
-            emigre_hin::NodeId(req.user),
-            emigre_hin::NodeId(req.why_not),
-            method,
-        ),
-    };
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(service.default_deadline());
+    let (request_id, result) = service.explain_request(
+        emigre_hin::NodeId(req.user),
+        emigre_hin::NodeId(req.why_not),
+        method,
+        deadline,
+    );
     match result {
-        Ok(Ok(explanation)) => (
-            200,
-            serde_json::to_string(&ExplainOkBody {
-                status: "ok".to_owned(),
-                explanation,
-            })
-            .unwrap_or_else(|e| json_error("internal", e.to_string())),
-        ),
-        Ok(Err(failure)) => (
-            200,
-            serde_json::to_string(&ExplainFailureBody {
-                status: "failure".to_owned(),
-                failure,
-            })
-            .unwrap_or_else(|e| json_error("internal", e.to_string())),
-        ),
-        Err(e) => serve_error_response(e),
+        Ok(resp) => match resp.outcome {
+            Ok(explanation) => (
+                200,
+                JSON,
+                serde_json::to_string(&ExplainOkBody {
+                    status: "ok".to_owned(),
+                    request_id,
+                    explanation,
+                    stages: resp.stages,
+                })
+                .unwrap_or_else(|e| json_error("internal", e.to_string())),
+            ),
+            Err(failure) => (
+                200,
+                JSON,
+                serde_json::to_string(&ExplainFailureBody {
+                    status: "failure".to_owned(),
+                    request_id,
+                    failure,
+                    stages: resp.stages,
+                })
+                .unwrap_or_else(|e| json_error("internal", e.to_string())),
+            ),
+        },
+        Err(e) => serve_error_response(e, Some(request_id)),
     }
 }
 
-fn handle_recommend(service: &ExplanationService, body: &[u8]) -> (u16, String) {
+fn handle_recommend(service: &ExplanationService, body: &[u8]) -> (u16, &'static str, String) {
     let req: RecommendBody = match parse_body(body) {
         Ok(r) => r,
-        Err(e) => return (400, json_error("bad_request", e)),
+        Err(e) => return (400, JSON, json_error("bad_request", e)),
     };
     let k = req.k.unwrap_or(10) as usize;
-    let result = match req.deadline_ms {
-        Some(ms) => {
-            service.recommend_deadline(emigre_hin::NodeId(req.user), k, Duration::from_millis(ms))
-        }
-        None => service.recommend(emigre_hin::NodeId(req.user), k),
-    };
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(service.default_deadline());
+    let (request_id, result) = service.recommend_request(emigre_hin::NodeId(req.user), k, deadline);
     match result {
-        Ok(items) => (
+        Ok(resp) => (
             200,
+            JSON,
             serde_json::to_string(&RecommendOkBody {
                 status: "ok".to_owned(),
-                items: items
+                request_id,
+                items: resp
+                    .items
                     .into_iter()
                     .map(|(n, s)| ItemScore {
                         item: n.0,
                         score: s,
                     })
                     .collect(),
+                stages: resp.stages,
             })
             .unwrap_or_else(|e| json_error("internal", e.to_string())),
         ),
-        Err(e) => serve_error_response(e),
+        Err(e) => serve_error_response(e, Some(request_id)),
     }
 }
 
@@ -440,12 +539,13 @@ fn status_reason(status: u16) -> &'static str {
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         status_reason(status),
         body.len(),
     );

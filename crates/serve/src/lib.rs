@@ -19,14 +19,17 @@
 //! single-threaded oracle, used by the load generator's divergence check.
 
 pub mod cache;
+pub mod events;
 pub mod http;
 pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheStats, LruCache};
+pub use events::{EventLogStats, EventLogger, RequestEvent};
 pub use http::{method_from_label, HttpServer};
-pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use metrics::{prometheus_text, MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
 pub use service::{
-    recommend_from_push, reference_explain, reference_recommend, ExplainOutcome,
-    ExplanationService, RecommendOutcome, ServeError, ServiceConfig,
+    recommend_from_push, reference_explain, reference_recommend, ExplainOutcome, ExplainResponse,
+    ExplanationService, RecommendOutcome, RecommendResponse, ServeError, ServiceConfig,
+    WorkerStallGuard,
 };

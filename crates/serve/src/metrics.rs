@@ -1,13 +1,23 @@
-//! Serving metrics: request counters and per-endpoint latency histograms.
+//! Serving metrics: request counters, per-endpoint and per-stage latency
+//! histograms, sliding-window SLOs, and both exposition formats.
 //!
 //! Everything here is updated with relaxed atomics on the hot path and
 //! snapshotted into a serialisable [`MetricsSnapshot`] for `/metrics` and
-//! `BENCH_serve.json`. PPR op counters (pushes, checks, residual mass)
-//! come from the service's counters-only [`emigre_obs::ObsHandle`] and
-//! are merged into the snapshot by the service.
+//! `BENCH_serve.json`. Fields the metrics block cannot see — queue depth,
+//! cache stats, op counters, event-log stats, window aggregates, worker
+//! count, uptime — are *required* inputs to [`ServeMetrics::snapshot`]
+//! via [`ServiceOwned`]: a caller physically cannot publish a snapshot
+//! with those fields silently zeroed, which an earlier revision allowed.
+//!
+//! [`prometheus_text`] renders the same snapshot in Prometheus text
+//! exposition format (metric names prefixed `emigre_`, units as `_us` /
+//! `_seconds` suffixes, rejections and stages as labelled families).
 
 use crate::cache::CacheStats;
-use emigre_obs::{CounterSnapshot, HistogramSnapshot, LatencyHistogram};
+use crate::events::EventLogStats;
+use emigre_obs::{
+    CounterSnapshot, HistogramSnapshot, LatencyHistogram, PromText, StageLatencies, WindowStats,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -32,6 +42,14 @@ pub struct ServeMetrics {
     pub explain_latency: LatencyHistogram,
     /// End-to-end worker latency of recommend jobs.
     pub recommend_latency: LatencyHistogram,
+    /// Admission → dequeue wait, every admitted job.
+    pub queue_wait: LatencyHistogram,
+    /// Stage attribution across explain jobs: context/artefact assembly.
+    pub stage_context: LatencyHistogram,
+    /// Stage attribution: search-space construction + candidate ranking.
+    pub stage_search: LatencyHistogram,
+    /// Stage attribution: the TEST/CHECK loop.
+    pub stage_test: LatencyHistogram,
 }
 
 impl ServeMetrics {
@@ -39,10 +57,73 @@ impl ServeMetrics {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Records one explain request's stage attribution into the per-stage
+    /// histograms (queue wait is recorded separately at dequeue).
+    pub fn record_stages(&self, s: &StageLatencies) {
+        self.stage_context.record_us(s.context_us);
+        self.stage_search.record_us(s.search_us);
+        self.stage_test.record_us(s.test_us);
+    }
+
+    /// Copies the atomic state and merges in the service-owned fields.
+    /// Taking [`ServiceOwned`] by value is deliberate: every field the
+    /// metrics block cannot observe must be supplied explicitly, so no
+    /// caller can publish a half-filled snapshot.
+    pub fn snapshot(&self, owned: ServiceOwned) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            completed_total: self.completed_total.load(Ordering::Relaxed),
+            explanations_found: self.explanations_found.load(Ordering::Relaxed),
+            explanations_failed: self.explanations_failed.load(Ordering::Relaxed),
+            invalid_questions: self.invalid_questions.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            queue_depth: owned.queue_depth,
+            workers: owned.workers,
+            uptime_secs: owned.uptime_secs,
+            session_cache: owned.session_cache,
+            column_cache: owned.column_cache,
+            explain_latency: self.explain_latency.snapshot(),
+            recommend_latency: self.recommend_latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            stage_context: self.stage_context.snapshot(),
+            stage_search: self.stage_search.snapshot(),
+            stage_test: self.stage_test.snapshot(),
+            ops: owned.ops,
+            events: owned.events,
+            windows: owned.windows,
+        }
+    }
+}
+
+/// Snapshot fields owned by the service rather than the metrics block:
+/// queue depth (lives in the channel), cache stats (live in the LRUs), op
+/// counters (live in the obs handle), event-log stats, sliding windows,
+/// and deployment facts.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceOwned {
+    pub queue_depth: u64,
+    pub workers: u64,
+    pub uptime_secs: u64,
+    pub session_cache: CacheStats,
+    pub column_cache: CacheStats,
+    pub ops: CounterSnapshot,
+    pub events: EventLogStats,
+    pub windows: WindowsSnapshot,
+}
+
+/// Sliding-window SLO aggregates per endpoint, two horizons each.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowsSnapshot {
+    pub explain_10s: WindowStats,
+    pub explain_60s: WindowStats,
+    pub recommend_10s: WindowStats,
+    pub recommend_60s: WindowStats,
 }
 
 /// Point-in-time copy of every serving metric, serialisable as the
-/// `/metrics` response body.
+/// `/metrics` JSON response body.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     pub requests_total: u64,
@@ -54,32 +135,300 @@ pub struct MetricsSnapshot {
     pub rejected_deadline: u64,
     /// Jobs admitted but not yet picked up by a worker.
     pub queue_depth: u64,
+    pub workers: u64,
+    pub uptime_secs: u64,
     pub session_cache: CacheStats,
     pub column_cache: CacheStats,
     pub explain_latency: HistogramSnapshot,
     pub recommend_latency: HistogramSnapshot,
+    pub queue_wait: HistogramSnapshot,
+    pub stage_context: HistogramSnapshot,
+    pub stage_search: HistogramSnapshot,
+    pub stage_test: HistogramSnapshot,
     /// PPR/CHECK op counters aggregated across all requests.
     pub ops: CounterSnapshot,
+    pub events: EventLogStats,
+    pub windows: WindowsSnapshot,
 }
 
-impl ServeMetrics {
-    /// Copies the atomic state; the service fills in queue depth, cache
-    /// stats, and op counters it owns.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            requests_total: self.requests_total.load(Ordering::Relaxed),
-            completed_total: self.completed_total.load(Ordering::Relaxed),
-            explanations_found: self.explanations_found.load(Ordering::Relaxed),
-            explanations_failed: self.explanations_failed.load(Ordering::Relaxed),
-            invalid_questions: self.invalid_questions.load(Ordering::Relaxed),
-            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
-            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
-            queue_depth: 0,
-            session_cache: CacheStats::default(),
-            column_cache: CacheStats::default(),
-            explain_latency: self.explain_latency.snapshot(),
-            recommend_latency: self.recommend_latency.snapshot(),
-            ops: CounterSnapshot::default(),
-        }
+fn window_samples(p: &mut PromText, endpoint: &str, window: &str, w: &WindowStats) {
+    let labels = [("endpoint", endpoint), ("window", window)];
+    p.sample_f64("emigre_window_qps", &labels, w.qps);
+    p.sample_f64("emigre_window_error_rate", &labels, w.error_rate);
+    for (q, v) in [("0.5", w.p50_us), ("0.95", w.p95_us), ("0.99", w.p99_us)] {
+        let mut ls = labels.to_vec();
+        ls.push(("quantile", q));
+        p.sample_u64("emigre_window_latency_us", &ls, v);
+    }
+}
+
+/// Renders a snapshot in Prometheus text exposition format (0.0.4). The
+/// output passes [`emigre_obs::validate_exposition`] — the in-repo lint
+/// CI runs over everything this function can produce.
+pub fn prometheus_text(s: &MetricsSnapshot) -> String {
+    let mut p = PromText::new();
+
+    p.header(
+        "emigre_requests_total",
+        "counter",
+        "Requests reaching admission (accepted or rejected)",
+    );
+    p.sample_u64("emigre_requests_total", &[], s.requests_total);
+    p.header(
+        "emigre_completed_total",
+        "counter",
+        "Jobs a worker finished, including deadline-expired ones",
+    );
+    p.sample_u64("emigre_completed_total", &[], s.completed_total);
+    p.header(
+        "emigre_explanations_total",
+        "counter",
+        "Explain outcomes by result",
+    );
+    p.sample_u64(
+        "emigre_explanations_total",
+        &[("result", "found")],
+        s.explanations_found,
+    );
+    p.sample_u64(
+        "emigre_explanations_total",
+        &[("result", "failure")],
+        s.explanations_failed,
+    );
+    p.header(
+        "emigre_rejected_total",
+        "counter",
+        "Requests rejected, by reason",
+    );
+    p.sample_u64(
+        "emigre_rejected_total",
+        &[("reason", "overload")],
+        s.rejected_overload,
+    );
+    p.sample_u64(
+        "emigre_rejected_total",
+        &[("reason", "deadline")],
+        s.rejected_deadline,
+    );
+    p.sample_u64(
+        "emigre_rejected_total",
+        &[("reason", "invalid_question")],
+        s.invalid_questions,
+    );
+
+    p.header(
+        "emigre_queue_depth",
+        "gauge",
+        "Jobs admitted, not yet dequeued",
+    );
+    p.sample_u64("emigre_queue_depth", &[], s.queue_depth);
+    p.header(
+        "emigre_workers",
+        "gauge",
+        "Worker threads serving the queue",
+    );
+    p.sample_u64("emigre_workers", &[], s.workers);
+    p.header(
+        "emigre_uptime_seconds",
+        "gauge",
+        "Seconds since service start",
+    );
+    p.sample_u64("emigre_uptime_seconds", &[], s.uptime_secs);
+
+    p.header("emigre_cache_entries", "gauge", "Live entries per cache");
+    p.header("emigre_cache_hits_total", "counter", "Cache hits per cache");
+    p.header(
+        "emigre_cache_misses_total",
+        "counter",
+        "Cache misses per cache",
+    );
+    p.header(
+        "emigre_cache_evictions_total",
+        "counter",
+        "Cache evictions per cache",
+    );
+    for (name, c) in [("session", &s.session_cache), ("column", &s.column_cache)] {
+        let labels = [("cache", name)];
+        p.sample_u64("emigre_cache_entries", &labels, c.len);
+        p.sample_u64("emigre_cache_hits_total", &labels, c.hits);
+        p.sample_u64("emigre_cache_misses_total", &labels, c.misses);
+        p.sample_u64("emigre_cache_evictions_total", &labels, c.evictions);
+    }
+
+    p.header(
+        "emigre_ops_total",
+        "counter",
+        "PPR/CHECK operation counts aggregated across requests",
+    );
+    for (op, v) in [
+        ("forward_pushes", s.ops.forward_pushes),
+        ("reverse_pushes", s.ops.reverse_pushes),
+        ("rows_patched", s.ops.rows_patched),
+        ("checks", s.ops.checks),
+        ("subsets_enumerated", s.ops.subsets_enumerated),
+        ("candidate_index_hits", s.ops.candidate_index_hits),
+    ] {
+        p.sample_u64("emigre_ops_total", &[("op", op)], v);
+    }
+    p.header(
+        "emigre_residual_mass_drained",
+        "counter",
+        "Total residual probability mass drained by push retirement",
+    );
+    p.sample_f64(
+        "emigre_residual_mass_drained",
+        &[],
+        s.ops.residual_mass_drained,
+    );
+
+    p.header(
+        "emigre_event_log_written_total",
+        "counter",
+        "Event-log lines durably written",
+    );
+    p.sample_u64("emigre_event_log_written_total", &[], s.events.written);
+    p.header(
+        "emigre_event_log_dropped_total",
+        "counter",
+        "Events dropped by the bounded event-log ring",
+    );
+    p.sample_u64("emigre_event_log_dropped_total", &[], s.events.dropped);
+
+    p.header(
+        "emigre_request_latency_us",
+        "histogram",
+        "End-to-end worker latency per endpoint",
+    );
+    p.histogram(
+        "emigre_request_latency_us",
+        &[("endpoint", "explain")],
+        &s.explain_latency,
+    );
+    p.histogram(
+        "emigre_request_latency_us",
+        &[("endpoint", "recommend")],
+        &s.recommend_latency,
+    );
+    p.header(
+        "emigre_stage_latency_us",
+        "histogram",
+        "Per-request stage attribution (queue wait, context build, search, TEST loop)",
+    );
+    for (stage, h) in [
+        ("queue", &s.queue_wait),
+        ("context", &s.stage_context),
+        ("search", &s.stage_search),
+        ("test", &s.stage_test),
+    ] {
+        p.histogram("emigre_stage_latency_us", &[("stage", stage)], h);
+    }
+
+    p.header(
+        "emigre_window_qps",
+        "gauge",
+        "Trailing-window request rate per endpoint",
+    );
+    p.header(
+        "emigre_window_error_rate",
+        "gauge",
+        "Trailing-window error fraction per endpoint",
+    );
+    p.header(
+        "emigre_window_latency_us",
+        "gauge",
+        "Trailing-window latency quantiles per endpoint",
+    );
+    window_samples(&mut p, "explain", "10s", &s.windows.explain_10s);
+    window_samples(&mut p, "explain", "60s", &s.windows.explain_60s);
+    window_samples(&mut p, "recommend", "10s", &s.windows.recommend_10s);
+    window_samples(&mut p, "recommend", "60s", &s.windows.recommend_60s);
+
+    p.into_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_obs::validate_exposition;
+
+    fn populated_metrics() -> ServeMetrics {
+        let m = ServeMetrics::default();
+        m.requests_total.store(10, Ordering::Relaxed);
+        m.completed_total.store(8, Ordering::Relaxed);
+        m.rejected_overload.store(1, Ordering::Relaxed);
+        m.rejected_deadline.store(1, Ordering::Relaxed);
+        m.explain_latency.record_us(1234);
+        m.recommend_latency.record_us(56);
+        m.queue_wait.record_us(7);
+        m.record_stages(&StageLatencies {
+            queue_us: 7,
+            context_us: 400,
+            search_us: 300,
+            test_us: 500,
+            total_us: 1234,
+        });
+        m
+    }
+
+    #[test]
+    fn snapshot_carries_the_service_owned_fields() {
+        let m = populated_metrics();
+        let owned = ServiceOwned {
+            queue_depth: 3,
+            workers: 4,
+            uptime_secs: 60,
+            session_cache: CacheStats {
+                len: 2,
+                capacity: 8,
+                hits: 5,
+                misses: 2,
+                evictions: 0,
+            },
+            ops: CounterSnapshot {
+                checks: 42,
+                ..CounterSnapshot::default()
+            },
+            events: EventLogStats {
+                enabled: true,
+                written: 8,
+                dropped: 0,
+            },
+            ..ServiceOwned::default()
+        };
+        let s = m.snapshot(owned);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.session_cache.hits, 5);
+        assert_eq!(s.ops.checks, 42);
+        assert_eq!(s.events.written, 8);
+        assert_eq!(s.stage_context.count, 1);
+        assert_eq!(s.stage_test.count, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_passes_the_lint() {
+        let m = populated_metrics();
+        let s = m.snapshot(ServiceOwned {
+            queue_depth: 2,
+            workers: 4,
+            uptime_secs: 9,
+            ..ServiceOwned::default()
+        });
+        let text = prometheus_text(&s);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("emigre_rejected_total{reason=\"overload\"} 1"));
+        assert!(text.contains("emigre_rejected_total{reason=\"deadline\"} 1"));
+        assert!(text.contains("emigre_queue_depth 2"));
+        assert!(text.contains("emigre_stage_latency_us_bucket{stage=\"test\""));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let m = populated_metrics();
+        let s = m.snapshot(ServiceOwned::default());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -8,8 +8,8 @@
 //!     ▲                      │                      │
 //!     │   Overloaded when    │                      ├─ session cache (user → UserArtifacts)
 //!     └── full: admission    │                      ├─ column cache  (WNI → PPR(·,WNI))
-//!         control, never     │                      └─ per-worker PushWorkspace
-//!         unbounded queueing │
+//!         control, never     │                      ├─ per-worker PushWorkspace
+//!         unbounded queueing │                      └─ per-request ObsHandle (spans + trace)
 //!                            └─ jobs carry a deadline; expired jobs are
 //!                               dropped when dequeued (DeadlineExceeded)
 //! ```
@@ -18,6 +18,19 @@
 //! immutable and `Arc`-shared: workers never copy `O(n)`/`O(E)` state per
 //! request. Each worker owns one [`PushWorkspace`], recycled across every
 //! question it answers ([`ExplainContext::into_workspace`]).
+//!
+//! ## Telemetry
+//!
+//! Every request gets a monotonically increasing **request id** at
+//! admission, echoed in the response and usable against `/trace/<id>`.
+//! Workers run each explain on a *private* enabled [`ObsHandle`] — spans
+//! and the [`ExplainTrace`] stay request-scoped and bounded — then fold
+//! the request's op-counter deltas into the service-lifetime
+//! counters-only handle, project the span tree into [`StageLatencies`]
+//! (queue wait / context build / search / TEST loop), record those into
+//! the per-stage histograms, keep the trace in a bounded LRU store, and
+//! emit one structured [`RequestEvent`] line. Sliding per-endpoint
+//! windows feed the 10s/60s QPS, error-rate, and quantile gauges.
 //!
 //! ## Determinism
 //!
@@ -35,21 +48,25 @@
 //! [`ExplanationService::shutdown`] drops the queue's only `Sender` and
 //! joins the workers. The channel keeps delivering queued messages after
 //! disconnection, so every admitted request is answered — drain, not
-//! abort. New submissions fail with [`ServeError::ShuttingDown`].
+//! abort. New submissions fail with [`ServeError::ShuttingDown`]. The
+//! event log is flushed after the workers drain.
 
 use crate::cache::LruCache;
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::events::{EventLogger, RequestEvent};
+use crate::metrics::{MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use emigre_core::{
     EmigreConfig, ExplainContext, ExplainFailure, Explainer, Explanation, Method, QuestionError,
     UserArtifacts, WhyNotQuestion,
 };
 use emigre_hin::{GraphView, Hin, NodeId};
-use emigre_obs::{ObsHandle, Op};
+use emigre_obs::{ExplainTrace, ObsHandle, Op, StageLatencies};
 use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use parking_lot::Mutex;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -68,6 +85,15 @@ pub struct ServiceConfig {
     pub session_capacity: usize,
     /// Why-Not items whose `PPR(·, WNI)` column stays cached (LRU).
     pub column_capacity: usize,
+    /// Recent requests whose [`ExplainTrace`] stays replayable via
+    /// `/trace/<id>` (LRU by request id).
+    pub trace_capacity: usize,
+    /// When set, one JSON [`RequestEvent`] line per completed/rejected
+    /// request is appended here by a dedicated writer thread.
+    pub event_log: Option<PathBuf>,
+    /// Pending-line capacity of the event-log ring; overflow increments
+    /// the drop counter instead of blocking workers.
+    pub event_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +106,9 @@ impl Default for ServiceConfig {
             default_deadline: Duration::from_secs(10),
             session_capacity: 64,
             column_capacity: 256,
+            trace_capacity: 512,
+            event_log: None,
+            event_log_capacity: 4096,
         }
     }
 }
@@ -96,6 +125,18 @@ pub enum ServeError {
     /// The question itself is malformed (bad node ids, already
     /// interacted, already the recommendation, ...).
     InvalidQuestion(QuestionError),
+}
+
+impl ServeError {
+    /// The outcome label this error carries into the event log.
+    fn outcome(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "rejected_overload",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::InvalidQuestion(_) => "invalid_question",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -118,21 +159,43 @@ pub type ExplainOutcome = Result<Explanation, ExplainFailure>;
 /// A served recommendation list: `(item, score)` descending.
 pub type RecommendOutcome = Vec<(NodeId, f64)>;
 
+/// An explain answer plus its request-scoped telemetry.
+#[derive(Debug, Clone)]
+pub struct ExplainResponse {
+    pub outcome: ExplainOutcome,
+    pub stages: StageLatencies,
+}
+
+/// A recommend answer plus its request-scoped telemetry.
+#[derive(Debug, Clone)]
+pub struct RecommendResponse {
+    pub items: RecommendOutcome,
+    pub stages: StageLatencies,
+}
+
 enum Work {
     Explain {
         user: NodeId,
         wni: NodeId,
         method: Method,
-        reply: Sender<Result<ExplainOutcome, ServeError>>,
+        reply: Sender<Result<ExplainResponse, ServeError>>,
     },
     Recommend {
         user: NodeId,
         k: usize,
-        reply: Sender<Result<RecommendOutcome, ServeError>>,
+        reply: Sender<Result<RecommendResponse, ServeError>>,
+    },
+    /// Test-only: parks the worker until `release` disconnects. Lets the
+    /// telemetry test observe a non-zero queue depth deterministically.
+    Stall {
+        started: Sender<()>,
+        release: Receiver<()>,
     },
 }
 
 struct Job {
+    request_id: u64,
+    admitted_at: Instant,
     work: Work,
     deadline: Instant,
 }
@@ -145,9 +208,23 @@ struct Shared {
     sessions: Mutex<LruCache<u32, Arc<UserArtifacts>>>,
     columns: Mutex<LruCache<u32, Arc<ReversePush>>>,
     metrics: ServeMetrics,
-    /// Counters-only: spans/traces would grow without bound over an
-    /// unbounded request stream.
+    /// Counters-only service-lifetime handle: per-request span/trace state
+    /// lives on private handles and only counter deltas are merged here.
     obs: ObsHandle,
+    /// Replayable traces of recent explain requests, keyed by request id.
+    traces: Mutex<LruCache<u64, Arc<ExplainTrace>>>,
+    events: EventLogger,
+    explain_window: emigre_obs::SlidingWindow,
+    recommend_window: emigre_obs::SlidingWindow,
+    next_request_id: AtomicU64,
+    started: Instant,
+    workers: usize,
+}
+
+impl Shared {
+    fn next_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
 }
 
 /// Handle to a running worker pool. Cheap to share behind an `Arc`; all
@@ -176,6 +253,13 @@ impl ExplanationService {
             columns: Mutex::new(LruCache::new(sc.column_capacity)),
             metrics: ServeMetrics::default(),
             obs: ObsHandle::counters_only(),
+            traces: Mutex::new(LruCache::new(sc.trace_capacity)),
+            events: EventLogger::from_config(sc.event_log.clone(), sc.event_log_capacity),
+            explain_window: emigre_obs::SlidingWindow::new(),
+            recommend_window: emigre_obs::SlidingWindow::new(),
+            next_request_id: AtomicU64::new(0),
+            started: Instant::now(),
+            workers: sc.workers,
         });
         let (tx, rx) = bounded::<Job>(sc.queue_capacity);
         let workers = (0..sc.workers)
@@ -215,8 +299,27 @@ impl ExplanationService {
         method: Method,
         deadline: Duration,
     ) -> Result<ExplainOutcome, ServeError> {
+        self.explain_request(user, wni, method, deadline)
+            .1
+            .map(|r| r.outcome)
+    }
+
+    /// Answers one Why-Not question and returns its request id alongside
+    /// the response. The id is assigned at admission — it identifies the
+    /// request in the event log and `/trace/<id>` even when the result is
+    /// a rejection.
+    pub fn explain_request(
+        &self,
+        user: NodeId,
+        wni: NodeId,
+        method: Method,
+        deadline: Duration,
+    ) -> (u64, Result<ExplainResponse, ServeError>) {
+        let request_id = self.shared.next_id();
         let (reply, rx) = bounded(1);
-        self.submit(Job {
+        let submitted = self.submit(Job {
+            request_id,
+            admitted_at: Instant::now(),
             work: Work::Explain {
                 user,
                 wni,
@@ -224,8 +327,28 @@ impl ExplanationService {
                 reply,
             },
             deadline: Instant::now() + deadline,
-        })?;
-        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+        });
+        let result = match submitted {
+            Ok(()) => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => Err(ServeError::ShuttingDown),
+            },
+            Err(e) => {
+                // Rejected at admission: no worker will log this request.
+                self.shared.explain_window.record(0, true);
+                self.shared.events.emit(&RequestEvent {
+                    request_id,
+                    endpoint: "explain".to_owned(),
+                    outcome: e.outcome().to_owned(),
+                    user: user.0,
+                    wni: Some(wni.0),
+                    method: Some(method.label().to_owned()),
+                    ..RequestEvent::default()
+                });
+                Err(e)
+            }
+        };
+        (request_id, result)
     }
 
     /// The user's top-`k` recommendation list under the default deadline.
@@ -240,12 +363,42 @@ impl ExplanationService {
         k: usize,
         deadline: Duration,
     ) -> Result<RecommendOutcome, ServeError> {
+        self.recommend_request(user, k, deadline).1.map(|r| r.items)
+    }
+
+    /// Top-`k` recommendations plus the request id and telemetry.
+    pub fn recommend_request(
+        &self,
+        user: NodeId,
+        k: usize,
+        deadline: Duration,
+    ) -> (u64, Result<RecommendResponse, ServeError>) {
+        let request_id = self.shared.next_id();
         let (reply, rx) = bounded(1);
-        self.submit(Job {
+        let submitted = self.submit(Job {
+            request_id,
+            admitted_at: Instant::now(),
             work: Work::Recommend { user, k, reply },
             deadline: Instant::now() + deadline,
-        })?;
-        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+        });
+        let result = match submitted {
+            Ok(()) => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => Err(ServeError::ShuttingDown),
+            },
+            Err(e) => {
+                self.shared.recommend_window.record(0, true);
+                self.shared.events.emit(&RequestEvent {
+                    request_id,
+                    endpoint: "recommend".to_owned(),
+                    outcome: e.outcome().to_owned(),
+                    user: user.0,
+                    ..RequestEvent::default()
+                });
+                Err(e)
+            }
+        };
+        (request_id, result)
     }
 
     /// Admission control: non-blocking enqueue or immediate rejection.
@@ -265,24 +418,91 @@ impl ExplanationService {
         }
     }
 
-    /// Current metrics, including queue depth, cache stats, and the PPR op
-    /// counters aggregated across all served requests.
+    /// The replayable trace of a recent explain request, if still in the
+    /// bounded store.
+    pub fn trace(&self, request_id: u64) -> Option<Arc<ExplainTrace>> {
+        self.shared.traces.lock().get(&request_id)
+    }
+
+    /// Current metrics, including queue depth, cache stats, sliding
+    /// windows, event-log stats, and the PPR op counters aggregated
+    /// across all served requests.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut snap = self.shared.metrics.snapshot();
-        snap.queue_depth = self
-            .tx
-            .lock()
-            .as_ref()
-            .map(|tx| tx.len() as u64)
-            .unwrap_or(0);
-        snap.session_cache = self.shared.sessions.lock().stats();
-        snap.column_cache = self.shared.columns.lock().stats();
-        snap.ops = self.shared.obs.counters();
-        snap
+        let owned = ServiceOwned {
+            queue_depth: self
+                .tx
+                .lock()
+                .as_ref()
+                .map(|tx| tx.len() as u64)
+                .unwrap_or(0),
+            workers: self.shared.workers as u64,
+            uptime_secs: self.shared.started.elapsed().as_secs(),
+            session_cache: self.shared.sessions.lock().stats(),
+            column_cache: self.shared.columns.lock().stats(),
+            ops: self.shared.obs.counters(),
+            events: self.shared.events.stats(),
+            windows: WindowsSnapshot {
+                explain_10s: self.shared.explain_window.stats(10),
+                explain_60s: self.shared.explain_window.stats(60),
+                recommend_10s: self.shared.recommend_window.stats(10),
+                recommend_60s: self.shared.recommend_window.stats(60),
+            },
+        };
+        self.shared.metrics.snapshot(owned)
+    }
+
+    /// The deadline applied when a caller does not pass one.
+    pub fn default_deadline(&self) -> Duration {
+        self.default_deadline
+    }
+
+    /// Worker threads serving the queue.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Time since [`ExplanationService::start`].
+    pub fn uptime(&self) -> Duration {
+        self.shared.started.elapsed()
+    }
+
+    /// Parks every worker until the returned guard drops, bypassing the
+    /// request counters. Deterministic scaffolding for queue-depth and
+    /// rejection tests; not part of the serving API.
+    #[doc(hidden)]
+    pub fn stall_workers_for_test(&self) -> WorkerStallGuard {
+        let n = self.shared.workers;
+        // Nothing is ever sent on `release`; workers resume when the guard
+        // drops the sender and their recv() sees the disconnect.
+        let (release_tx, release_rx) = bounded::<()>(1);
+        let (started_tx, started_rx) = bounded::<()>(n);
+        {
+            let guard = self.tx.lock();
+            let tx = guard.as_ref().expect("service is running");
+            for _ in 0..n {
+                let sent = tx.send(Job {
+                    request_id: 0,
+                    admitted_at: Instant::now(),
+                    work: Work::Stall {
+                        started: started_tx.clone(),
+                        release: release_rx.clone(),
+                    },
+                    deadline: Instant::now() + Duration::from_secs(3600),
+                });
+                assert!(sent.is_ok(), "queueing stall job");
+            }
+        }
+        for _ in 0..n {
+            started_rx.recv().expect("worker reached stall point");
+        }
+        WorkerStallGuard {
+            _release: release_tx,
+        }
     }
 
     /// Graceful shutdown: stops admitting, lets workers drain every
-    /// already-admitted job, and joins them. Idempotent.
+    /// already-admitted job, joins them, then flushes the event log.
+    /// Idempotent.
     pub fn shutdown(&self) {
         let tx = self.tx.lock().take();
         drop(tx); // last Sender: disconnects the queue after it drains
@@ -290,6 +510,9 @@ impl ExplanationService {
         for w in workers {
             let _ = w.join();
         }
+        // After the drain: every admitted request has already emitted its
+        // event, so the flush below loses nothing.
+        self.shared.events.shutdown();
     }
 
     /// The service's graph (read-only, shared with the workers).
@@ -301,6 +524,11 @@ impl ExplanationService {
     pub fn config(&self) -> &EmigreConfig {
         &self.shared.cfg
     }
+}
+
+/// Keeps every worker parked while alive; dropping it resumes them.
+pub struct WorkerStallGuard {
+    _release: Sender<()>,
 }
 
 impl Drop for ExplanationService {
@@ -317,83 +545,188 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
     // shutdown answers everything that was admitted.
     while let Ok(job) = rx.recv() {
         let start = Instant::now();
+        let queue_us = start.duration_since(job.admitted_at).as_micros() as u64;
         let expired = start >= job.deadline;
         match job.work {
+            Work::Stall { started, release } => {
+                let _ = started.send(());
+                let _ = release.recv(); // parked until the guard drops
+                continue;
+            }
             Work::Explain {
                 user,
                 wni,
                 method,
                 reply,
             } => {
+                shared.metrics.queue_wait.record_us(queue_us);
+                let mut stages = StageLatencies {
+                    queue_us,
+                    ..StageLatencies::default()
+                };
+                let mut event = RequestEvent {
+                    request_id: job.request_id,
+                    endpoint: "explain".to_owned(),
+                    user: user.0,
+                    wni: Some(wni.0),
+                    method: Some(method.label().to_owned()),
+                    ..RequestEvent::default()
+                };
                 let result = if expired {
                     ServeMetrics::bump(&shared.metrics.rejected_deadline);
                     Err(ServeError::DeadlineExceeded)
                 } else {
-                    run_explain(&shared, user, wni, method, &mut ws)
-                };
-                match &result {
-                    Ok(Ok(_)) => ServeMetrics::bump(&shared.metrics.explanations_found),
-                    Ok(Err(_)) => ServeMetrics::bump(&shared.metrics.explanations_failed),
-                    Err(ServeError::InvalidQuestion(_)) => {
-                        ServeMetrics::bump(&shared.metrics.invalid_questions)
+                    // Private handle: spans + trace stay request-scoped.
+                    let req_obs = ObsHandle::enabled();
+                    let r = run_explain(&shared, user, wni, method, &mut ws, &req_obs);
+                    stages = StageLatencies {
+                        queue_us,
+                        ..StageLatencies::from_spans(&req_obs.span_tree())
+                    };
+                    let ops = req_obs.counters();
+                    shared.obs.merge_counters(&ops);
+                    event.ops = ops;
+                    if let Some(trace) = req_obs.trace() {
+                        event.mode = if trace.mode.is_empty() {
+                            None
+                        } else {
+                            Some(trace.mode.clone())
+                        };
+                        shared.traces.lock().insert(job.request_id, Arc::new(trace));
                     }
-                    Err(_) => {}
+                    match r {
+                        Ok((outcome, session_hit, column_hit)) => {
+                            event.session_cache_hit = Some(session_hit);
+                            event.column_cache_hit = Some(column_hit);
+                            Ok(outcome)
+                        }
+                        Err(e) => Err(e),
+                    }
+                };
+                let is_error = result.is_err();
+                match &result {
+                    Ok(Ok(explanation)) => {
+                        ServeMetrics::bump(&shared.metrics.explanations_found);
+                        event.outcome = "found".to_owned();
+                        event.explanation_size = Some(explanation.size() as u64);
+                    }
+                    Ok(Err(_)) => {
+                        ServeMetrics::bump(&shared.metrics.explanations_failed);
+                        event.outcome = "failure".to_owned();
+                    }
+                    Err(e) => {
+                        if matches!(e, ServeError::InvalidQuestion(_)) {
+                            ServeMetrics::bump(&shared.metrics.invalid_questions);
+                        }
+                        event.outcome = e.outcome().to_owned();
+                    }
                 }
-                shared.metrics.explain_latency.record(start.elapsed());
+                let total = start.elapsed();
+                stages.total_us = queue_us + total.as_micros() as u64;
+                shared.metrics.record_stages(&stages);
+                shared.metrics.explain_latency.record(total);
+                shared.explain_window.record(stages.total_us, is_error);
+                event.stages = stages;
+                shared.events.emit(&event);
                 // Count completion before replying: once a caller has its
                 // answer, the metrics must already include that request.
                 ServeMetrics::bump(&shared.metrics.completed_total);
-                let _ = reply.try_send(result); // caller may have gone away
+                let _ = reply.try_send(result.map(|outcome| ExplainResponse { outcome, stages }));
+                // caller may have gone away
             }
             Work::Recommend { user, k, reply } => {
+                shared.metrics.queue_wait.record_us(queue_us);
+                let mut stages = StageLatencies {
+                    queue_us,
+                    ..StageLatencies::default()
+                };
+                let mut event = RequestEvent {
+                    request_id: job.request_id,
+                    endpoint: "recommend".to_owned(),
+                    user: user.0,
+                    ..RequestEvent::default()
+                };
                 let result = if expired {
                     ServeMetrics::bump(&shared.metrics.rejected_deadline);
                     Err(ServeError::DeadlineExceeded)
                 } else {
-                    run_recommend(&shared, user, k)
+                    let req_obs = ObsHandle::enabled();
+                    let r = run_recommend(&shared, user, k, &req_obs);
+                    stages = StageLatencies {
+                        queue_us,
+                        ..StageLatencies::from_spans(&req_obs.span_tree())
+                    };
+                    let ops = req_obs.counters();
+                    shared.obs.merge_counters(&ops);
+                    event.ops = ops;
+                    match r {
+                        Ok((items, session_hit)) => {
+                            event.session_cache_hit = Some(session_hit);
+                            Ok(items)
+                        }
+                        Err(e) => Err(e),
+                    }
                 };
-                if matches!(&result, Err(ServeError::InvalidQuestion(_))) {
-                    ServeMetrics::bump(&shared.metrics.invalid_questions);
+                let is_error = result.is_err();
+                match &result {
+                    Ok(_) => event.outcome = "ok".to_owned(),
+                    Err(e) => {
+                        if matches!(e, ServeError::InvalidQuestion(_)) {
+                            ServeMetrics::bump(&shared.metrics.invalid_questions);
+                        }
+                        event.outcome = e.outcome().to_owned();
+                    }
                 }
-                shared.metrics.recommend_latency.record(start.elapsed());
+                let total = start.elapsed();
+                stages.total_us = queue_us + total.as_micros() as u64;
+                shared.metrics.recommend_latency.record(total);
+                shared.recommend_window.record(stages.total_us, is_error);
+                event.stages = stages;
+                shared.events.emit(&event);
                 ServeMetrics::bump(&shared.metrics.completed_total);
-                let _ = reply.try_send(result);
+                let _ = reply.try_send(result.map(|items| RecommendResponse { items, stages }));
             }
         }
     }
 }
 
-/// User artefacts from the session cache, building on miss. Concurrent
-/// misses for the same user may build twice; both builds are deterministic
-/// and identical, so the race costs time, never correctness.
-fn artifacts(shared: &Shared, user: NodeId) -> Result<Arc<UserArtifacts>, QuestionError> {
+/// User artefacts from the session cache, building on miss; the bool is
+/// the cache-hit flag. Concurrent misses for the same user may build
+/// twice; both builds are deterministic and identical, so the race costs
+/// time, never correctness.
+fn artifacts(
+    shared: &Shared,
+    user: NodeId,
+    obs: &ObsHandle,
+) -> Result<(Arc<UserArtifacts>, bool), QuestionError> {
     if let Some(hit) = shared.sessions.lock().get(&user.0) {
-        return Ok(hit);
+        return Ok((hit, true));
     }
     let built = UserArtifacts::build(
         &*shared.graph,
         &shared.cfg,
         Arc::clone(&shared.kernel),
         user,
-        &shared.obs,
+        obs,
     )?;
     let art = Arc::new(built);
     shared.sessions.lock().insert(user.0, Arc::clone(&art));
-    Ok(art)
+    Ok((art, false))
 }
 
-/// `PPR(·, wni)` from the column cache, computing on miss. The caller must
-/// have validated `wni` (in bounds) first.
-fn column(shared: &Shared, wni: NodeId) -> Arc<ReversePush> {
+/// `PPR(·, wni)` from the column cache, computing on miss; the bool is
+/// the cache-hit flag. The caller must have validated `wni` (in bounds)
+/// first.
+fn column(shared: &Shared, wni: NodeId, obs: &ObsHandle) -> (Arc<ReversePush>, bool) {
     if let Some(hit) = shared.columns.lock().get(&wni.0) {
-        return hit;
+        return (hit, true);
     }
     let col = ReversePush::compute_kernel(&*shared.kernel, &shared.cfg.rec.ppr, wni);
-    shared.obs.count(Op::ReversePushes, col.pushes as u64);
-    shared.obs.add_mass(col.drained);
+    obs.count(Op::ReversePushes, col.pushes as u64);
+    obs.add_mass(col.drained);
     let col = Arc::new(col);
     shared.columns.lock().insert(wni.0, Arc::clone(&col));
-    col
+    (col, false)
 }
 
 fn run_explain(
@@ -402,12 +735,17 @@ fn run_explain(
     wni: NodeId,
     method: Method,
     ws_slot: &mut PushWorkspace,
-) -> Result<ExplainOutcome, ServeError> {
-    let art = artifacts(shared, user).map_err(ServeError::InvalidQuestion)?;
+    obs: &ObsHandle,
+) -> Result<(ExplainOutcome, bool, bool), ServeError> {
+    // The serving path assembles the context from cached artefacts, which
+    // bypasses `ExplainContext::build`'s own context_build span — open the
+    // equivalent stage span here so attribution covers cache misses too.
+    let cb = obs.span("context_build");
+    let (art, session_hit) = artifacts(shared, user, obs).map_err(ServeError::InvalidQuestion)?;
     // Full question validation before paying for the WNI column.
     WhyNotQuestion::validate(&*shared.graph, &shared.cfg, user, wni, Some(art.rec))
         .map_err(ServeError::InvalidQuestion)?;
-    let col = column(shared, wni);
+    let (col, column_hit) = column(shared, wni, obs);
     // Lend the worker's workspace to the context; take it back afterwards.
     let ws = std::mem::replace(ws_slot, PushWorkspace::new(0));
     match ExplainContext::from_artifacts(
@@ -417,12 +755,13 @@ fn run_explain(
         wni,
         col,
         ws,
-        shared.obs.clone(),
+        obs.clone(),
     ) {
         Ok(ctx) => {
+            drop(cb); // context stage ends where the search begins
             let outcome = Explainer::explain_with_context(&ctx, method);
             *ws_slot = ctx.into_workspace();
-            Ok(outcome)
+            Ok((outcome, session_hit, column_hit))
         }
         // Unreachable after the validation above; the workspace was
         // consumed, but clear()/load_base() re-grow the placeholder.
@@ -430,15 +769,17 @@ fn run_explain(
     }
 }
 
-fn run_recommend(shared: &Shared, user: NodeId, k: usize) -> Result<RecommendOutcome, ServeError> {
-    let art = artifacts(shared, user).map_err(ServeError::InvalidQuestion)?;
-    Ok(recommend_from_push(
-        &*shared.graph,
-        &shared.cfg,
-        user,
-        &art.user_push,
-        k,
-    ))
+fn run_recommend(
+    shared: &Shared,
+    user: NodeId,
+    k: usize,
+    obs: &ObsHandle,
+) -> Result<(RecommendOutcome, bool), ServeError> {
+    let cb = obs.span("context_build");
+    let (art, session_hit) = artifacts(shared, user, obs).map_err(ServeError::InvalidQuestion)?;
+    drop(cb);
+    let items = recommend_from_push(&*shared.graph, &shared.cfg, user, &art.user_push, k);
+    Ok((items, session_hit))
 }
 
 /// The canonical scoring of a top-`k` list from a converged user push:

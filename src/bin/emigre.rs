@@ -32,6 +32,8 @@ usage:
                  [--method NAME] [--minimise]
   emigre serve --graph FILE [--port P] [--workers N]
                [--queue N] [--deadline-ms N]      HTTP explanation service
+               [--event-log FILE]                 JSON-lines request event log
+               [--trace-cap N]                    replayable /trace/<id> store size
   emigre dot --graph FILE                         Graphviz to stdout
 methods: add_Incremental add_Powerset add_ex remove_Incremental
          remove_Powerset remove_ex remove_ex_direct remove_brute
@@ -275,6 +277,15 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(d) = flag(args, "--deadline-ms")? {
                 let ms: u64 = d.parse().map_err(|_| "bad --deadline-ms")?;
                 sc.default_deadline = Duration::from_millis(ms);
+            }
+            if let Some(p) = flag(args, "--event-log")? {
+                sc.event_log = Some(std::path::PathBuf::from(p));
+            }
+            if let Some(t) = flag(args, "--trace-cap")? {
+                sc.trace_capacity = t.parse().map_err(|_| "bad --trace-cap")?;
+                if sc.trace_capacity == 0 {
+                    return Err("--trace-cap must be at least 1".to_owned());
+                }
             }
             let service = Arc::new(ExplanationService::start(g, cfg, sc));
             let server = HttpServer::bind(service, &format!("127.0.0.1:{port}"))
