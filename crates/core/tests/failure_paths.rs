@@ -1,0 +1,221 @@
+//! §6.4 meta-explanations through the public API: every
+//! [`FailureReason`] variant constructed by actually running an
+//! explainer on a graph engineered to fail that way — not by calling
+//! `classify_failure` directly.
+
+use emigre_core::failure::FailureReason;
+use emigre_core::{explainer::ExplainError, EmigreConfig, Explainer, Method, Mode};
+use emigre_hin::{EdgeTypeId, Hin, NodeId, NodeTypeId};
+use emigre_rec::RecConfig;
+
+struct Builder {
+    g: Hin,
+    user_t: NodeTypeId,
+    item_t: NodeTypeId,
+    cat_t: NodeTypeId,
+    rated: EdgeTypeId,
+    belongs: EdgeTypeId,
+}
+
+impl Builder {
+    fn new() -> Self {
+        let mut g = Hin::new();
+        let user_t = g.registry_mut().node_type("user");
+        let item_t = g.registry_mut().node_type("item");
+        let cat_t = g.registry_mut().node_type("category");
+        let rated = g.registry_mut().edge_type("rated");
+        let belongs = g.registry_mut().edge_type("belongs_to");
+        Builder {
+            g,
+            user_t,
+            item_t,
+            cat_t,
+            rated,
+            belongs,
+        }
+    }
+
+    fn user(&mut self) -> NodeId {
+        self.g.add_node(self.user_t, None)
+    }
+
+    fn item(&mut self) -> NodeId {
+        self.g.add_node(self.item_t, None)
+    }
+
+    fn category(&mut self) -> NodeId {
+        self.g.add_node(self.cat_t, None)
+    }
+
+    fn rate(&mut self, u: NodeId, i: NodeId) {
+        self.g
+            .add_edge_bidirectional(u, i, self.rated, 1.0)
+            .unwrap();
+    }
+
+    fn belongs(&mut self, i: NodeId, c: NodeId) {
+        self.g
+            .add_edge_bidirectional(i, c, self.belongs, 1.0)
+            .unwrap();
+    }
+
+    /// Explanations restricted to rated edges, as in the paper's `T_e`.
+    fn config(&self) -> EmigreConfig {
+        EmigreConfig::new(RecConfig::new(self.item_t), self.rated).with_edge_types(vec![self.rated])
+    }
+}
+
+fn expect_failure(
+    g: &Hin,
+    cfg: EmigreConfig,
+    user: NodeId,
+    wni: NodeId,
+    method: Method,
+) -> emigre_core::ExplainFailure {
+    match Explainer::new(cfg).explain(g, user, wni, method) {
+        Err(ExplainError::NotFound(f)) => f,
+        other => panic!("expected a NotFound failure, got {other:?}"),
+    }
+}
+
+/// One rated action: the Remove-mode space is a single edge, and undoing
+/// it starves every candidate — §6.4's cold-start condition.
+#[test]
+fn cold_start_reported_for_single_action_users() {
+    let mut b = Builder::new();
+    let u = b.user();
+    let a = b.item();
+    let rec = b.item();
+    let wni = b.item();
+    let c = b.category();
+    b.rate(u, a);
+    for i in [a, rec, wni] {
+        b.belongs(i, c);
+    }
+    let f = expect_failure(&b.g, b.config(), u, wni, Method::RemoveIncremental);
+    assert_eq!(
+        f.reason,
+        FailureReason::ColdStart {
+            removable_actions: 1
+        }
+    );
+    assert!(f.to_string().contains("cold start"), "{f}");
+}
+
+/// The recommendation's PPR is carried by five other users' ratings;
+/// undoing this user's own two actions can never demote it.
+#[test]
+fn popular_item_reported_when_other_users_carry_the_rec() {
+    let mut b = Builder::new();
+    let u = b.user();
+    let a1 = b.item();
+    let a2 = b.item();
+    let popular = b.item();
+    let wni = b.item();
+    let c = b.category();
+    for i in [a1, a2, popular, wni] {
+        b.belongs(i, c);
+    }
+    b.rate(u, a1);
+    b.rate(u, a2);
+    for _ in 0..5 {
+        let fan = b.user();
+        b.rate(fan, popular);
+    }
+    let f = expect_failure(&b.g, b.config(), u, wni, Method::RemoveExhaustive);
+    match f.reason {
+        FailureReason::PopularItem {
+            rec_popularity,
+            wni_popularity,
+        } => {
+            assert_eq!(rec_popularity, 5.0, "five fans rate the recommendation");
+            assert_eq!(wni_popularity, 0.0);
+        }
+        other => panic!("expected PopularItem, got {other:?}"),
+    }
+}
+
+/// Symmetric rec/WNI (same category, identical edges): no removal subset
+/// breaks the tie in the WNI's favour, the space is fully exhausted, and
+/// neither cold-start nor popularity explains it — out of scope for
+/// single-remove mode.
+#[test]
+fn out_of_scope_reported_when_the_space_is_exhausted() {
+    let mut b = Builder::new();
+    let u = b.user();
+    let a1 = b.item();
+    let a2 = b.item();
+    let rec = b.item(); // lower id than wni: wins every exact tie
+    let wni = b.item();
+    let c = b.category();
+    for i in [a1, a2, rec, wni] {
+        b.belongs(i, c);
+    }
+    b.rate(u, a1);
+    b.rate(u, a2);
+    let f = expect_failure(&b.g, b.config(), u, wni, Method::RemoveExhaustive);
+    assert_eq!(f.reason, FailureReason::OutOfScope { mode: Mode::Remove });
+}
+
+/// A world where a removal explanation genuinely exists (removing the
+/// rec-side rating reroutes all mass to the WNI), but a zero-CHECK budget
+/// stops the search at its first qualifying subset: the failure says the
+/// budget — not the data — is what truncated the search.
+#[test]
+fn budget_exhausted_reported_when_max_checks_truncates() {
+    let mut b = Builder::new();
+    let u = b.user();
+    let a = b.item(); // rated; shares a category with rec
+    let d = b.item(); // rated; shares a category with wni
+    let rec = b.item();
+    let wni = b.item();
+    let c1 = b.category();
+    let c2 = b.category();
+    b.belongs(a, c1);
+    b.belongs(rec, c1);
+    b.belongs(d, c2);
+    b.belongs(wni, c2);
+    b.rate(u, a);
+    b.rate(u, d);
+    let mut cfg = b.config();
+    // Sanity: with a budget, the same question IS explainable.
+    let explained = Explainer::new(cfg.clone())
+        .explain(&b.g, u, wni, Method::RemovePowerset)
+        .expect("removing the rec-side rating promotes the WNI");
+    assert!(explained.verified);
+    cfg.max_checks = 0;
+    let f = expect_failure(&b.g, cfg, u, wni, Method::RemovePowerset);
+    assert_eq!(
+        f.reason,
+        FailureReason::BudgetExhausted {
+            checks_performed: 0
+        }
+    );
+    assert_eq!(f.checks_performed, 0);
+}
+
+/// The classification is diagnosis-ordered: a single-action user is
+/// reported as cold start even when the recommendation is also popular.
+#[test]
+fn cold_start_takes_precedence_over_popularity() {
+    let mut b = Builder::new();
+    let u = b.user();
+    let a = b.item();
+    let popular = b.item();
+    let wni = b.item();
+    let c = b.category();
+    for i in [a, popular, wni] {
+        b.belongs(i, c);
+    }
+    b.rate(u, a);
+    for _ in 0..5 {
+        let fan = b.user();
+        b.rate(fan, popular);
+    }
+    let f = expect_failure(&b.g, b.config(), u, wni, Method::RemoveIncremental);
+    assert!(
+        matches!(f.reason, FailureReason::ColdStart { .. }),
+        "structural condition diagnosed first: {:?}",
+        f.reason
+    );
+}

@@ -37,4 +37,4 @@ pub use prometheus::{validate_exposition, PromText};
 pub use spans::{SpanExport, SpanRecorder};
 pub use stages::StageLatencies;
 pub use trace::{ExplainTrace, TraceAction, TraceCandidate, TraceCrossing, TraceTest};
-pub use window::{SlidingWindow, WindowRing, WindowStats};
+pub use window::{ManualClock, SlidingWindow, WindowRing, WindowStats};

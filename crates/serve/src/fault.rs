@@ -1,0 +1,187 @@
+//! Deterministic fault injection for the worker loop.
+//!
+//! The service's recovery claims — a panicked worker never loses a
+//! request, a stalled queue sheds load instead of growing without bound,
+//! a poisoned cache entry is never served — are only provable if faults
+//! can be *triggered on demand*. This module is that trigger: a
+//! [`FaultHooks`] trait the worker loop consults at exactly one point
+//! (right after dequeuing a job, before the deadline check), and a
+//! deterministic [`FaultPlan`] implementation keyed by request id.
+//!
+//! Production deployments simply leave [`ServiceConfig::faults`] at
+//! `None`; the hook then costs one `Option` check per job. The plan is
+//! one-shot per request id, so a respawned retry of the same logical
+//! question (under a new id) is unaffected.
+//!
+//! Injected panics carry the [`FAULT_PANIC`] marker payload so test
+//! binaries can install a panic hook that silences exactly these and
+//! nothing else.
+//!
+//! [`ServiceConfig::faults`]: crate::service::ServiceConfig
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Payload of every panic raised by [`FaultPlan::panic_on`]. Tests match
+/// on it in a custom panic hook to keep expected crashes out of stderr.
+pub const FAULT_PANIC: &str = "emigre fault-injection: planned worker panic";
+
+/// Test-only hook surface on the worker loop. The single call site runs
+/// on the worker thread immediately after a job is dequeued and before
+/// its deadline is checked, so an implementation can model:
+///
+/// - a **worker panic** (panic inside the hook — the loop catches it,
+///   accounts the request, and replies `WorkerPanicked`);
+/// - a **slow response** (sleep — the job itself, and anything queued
+///   behind it on this worker, may miss its deadline);
+/// - a **queue stall** (block on a channel until the test releases it).
+///
+/// The default implementation does nothing.
+pub trait FaultHooks: Send + Sync {
+    /// Called once per dequeued job with its request id and endpoint
+    /// (`"explain"` or `"recommend"`).
+    fn on_dequeue(&self, _request_id: u64, _endpoint: &'static str) {}
+}
+
+/// Cloneable wrapper so [`ServiceConfig`](crate::service::ServiceConfig)
+/// keeps deriving `Debug`/`Clone` while carrying a trait object.
+#[derive(Clone)]
+pub struct FaultHandle(Arc<dyn FaultHooks>);
+
+impl FaultHandle {
+    pub fn new(hooks: Arc<dyn FaultHooks>) -> Self {
+        FaultHandle(hooks)
+    }
+
+    #[inline]
+    pub(crate) fn on_dequeue(&self, request_id: u64, endpoint: &'static str) {
+        self.0.on_dequeue(request_id, endpoint);
+    }
+}
+
+impl fmt::Debug for FaultHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FaultHandle(..)")
+    }
+}
+
+enum FaultAction {
+    Panic,
+    Delay(Duration),
+    Block(Receiver<()>),
+}
+
+/// A deterministic, one-shot-per-request fault schedule.
+///
+/// Request ids are assigned at admission in submission order (starting at
+/// 1), so a single-threaded test submitter knows every id in advance:
+///
+/// ```ignore
+/// let plan = FaultPlan::new();
+/// plan.panic_on(2); // the second submitted request crashes its worker
+/// let sc = ServiceConfig { faults: Some(plan.handle()), ..Default::default() };
+/// ```
+#[derive(Default)]
+pub struct FaultPlan {
+    actions: Mutex<HashMap<u64, FaultAction>>,
+    triggered: AtomicU64,
+}
+
+impl FaultPlan {
+    pub fn new() -> Arc<Self> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// The handle to put in `ServiceConfig::faults`.
+    pub fn handle(self: &Arc<Self>) -> FaultHandle {
+        FaultHandle::new(Arc::clone(self) as Arc<dyn FaultHooks>)
+    }
+
+    /// The worker dequeuing `request_id` panics with [`FAULT_PANIC`].
+    pub fn panic_on(&self, request_id: u64) {
+        self.actions.lock().insert(request_id, FaultAction::Panic);
+    }
+
+    /// The worker dequeuing `request_id` sleeps for `by` before the
+    /// deadline check — a slow response that can expire the job itself.
+    pub fn delay(&self, request_id: u64, by: Duration) {
+        self.actions
+            .lock()
+            .insert(request_id, FaultAction::Delay(by));
+    }
+
+    /// The worker dequeuing `request_id` parks until the returned
+    /// [`FaultRelease`] is dropped — a deterministic mid-request stall.
+    pub fn block(&self, request_id: u64) -> FaultRelease {
+        // Nothing is ever sent: the worker resumes when the drop of the
+        // sender disconnects its recv().
+        let (tx, rx) = bounded::<()>(1);
+        self.actions
+            .lock()
+            .insert(request_id, FaultAction::Block(rx));
+        FaultRelease { _release: tx }
+    }
+
+    /// How many planned faults have fired so far.
+    pub fn triggered(&self) -> u64 {
+        self.triggered.load(Ordering::Relaxed)
+    }
+}
+
+impl FaultHooks for FaultPlan {
+    fn on_dequeue(&self, request_id: u64, _endpoint: &'static str) {
+        // One-shot: take the action out before executing it.
+        let action = self.actions.lock().remove(&request_id);
+        let Some(action) = action else { return };
+        self.triggered.fetch_add(1, Ordering::Relaxed);
+        match action {
+            FaultAction::Panic => panic!("{FAULT_PANIC}"),
+            FaultAction::Delay(by) => std::thread::sleep(by),
+            FaultAction::Block(rx) => {
+                let _ = rx.recv(); // parked until FaultRelease drops
+            }
+        }
+    }
+}
+
+/// Keeps one planned [`FaultPlan::block`] stall in place; dropping it
+/// releases the parked worker.
+pub struct FaultRelease {
+    _release: Sender<()>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_actions_are_one_shot() {
+        let plan = FaultPlan::new();
+        plan.delay(7, Duration::from_millis(1));
+        assert_eq!(plan.triggered(), 0);
+        plan.on_dequeue(7, "explain");
+        assert_eq!(plan.triggered(), 1);
+        // Second dequeue of the same id: no action left, nothing fires.
+        plan.on_dequeue(7, "explain");
+        assert_eq!(plan.triggered(), 1);
+        // Unplanned ids are untouched.
+        plan.on_dequeue(8, "recommend");
+        assert_eq!(plan.triggered(), 1);
+    }
+
+    #[test]
+    fn block_releases_on_drop() {
+        let plan = FaultPlan::new();
+        let release = plan.block(3);
+        let plan2 = Arc::clone(&plan);
+        let t = std::thread::spawn(move || plan2.on_dequeue(3, "explain"));
+        drop(release);
+        t.join().unwrap();
+        assert_eq!(plan.triggered(), 1);
+    }
+}

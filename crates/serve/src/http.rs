@@ -333,6 +333,7 @@ fn serve_error_response(e: ServeError, request_id: Option<u64>) -> (u16, &'stati
         ServeError::DeadlineExceeded => (504, "deadline_exceeded"),
         ServeError::ShuttingDown => (503, "shutting_down"),
         ServeError::InvalidQuestion(_) => (400, "invalid_question"),
+        ServeError::WorkerPanicked => (500, "worker_panic"),
     };
     (
         status,

@@ -20,12 +20,14 @@
 
 pub mod cache;
 pub mod events;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheStats, LruCache};
 pub use events::{EventLogStats, EventLogger, RequestEvent};
+pub use fault::{FaultHandle, FaultHooks, FaultPlan, FaultRelease, FAULT_PANIC};
 pub use http::{method_from_label, HttpServer};
 pub use metrics::{prometheus_text, MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
 pub use service::{

@@ -38,6 +38,11 @@ pub struct ServeMetrics {
     pub rejected_overload: AtomicU64,
     /// Jobs dropped because their deadline expired while queued.
     pub rejected_deadline: AtomicU64,
+    /// Worker panics caught and converted into `WorkerPanicked` answers.
+    pub worker_panics: AtomicU64,
+    /// Cache hits rejected by integrity validation (poisoned or corrupt
+    /// entries quarantined instead of served).
+    pub cache_poison_detected: AtomicU64,
     /// End-to-end worker latency of explain jobs.
     pub explain_latency: LatencyHistogram,
     /// End-to-end worker latency of recommend jobs.
@@ -79,6 +84,8 @@ impl ServeMetrics {
             invalid_questions: self.invalid_questions.load(Ordering::Relaxed),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            cache_poison_detected: self.cache_poison_detected.load(Ordering::Relaxed),
             queue_depth: owned.queue_depth,
             workers: owned.workers,
             uptime_secs: owned.uptime_secs,
@@ -133,6 +140,10 @@ pub struct MetricsSnapshot {
     pub invalid_questions: u64,
     pub rejected_overload: u64,
     pub rejected_deadline: u64,
+    /// Worker panics caught and answered as `WorkerPanicked`.
+    pub worker_panics: u64,
+    /// Poisoned/corrupt cache entries detected and quarantined.
+    pub cache_poison_detected: u64,
     /// Jobs admitted but not yet picked up by a worker.
     pub queue_depth: u64,
     pub workers: u64,
@@ -214,6 +225,22 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         "emigre_rejected_total",
         &[("reason", "invalid_question")],
         s.invalid_questions,
+    );
+    p.header(
+        "emigre_worker_panics_total",
+        "counter",
+        "Worker panics caught and answered as WorkerPanicked",
+    );
+    p.sample_u64("emigre_worker_panics_total", &[], s.worker_panics);
+    p.header(
+        "emigre_cache_poison_detected_total",
+        "counter",
+        "Poisoned cache entries detected and quarantined",
+    );
+    p.sample_u64(
+        "emigre_cache_poison_detected_total",
+        &[],
+        s.cache_poison_detected,
     );
 
     p.header(

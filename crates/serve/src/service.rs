@@ -53,6 +53,7 @@
 
 use crate::cache::LruCache;
 use crate::events::{EventLogger, RequestEvent};
+use crate::fault::FaultHandle;
 use crate::metrics::{MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use emigre_core::{
@@ -94,6 +95,9 @@ pub struct ServiceConfig {
     /// Pending-line capacity of the event-log ring; overflow increments
     /// the drop counter instead of blocking workers.
     pub event_log_capacity: usize,
+    /// Test-only fault hooks consulted once per dequeued job. `None` in
+    /// production — see [`crate::fault`].
+    pub faults: Option<FaultHandle>,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +113,7 @@ impl Default for ServiceConfig {
             trace_capacity: 512,
             event_log: None,
             event_log_capacity: 4096,
+            faults: None,
         }
     }
 }
@@ -125,6 +130,10 @@ pub enum ServeError {
     /// The question itself is malformed (bad node ids, already
     /// interacted, already the recommendation, ...).
     InvalidQuestion(QuestionError),
+    /// The worker thread panicked while serving this request. The worker
+    /// recovered (its workspace was rebuilt) and the request is fully
+    /// accounted in metrics and the event log.
+    WorkerPanicked,
 }
 
 impl ServeError {
@@ -135,6 +144,7 @@ impl ServeError {
             ServeError::DeadlineExceeded => "deadline_exceeded",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::InvalidQuestion(_) => "invalid_question",
+            ServeError::WorkerPanicked => "worker_panic",
         }
     }
 }
@@ -146,6 +156,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::InvalidQuestion(e) => write!(f, "invalid question: {e}"),
+            ServeError::WorkerPanicked => write!(f, "worker panicked while serving the request"),
         }
     }
 }
@@ -219,6 +230,7 @@ struct Shared {
     next_request_id: AtomicU64,
     started: Instant,
     workers: usize,
+    faults: Option<FaultHandle>,
 }
 
 impl Shared {
@@ -260,6 +272,7 @@ impl ExplanationService {
             next_request_id: AtomicU64::new(0),
             started: Instant::now(),
             workers: sc.workers,
+            faults: sc.faults.clone(),
         });
         let (tx, rx) = bounded::<Job>(sc.queue_capacity);
         let workers = (0..sc.workers)
@@ -520,6 +533,25 @@ impl ExplanationService {
         &self.shared.graph
     }
 
+    /// The shared transition kernel workers compute against.
+    pub fn kernel(&self) -> &Arc<TransitionCsr> {
+        &self.shared.kernel
+    }
+
+    /// Plants an arbitrary entry in the session cache, bypassing the
+    /// build path. Fault-injection scaffolding: the differential suite
+    /// uses it to prove a poisoned artefact is detected and never served.
+    #[doc(hidden)]
+    pub fn poison_session_for_test(&self, user: NodeId, art: Arc<UserArtifacts>) {
+        self.shared.sessions.lock().insert(user.0, art);
+    }
+
+    /// Plants an arbitrary `PPR(·, WNI)` column in the column cache.
+    #[doc(hidden)]
+    pub fn poison_column_for_test(&self, wni: NodeId, col: Arc<ReversePush>) {
+        self.shared.columns.lock().insert(wni.0, col);
+    }
+
     /// The serving configuration (recommender + explanation settings).
     pub fn config(&self) -> &EmigreConfig {
         &self.shared.cfg
@@ -544,163 +576,334 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
     // recv drains queued jobs even after the sender disconnects: graceful
     // shutdown answers everything that was admitted.
     while let Ok(job) = rx.recv() {
-        let start = Instant::now();
-        let queue_us = start.duration_since(job.admitted_at).as_micros() as u64;
-        let expired = start >= job.deadline;
-        match job.work {
+        let Job {
+            request_id,
+            admitted_at,
+            work,
+            deadline,
+        } = job;
+        match work {
             Work::Stall { started, release } => {
                 let _ = started.send(());
                 let _ = release.recv(); // parked until the guard drops
-                continue;
             }
+            // Each job runs under catch_unwind with the reply sender held
+            // OUTSIDE the closure: a panic mid-computation (a bug, or an
+            // injected fault) is converted into a fully-accounted
+            // `WorkerPanicked` answer instead of a dropped sender, and the
+            // worker survives to serve the next job. The workspace may
+            // have been left mid-transaction by the unwind, so it is
+            // rebuilt from scratch on the panic path.
             Work::Explain {
                 user,
                 wni,
                 method,
                 reply,
             } => {
-                shared.metrics.queue_wait.record_us(queue_us);
-                let mut stages = StageLatencies {
-                    queue_us,
-                    ..StageLatencies::default()
-                };
-                let mut event = RequestEvent {
-                    request_id: job.request_id,
-                    endpoint: "explain".to_owned(),
-                    user: user.0,
-                    wni: Some(wni.0),
-                    method: Some(method.label().to_owned()),
-                    ..RequestEvent::default()
-                };
-                let result = if expired {
-                    ServeMetrics::bump(&shared.metrics.rejected_deadline);
-                    Err(ServeError::DeadlineExceeded)
-                } else {
-                    // Private handle: spans + trace stay request-scoped.
-                    let req_obs = ObsHandle::enabled();
-                    let r = run_explain(&shared, user, wni, method, &mut ws, &req_obs);
-                    stages = StageLatencies {
-                        queue_us,
-                        ..StageLatencies::from_spans(&req_obs.span_tree())
-                    };
-                    let ops = req_obs.counters();
-                    shared.obs.merge_counters(&ops);
-                    event.ops = ops;
-                    if let Some(trace) = req_obs.trace() {
-                        event.mode = if trace.mode.is_empty() {
-                            None
-                        } else {
-                            Some(trace.mode.clone())
-                        };
-                        shared.traces.lock().insert(job.request_id, Arc::new(trace));
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    explain_job(
+                        &shared,
+                        request_id,
+                        admitted_at,
+                        deadline,
+                        user,
+                        wni,
+                        method,
+                        &mut ws,
+                    )
+                }));
+                match run {
+                    Ok((result, stages)) => {
+                        let _ = reply
+                            .try_send(result.map(|outcome| ExplainResponse { outcome, stages }));
+                        // caller may have gone away
                     }
-                    match r {
-                        Ok((outcome, session_hit, column_hit)) => {
-                            event.session_cache_hit = Some(session_hit);
-                            event.column_cache_hit = Some(column_hit);
-                            Ok(outcome)
-                        }
-                        Err(e) => Err(e),
-                    }
-                };
-                let is_error = result.is_err();
-                match &result {
-                    Ok(Ok(explanation)) => {
-                        ServeMetrics::bump(&shared.metrics.explanations_found);
-                        event.outcome = "found".to_owned();
-                        event.explanation_size = Some(explanation.size() as u64);
-                    }
-                    Ok(Err(_)) => {
-                        ServeMetrics::bump(&shared.metrics.explanations_failed);
-                        event.outcome = "failure".to_owned();
-                    }
-                    Err(e) => {
-                        if matches!(e, ServeError::InvalidQuestion(_)) {
-                            ServeMetrics::bump(&shared.metrics.invalid_questions);
-                        }
-                        event.outcome = e.outcome().to_owned();
+                    Err(_) => {
+                        ws = PushWorkspace::new(shared.graph.num_nodes());
+                        account_panic(
+                            &shared,
+                            request_id,
+                            admitted_at,
+                            "explain",
+                            user,
+                            Some(wni),
+                            Some(method),
+                        );
+                        let _ = reply.try_send(Err(ServeError::WorkerPanicked));
                     }
                 }
-                let total = start.elapsed();
-                stages.total_us = queue_us + total.as_micros() as u64;
-                shared.metrics.record_stages(&stages);
-                shared.metrics.explain_latency.record(total);
-                shared.explain_window.record(stages.total_us, is_error);
-                event.stages = stages;
-                shared.events.emit(&event);
-                // Count completion before replying: once a caller has its
-                // answer, the metrics must already include that request.
-                ServeMetrics::bump(&shared.metrics.completed_total);
-                let _ = reply.try_send(result.map(|outcome| ExplainResponse { outcome, stages }));
-                // caller may have gone away
             }
             Work::Recommend { user, k, reply } => {
-                shared.metrics.queue_wait.record_us(queue_us);
-                let mut stages = StageLatencies {
-                    queue_us,
-                    ..StageLatencies::default()
-                };
-                let mut event = RequestEvent {
-                    request_id: job.request_id,
-                    endpoint: "recommend".to_owned(),
-                    user: user.0,
-                    ..RequestEvent::default()
-                };
-                let result = if expired {
-                    ServeMetrics::bump(&shared.metrics.rejected_deadline);
-                    Err(ServeError::DeadlineExceeded)
-                } else {
-                    let req_obs = ObsHandle::enabled();
-                    let r = run_recommend(&shared, user, k, &req_obs);
-                    stages = StageLatencies {
-                        queue_us,
-                        ..StageLatencies::from_spans(&req_obs.span_tree())
-                    };
-                    let ops = req_obs.counters();
-                    shared.obs.merge_counters(&ops);
-                    event.ops = ops;
-                    match r {
-                        Ok((items, session_hit)) => {
-                            event.session_cache_hit = Some(session_hit);
-                            Ok(items)
-                        }
-                        Err(e) => Err(e),
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    recommend_job(&shared, request_id, admitted_at, deadline, user, k)
+                }));
+                match run {
+                    Ok((result, stages)) => {
+                        let _ =
+                            reply.try_send(result.map(|items| RecommendResponse { items, stages }));
                     }
-                };
-                let is_error = result.is_err();
-                match &result {
-                    Ok(_) => event.outcome = "ok".to_owned(),
-                    Err(e) => {
-                        if matches!(e, ServeError::InvalidQuestion(_)) {
-                            ServeMetrics::bump(&shared.metrics.invalid_questions);
-                        }
-                        event.outcome = e.outcome().to_owned();
+                    Err(_) => {
+                        account_panic(
+                            &shared,
+                            request_id,
+                            admitted_at,
+                            "recommend",
+                            user,
+                            None,
+                            None,
+                        );
+                        let _ = reply.try_send(Err(ServeError::WorkerPanicked));
                     }
                 }
-                let total = start.elapsed();
-                stages.total_us = queue_us + total.as_micros() as u64;
-                shared.metrics.recommend_latency.record(total);
-                shared.recommend_window.record(stages.total_us, is_error);
-                event.stages = stages;
-                shared.events.emit(&event);
-                ServeMetrics::bump(&shared.metrics.completed_total);
-                let _ = reply.try_send(result.map(|items| RecommendResponse { items, stages }));
             }
         }
     }
+}
+
+/// The full explain path of one dequeued job: fault hook, deadline check,
+/// compute, metrics, window, trace store, event emission. Runs inside the
+/// worker's `catch_unwind`; everything it records is already durable when
+/// it returns, so the caller only has to deliver the reply.
+#[allow(clippy::too_many_arguments)]
+fn explain_job(
+    shared: &Shared,
+    request_id: u64,
+    admitted_at: Instant,
+    deadline: Instant,
+    user: NodeId,
+    wni: NodeId,
+    method: Method,
+    ws: &mut PushWorkspace,
+) -> (Result<ExplainOutcome, ServeError>, StageLatencies) {
+    if let Some(f) = &shared.faults {
+        f.on_dequeue(request_id, "explain");
+    }
+    // `start` is taken after the fault hook so an injected delay counts as
+    // processing time and can expire the job it hit, like any slow worker.
+    let start = Instant::now();
+    let queue_us = start.duration_since(admitted_at).as_micros() as u64;
+    let expired = start >= deadline;
+    shared.metrics.queue_wait.record_us(queue_us);
+    let mut stages = StageLatencies {
+        queue_us,
+        ..StageLatencies::default()
+    };
+    let mut event = RequestEvent {
+        request_id,
+        endpoint: "explain".to_owned(),
+        user: user.0,
+        wni: Some(wni.0),
+        method: Some(method.label().to_owned()),
+        ..RequestEvent::default()
+    };
+    let result = if expired {
+        ServeMetrics::bump(&shared.metrics.rejected_deadline);
+        Err(ServeError::DeadlineExceeded)
+    } else {
+        // Private handle: spans + trace stay request-scoped.
+        let req_obs = ObsHandle::enabled();
+        let r = run_explain(shared, user, wni, method, ws, &req_obs);
+        stages = StageLatencies {
+            queue_us,
+            ..StageLatencies::from_spans(&req_obs.span_tree())
+        };
+        let ops = req_obs.counters();
+        shared.obs.merge_counters(&ops);
+        event.ops = ops;
+        if let Some(trace) = req_obs.trace() {
+            event.mode = if trace.mode.is_empty() {
+                None
+            } else {
+                Some(trace.mode.clone())
+            };
+            shared.traces.lock().insert(request_id, Arc::new(trace));
+        }
+        match r {
+            Ok((outcome, session_hit, column_hit)) => {
+                event.session_cache_hit = Some(session_hit);
+                event.column_cache_hit = Some(column_hit);
+                Ok(outcome)
+            }
+            Err(e) => Err(e),
+        }
+    };
+    let is_error = result.is_err();
+    match &result {
+        Ok(Ok(explanation)) => {
+            ServeMetrics::bump(&shared.metrics.explanations_found);
+            event.outcome = "found".to_owned();
+            event.explanation_size = Some(explanation.size() as u64);
+        }
+        Ok(Err(_)) => {
+            ServeMetrics::bump(&shared.metrics.explanations_failed);
+            event.outcome = "failure".to_owned();
+        }
+        Err(e) => {
+            if matches!(e, ServeError::InvalidQuestion(_)) {
+                ServeMetrics::bump(&shared.metrics.invalid_questions);
+            }
+            event.outcome = e.outcome().to_owned();
+        }
+    }
+    let total = start.elapsed();
+    stages.total_us = queue_us + total.as_micros() as u64;
+    shared.metrics.record_stages(&stages);
+    shared.metrics.explain_latency.record(total);
+    shared.explain_window.record(stages.total_us, is_error);
+    event.stages = stages;
+    shared.events.emit(&event);
+    // Count completion before replying: once a caller has its answer, the
+    // metrics must already include that request.
+    ServeMetrics::bump(&shared.metrics.completed_total);
+    (result, stages)
+}
+
+/// The full recommend path of one dequeued job; see [`explain_job`].
+fn recommend_job(
+    shared: &Shared,
+    request_id: u64,
+    admitted_at: Instant,
+    deadline: Instant,
+    user: NodeId,
+    k: usize,
+) -> (Result<RecommendOutcome, ServeError>, StageLatencies) {
+    if let Some(f) = &shared.faults {
+        f.on_dequeue(request_id, "recommend");
+    }
+    let start = Instant::now();
+    let queue_us = start.duration_since(admitted_at).as_micros() as u64;
+    let expired = start >= deadline;
+    shared.metrics.queue_wait.record_us(queue_us);
+    let mut stages = StageLatencies {
+        queue_us,
+        ..StageLatencies::default()
+    };
+    let mut event = RequestEvent {
+        request_id,
+        endpoint: "recommend".to_owned(),
+        user: user.0,
+        ..RequestEvent::default()
+    };
+    let result = if expired {
+        ServeMetrics::bump(&shared.metrics.rejected_deadline);
+        Err(ServeError::DeadlineExceeded)
+    } else {
+        let req_obs = ObsHandle::enabled();
+        let r = run_recommend(shared, user, k, &req_obs);
+        stages = StageLatencies {
+            queue_us,
+            ..StageLatencies::from_spans(&req_obs.span_tree())
+        };
+        let ops = req_obs.counters();
+        shared.obs.merge_counters(&ops);
+        event.ops = ops;
+        match r {
+            Ok((items, session_hit)) => {
+                event.session_cache_hit = Some(session_hit);
+                Ok(items)
+            }
+            Err(e) => Err(e),
+        }
+    };
+    let is_error = result.is_err();
+    match &result {
+        Ok(_) => event.outcome = "ok".to_owned(),
+        Err(e) => {
+            if matches!(e, ServeError::InvalidQuestion(_)) {
+                ServeMetrics::bump(&shared.metrics.invalid_questions);
+            }
+            event.outcome = e.outcome().to_owned();
+        }
+    }
+    let total = start.elapsed();
+    stages.total_us = queue_us + total.as_micros() as u64;
+    shared.metrics.recommend_latency.record(total);
+    shared.recommend_window.record(stages.total_us, is_error);
+    event.stages = stages;
+    shared.events.emit(&event);
+    ServeMetrics::bump(&shared.metrics.completed_total);
+    (result, stages)
+}
+
+/// Accounting for a job whose computation unwound: the request still
+/// counts as completed, records a latency sample and a window error, and
+/// emits a `worker_panic` event line — 100% of admitted requests stay
+/// visible in metrics and the event log even across crashes.
+fn account_panic(
+    shared: &Shared,
+    request_id: u64,
+    admitted_at: Instant,
+    endpoint: &'static str,
+    user: NodeId,
+    wni: Option<NodeId>,
+    method: Option<Method>,
+) {
+    ServeMetrics::bump(&shared.metrics.worker_panics);
+    let total_us = admitted_at.elapsed().as_micros() as u64;
+    let stages = StageLatencies {
+        total_us,
+        ..StageLatencies::default()
+    };
+    if endpoint == "explain" {
+        shared.metrics.explain_latency.record_us(total_us);
+        shared.explain_window.record(total_us, true);
+    } else {
+        shared.metrics.recommend_latency.record_us(total_us);
+        shared.recommend_window.record(total_us, true);
+    }
+    shared.events.emit(&RequestEvent {
+        request_id,
+        endpoint: endpoint.to_owned(),
+        outcome: "worker_panic".to_owned(),
+        user: user.0,
+        wni: wni.map(|w| w.0),
+        method: method.map(|m| m.label().to_owned()),
+        stages,
+        ..RequestEvent::default()
+    });
+    ServeMetrics::bump(&shared.metrics.completed_total);
 }
 
 /// User artefacts from the session cache, building on miss; the bool is
 /// the cache-hit flag. Concurrent misses for the same user may build
 /// twice; both builds are deterministic and identical, so the race costs
 /// time, never correctness.
+/// Cheap structural integrity check on a session-cache hit. A healthy
+/// build can never fail it; a poisoned or corrupted entry (wrong user,
+/// truncated estimates, out-of-bounds recommendation) is caught before a
+/// single score is read from it.
+fn session_artifacts_valid(shared: &Shared, user: NodeId, art: &UserArtifacts) -> bool {
+    let n = shared.graph.num_nodes();
+    art.user == user
+        && art.user_push.seed == user
+        && art.user_push.estimates.len() == n
+        && (art.rec.0 as usize) < n
+        && art.ppr_to_rec.target == art.rec
+        && art.ppr_to_rec.estimates.len() == n
+}
+
+/// Integrity check on a column-cache hit: the column must actually be
+/// `PPR(·, wni)` for this graph.
+fn column_valid(shared: &Shared, wni: NodeId, col: &ReversePush) -> bool {
+    col.target == wni && col.estimates.len() == shared.graph.num_nodes()
+}
+
 fn artifacts(
     shared: &Shared,
     user: NodeId,
     obs: &ObsHandle,
 ) -> Result<(Arc<UserArtifacts>, bool), QuestionError> {
-    if let Some(hit) = shared.sessions.lock().get(&user.0) {
-        return Ok((hit, true));
+    // Bind the lookup first: the lock guard must be released before the
+    // quarantine path below re-locks the cache.
+    let cached = shared.sessions.lock().get(&user.0);
+    if let Some(hit) = cached {
+        if session_artifacts_valid(shared, user, &hit) {
+            return Ok((hit, true));
+        }
+        // Quarantine: never serve from a poisoned artefact — drop the
+        // entry, count the detection, rebuild below as a miss.
+        ServeMetrics::bump(&shared.metrics.cache_poison_detected);
+        shared.sessions.lock().remove(&user.0);
     }
     let built = UserArtifacts::build(
         &*shared.graph,
@@ -718,8 +921,13 @@ fn artifacts(
 /// the cache-hit flag. The caller must have validated `wni` (in bounds)
 /// first.
 fn column(shared: &Shared, wni: NodeId, obs: &ObsHandle) -> (Arc<ReversePush>, bool) {
-    if let Some(hit) = shared.columns.lock().get(&wni.0) {
-        return (hit, true);
+    let cached = shared.columns.lock().get(&wni.0);
+    if let Some(hit) = cached {
+        if column_valid(shared, wni, &hit) {
+            return (hit, true);
+        }
+        ServeMetrics::bump(&shared.metrics.cache_poison_detected);
+        shared.columns.lock().remove(&wni.0);
     }
     let col = ReversePush::compute_kernel(&*shared.kernel, &shared.cfg.rec.ppr, wni);
     obs.count(Op::ReversePushes, col.pushes as u64);

@@ -1,0 +1,49 @@
+//! Proptest strategies over [`WorldSpec`].
+//!
+//! The vendored proptest stand-in generates from a deterministic seed
+//! stream and does not shrink; the strategy therefore draws one `u64`
+//! per case and defers to [`WorldSpec::sample_seeded`], so a failing
+//! case prints as a spec whose seed-derived structure can be re-fed to
+//! [`crate::world::minimize`] for manual shrinking.
+
+use crate::world::{WorldParams, WorldSpec};
+use proptest::{Strategy, TestRng};
+
+/// Strategy producing whole worlds inside `params`' envelope.
+pub struct ArbWorld {
+    params: WorldParams,
+}
+
+impl Strategy for ArbWorld {
+    type Value = WorldSpec;
+
+    fn generate(&self, rng: &mut TestRng) -> WorldSpec {
+        WorldSpec::sample_seeded(rng.next_u64(), &self.params)
+    }
+}
+
+/// Worlds inside the given envelope.
+pub fn arb_world(params: WorldParams) -> ArbWorld {
+    ArbWorld { params }
+}
+
+/// Default-envelope worlds (pathologies on).
+pub fn arb_default_world() -> ArbWorld {
+    arb_world(WorldParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::GraphView;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn generated_worlds_build(spec in arb_default_world()) {
+            let w = spec.build();
+            prop_assert!(w.graph.num_nodes() >= 5);
+            prop_assert!(w.graph.num_edges() > 0);
+        }
+    }
+}

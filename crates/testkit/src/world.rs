@@ -1,0 +1,515 @@
+//! Seeded, shrinkable HIN world generators.
+//!
+//! A [`WorldSpec`] is a pure-data description of a heterogeneous
+//! information network — user/item/category counts plus edge lists with
+//! indices into those ranges — that [`WorldSpec::build`] turns into a
+//! concrete [`Hin`] and an [`EmigreConfig`]. Keeping the spec as data
+//! buys three things:
+//!
+//! 1. **Determinism** — [`WorldSpec::sample_seeded`] derives the whole
+//!    world from a `u64`, so a failing case is its seed.
+//! 2. **Shrinkability** — the vendored proptest stand-in does not
+//!    shrink, so the spec carries its own [`WorldSpec::shrink`] /
+//!    [`minimize`] loop: edge lists halve, pathologies drop, node counts
+//!    fall, and indices stay valid because `build` normalises them by
+//!    modulo.
+//! 3. **Pathology coverage** — the generator plants the cases that break
+//!    naive engines: dangling items (sinks absorbing walk mass),
+//!    near-zero edge weights (the graph rejects exact zeros, so `1e-9`
+//!    stands in — numerically indistinguishable from zero at ranking
+//!    scale while still stressing weight normalisation), exact rank ties
+//!    (twin items with structurally identical in-edges), and
+//!    self-referential user→user follow edges.
+
+use emigre_core::EmigreConfig;
+use emigre_hin::{EdgeTypeId, Hin, NodeId, NodeTypeId};
+use emigre_ppr::PprConfig;
+use emigre_rec::RecConfig;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Weight standing in for "zero": the graph rejects non-positive
+/// weights, so pathological generators use a weight that is zero for all
+/// ranking purposes but still participates in weight-sum normalisation.
+pub const NEAR_ZERO_WEIGHT: f64 = 1e-9;
+
+/// One user→item interaction in spec space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interaction {
+    /// Index into the user range (normalised by modulo at build time).
+    pub user: usize,
+    /// Index into the item range.
+    pub item: usize,
+    pub weight: f64,
+    /// 0 = `rated`, anything else = `reviewed` — two relations make the
+    /// HIN multi-relational even without categories.
+    pub relation: usize,
+}
+
+/// Pure-data description of a generated world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldSpec {
+    pub num_users: usize,
+    pub num_items: usize,
+    /// 0 makes the world plain bipartite.
+    pub num_categories: usize,
+    pub interactions: Vec<Interaction>,
+    /// item index → category index memberships.
+    pub memberships: Vec<(usize, usize)>,
+    /// user → user follow edges (self-referential users pathology).
+    pub follows: Vec<(usize, usize)>,
+    /// Twin pairs `(original, copy)`: the copy's own edges are dropped
+    /// and the original's in-edges are replicated verbatim, engineering
+    /// an exact PPR tie between the two items.
+    pub twins: Vec<(usize, usize)>,
+    /// Mirror every edge (the paper's bidirectional preprocessing).
+    /// `false` leaves items as sinks — every item is then dangling.
+    pub bidirectional: bool,
+}
+
+/// Size/pathology envelope for [`WorldSpec::sample_seeded`].
+#[derive(Debug, Clone)]
+pub struct WorldParams {
+    pub max_users: usize,
+    pub max_items: usize,
+    pub max_categories: usize,
+    /// Probability of each (user, item) interaction existing.
+    pub density: f64,
+    /// Enable near-zero weights, twins, follows, and guaranteed dangling
+    /// items.
+    pub pathologies: bool,
+}
+
+impl Default for WorldParams {
+    fn default() -> Self {
+        WorldParams {
+            max_users: 6,
+            max_items: 12,
+            max_categories: 3,
+            density: 0.35,
+            pathologies: true,
+        }
+    }
+}
+
+/// A built world: the graph plus everything a question needs.
+pub struct World {
+    pub graph: Hin,
+    pub cfg: EmigreConfig,
+    pub user_type: NodeTypeId,
+    pub item_type: NodeTypeId,
+    pub rated: EdgeTypeId,
+    pub users: Vec<NodeId>,
+    pub items: Vec<NodeId>,
+}
+
+impl WorldSpec {
+    /// Derives a whole world deterministically from one seed.
+    pub fn sample_seeded(seed: u64, p: &WorldParams) -> WorldSpec {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let num_users = rng.gen_range(2..=p.max_users.max(2));
+        let num_items = rng.gen_range(3..=p.max_items.max(3));
+        let num_categories = if p.max_categories == 0 {
+            0
+        } else {
+            rng.gen_range(0..=p.max_categories)
+        };
+        let mut interactions = Vec::new();
+        for user in 0..num_users {
+            for item in 0..num_items {
+                if rng.gen_bool(p.density) {
+                    let weight = if p.pathologies && rng.gen_bool(0.06) {
+                        NEAR_ZERO_WEIGHT
+                    } else {
+                        // Half-star ratings 0.5..=5.0.
+                        (rng.gen_range(1..=10) as f64) * 0.5
+                    };
+                    interactions.push(Interaction {
+                        user,
+                        item,
+                        weight,
+                        relation: usize::from(rng.gen_bool(0.25)),
+                    });
+                }
+            }
+        }
+        // Every user keeps at least one interaction, or it has no rec
+        // list and no question can target it.
+        for user in 0..num_users {
+            if !interactions.iter().any(|i| i.user == user) {
+                interactions.push(Interaction {
+                    user,
+                    item: rng.gen_range(0..num_items),
+                    weight: 1.0,
+                    relation: 0,
+                });
+            }
+        }
+        let mut memberships = Vec::new();
+        if num_categories > 0 {
+            for item in 0..num_items {
+                if rng.gen_bool(0.5) {
+                    memberships.push((item, rng.gen_range(0..num_categories)));
+                }
+            }
+        }
+        let mut follows = Vec::new();
+        let mut twins = Vec::new();
+        if p.pathologies {
+            for _ in 0..rng.gen_range(0..=num_users) {
+                let a = rng.gen_range(0..num_users);
+                let b = rng.gen_range(0..num_users);
+                if a != b {
+                    follows.push((a, b));
+                }
+            }
+            if num_items >= 4 && rng.gen_bool(0.5) {
+                // One twin pair: the last item duplicates a random
+                // earlier one (the last is likeliest to be sparse).
+                twins.push((rng.gen_range(0..num_items - 1), num_items - 1));
+            }
+        }
+        WorldSpec {
+            num_users,
+            num_items,
+            num_categories,
+            interactions,
+            memberships,
+            follows,
+            twins,
+            // Mostly the paper's bidirectional preprocessing; sometimes
+            // directed, which turns every item into a dangling sink.
+            bidirectional: !(p.pathologies && rng.gen_bool(0.25)),
+        }
+    }
+
+    /// Materialises the spec with the workspace-default PPR settings.
+    pub fn build(&self) -> World {
+        self.build_with(PprConfig::default())
+    }
+
+    /// Materialises the spec under explicit PPR settings (differential
+    /// tests run at `epsilon = 1e-12` so push error stays below the
+    /// 1e-9 oracle-agreement budget).
+    pub fn build_with(&self, ppr: PprConfig) -> World {
+        let mut g = Hin::new();
+        let user_type = g.registry_mut().node_type("user");
+        let item_type = g.registry_mut().node_type("item");
+        let category_type = g.registry_mut().node_type("category");
+        let rated = g.registry_mut().edge_type("rated");
+        let reviewed = g.registry_mut().edge_type("reviewed");
+        let belongs = g.registry_mut().edge_type("belongs_to");
+        let follows_t = g.registry_mut().edge_type("follows");
+
+        let users: Vec<NodeId> = (0..self.num_users)
+            .map(|_| g.add_node(user_type, None))
+            .collect();
+        let items: Vec<NodeId> = (0..self.num_items)
+            .map(|_| g.add_node(item_type, None))
+            .collect();
+        let categories: Vec<NodeId> = (0..self.num_categories)
+            .map(|_| g.add_node(category_type, None))
+            .collect();
+
+        // Twin copies shed their own edges; collect the set first.
+        let twin_copies: HashSet<usize> = self
+            .twins
+            .iter()
+            .map(|&(_, copy)| copy % self.num_items)
+            .collect();
+
+        let mut seen: HashSet<(u32, u32, u16)> = HashSet::new();
+        let mut add =
+            |g: &mut Hin, src: NodeId, dst: NodeId, et: EdgeTypeId, w: f64, bidi: bool| {
+                if src == dst {
+                    return;
+                }
+                if seen.insert((src.0, dst.0, et.0)) {
+                    g.add_edge(src, dst, et, w).expect("spec edge is valid");
+                }
+                if bidi && seen.insert((dst.0, src.0, et.0)) {
+                    g.add_edge(dst, src, et, w).expect("spec edge is valid");
+                }
+            };
+
+        for i in &self.interactions {
+            let item_idx = i.item % self.num_items;
+            if twin_copies.contains(&item_idx) {
+                continue;
+            }
+            let et = if i.relation == 0 { rated } else { reviewed };
+            add(
+                &mut g,
+                users[i.user % self.num_users],
+                items[item_idx],
+                et,
+                i.weight,
+                self.bidirectional,
+            );
+        }
+        for &(item, cat) in &self.memberships {
+            let item_idx = item % self.num_items;
+            if self.num_categories == 0 || twin_copies.contains(&item_idx) {
+                continue;
+            }
+            add(
+                &mut g,
+                items[item_idx],
+                categories[cat % self.num_categories],
+                belongs,
+                1.0,
+                self.bidirectional,
+            );
+        }
+        for &(a, b) in &self.follows {
+            add(
+                &mut g,
+                users[a % self.num_users],
+                users[b % self.num_users],
+                follows_t,
+                1.0,
+                self.bidirectional,
+            );
+        }
+        // Twins: replicate the original's edges onto the copy with the
+        // same weights — the two items become structurally symmetric, so
+        // their exact PPR scores tie from every seed that is itself
+        // symmetric w.r.t. the pair.
+        for &(orig, copy) in &self.twins {
+            let orig_idx = orig % self.num_items;
+            let copy_idx = copy % self.num_items;
+            if orig_idx == copy_idx || twin_copies.contains(&orig_idx) {
+                continue;
+            }
+            for i in &self.interactions {
+                if i.item % self.num_items == orig_idx {
+                    let et = if i.relation == 0 { rated } else { reviewed };
+                    add(
+                        &mut g,
+                        users[i.user % self.num_users],
+                        items[copy_idx],
+                        et,
+                        i.weight,
+                        self.bidirectional,
+                    );
+                }
+            }
+            for &(item, cat) in &self.memberships {
+                if self.num_categories > 0 && item % self.num_items == orig_idx {
+                    add(
+                        &mut g,
+                        items[copy_idx],
+                        categories[cat % self.num_categories],
+                        belongs,
+                        1.0,
+                        self.bidirectional,
+                    );
+                }
+            }
+        }
+
+        let mut cfg = EmigreConfig::new(RecConfig::new(item_type).with_ppr(ppr), rated);
+        // Counterfactual actions mirror edge directions exactly when the
+        // graph itself was built mirrored; on directed worlds a mirrored
+        // removal would reference edges that do not exist.
+        cfg.bidirectional_actions = self.bidirectional;
+        World {
+            graph: g,
+            cfg,
+            user_type,
+            item_type,
+            rated,
+            users,
+            items,
+        }
+    }
+
+    /// One round of strictly-simpler variants, largest cuts first. Every
+    /// variant still builds (indices are normalised by modulo), so a
+    /// predicate can be re-run on each directly.
+    pub fn shrink(&self) -> Vec<WorldSpec> {
+        let mut out = Vec::new();
+        let mut push = |s: WorldSpec| {
+            if s != *self {
+                out.push(s);
+            }
+        };
+        if self.interactions.len() > 1 {
+            let mid = self.interactions.len() / 2;
+            push(WorldSpec {
+                interactions: self.interactions[..mid].to_vec(),
+                ..self.clone()
+            });
+            push(WorldSpec {
+                interactions: self.interactions[mid..].to_vec(),
+                ..self.clone()
+            });
+        }
+        if self.interactions.len() <= 16 {
+            for i in 0..self.interactions.len() {
+                let mut v = self.interactions.clone();
+                v.remove(i);
+                if !v.is_empty() {
+                    push(WorldSpec {
+                        interactions: v,
+                        ..self.clone()
+                    });
+                }
+            }
+        }
+        for (field_clear, cleared) in [
+            (
+                !self.follows.is_empty(),
+                WorldSpec {
+                    follows: Vec::new(),
+                    ..self.clone()
+                },
+            ),
+            (
+                !self.twins.is_empty(),
+                WorldSpec {
+                    twins: Vec::new(),
+                    ..self.clone()
+                },
+            ),
+            (
+                !self.memberships.is_empty(),
+                WorldSpec {
+                    memberships: Vec::new(),
+                    num_categories: 0,
+                    ..self.clone()
+                },
+            ),
+        ] {
+            if field_clear {
+                push(cleared);
+            }
+        }
+        if self.num_items > 3 {
+            push(WorldSpec {
+                num_items: self.num_items - 1,
+                ..self.clone()
+            });
+        }
+        if self.num_users > 2 {
+            push(WorldSpec {
+                num_users: self.num_users - 1,
+                ..self.clone()
+            });
+        }
+        if !self.bidirectional {
+            push(WorldSpec {
+                bidirectional: true,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+/// Greedy shrink loop: repeatedly replaces the spec with its first
+/// shrunk variant on which `fails` still holds, until none does. The
+/// vendored proptest reports failing inputs as-is, so this is the
+/// workspace's actual minimiser — call it from the failure handler (or a
+/// debugging scratch test) with the predicate that reproduces the bug.
+pub fn minimize<F: Fn(&WorldSpec) -> bool>(mut spec: WorldSpec, fails: F) -> WorldSpec {
+    assert!(
+        fails(&spec),
+        "minimize() needs a failing input to start from"
+    );
+    'outer: loop {
+        for candidate in spec.shrink() {
+            if fails(&candidate) {
+                spec = candidate;
+                continue 'outer;
+            }
+        }
+        return spec;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emigre_hin::GraphView;
+
+    #[test]
+    fn sampled_specs_build_and_are_seed_deterministic() {
+        let p = WorldParams::default();
+        for seed in 0..50u64 {
+            let a = WorldSpec::sample_seeded(seed, &p);
+            let b = WorldSpec::sample_seeded(seed, &p);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            let w = a.build();
+            assert_eq!(
+                w.graph.num_nodes(),
+                a.num_users + a.num_items + a.num_categories
+            );
+            assert!(w.graph.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn twin_items_have_identical_in_edges() {
+        let p = WorldParams::default();
+        let mut checked = 0;
+        for seed in 0..200u64 {
+            let spec = WorldSpec::sample_seeded(seed, &p);
+            if spec.twins.is_empty() {
+                continue;
+            }
+            let w = spec.build();
+            for &(orig, copy) in &spec.twins {
+                let (oi, ci) = (orig % spec.num_items, copy % spec.num_items);
+                if oi == ci {
+                    continue;
+                }
+                let ins = |n: NodeId| {
+                    let mut v: Vec<(u32, u16, u64)> = Vec::new();
+                    w.graph
+                        .for_each_in(n, |src, et, wt| v.push((src.0, et.0, wt.to_bits())));
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(ins(w.items[oi]), ins(w.items[ci]), "seed {seed}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "twin pathology almost never generated");
+    }
+
+    #[test]
+    fn shrink_produces_simpler_valid_specs_and_minimize_converges() {
+        let spec = WorldSpec::sample_seeded(7, &WorldParams::default());
+        for s in spec.shrink() {
+            s.build(); // must not panic
+            assert!(
+                s.interactions.len() <= spec.interactions.len()
+                    && s.num_users <= spec.num_users
+                    && s.num_items <= spec.num_items
+            );
+        }
+        // Minimise against "has at least 3 interactions": the greedy loop
+        // must land on exactly 3.
+        let min = minimize(spec, |s| s.interactions.len() >= 3);
+        assert_eq!(min.interactions.len(), 3);
+    }
+
+    #[test]
+    fn directed_worlds_leave_items_dangling() {
+        let p = WorldParams::default();
+        let spec = (0..100u64)
+            .map(|s| WorldSpec::sample_seeded(s, &p))
+            .find(|s| !s.bidirectional)
+            .expect("some directed world in 100 seeds");
+        let w = spec.build();
+        let dangling = w
+            .items
+            .iter()
+            .filter(|&&i| w.graph.out_degree(i) == 0)
+            .count();
+        assert!(dangling > 0, "directed world should have dangling items");
+    }
+}
