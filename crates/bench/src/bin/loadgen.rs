@@ -382,7 +382,12 @@ struct Server {
     addr: String,
 }
 
-fn spawn_server(bin: &Path, graph_file: &Path, event_log: &Path) -> Result<Server, String> {
+fn spawn_server(
+    bin: &Path,
+    graph_file: &Path,
+    event_log: &Path,
+    parallelism: usize,
+) -> Result<Server, String> {
     let mut child = Command::new(bin)
         .args([
             "serve",
@@ -394,6 +399,8 @@ fn spawn_server(bin: &Path, graph_file: &Path, event_log: &Path) -> Result<Serve
             "60000",
             "--event-log",
             &event_log.display().to_string(),
+            "--parallelism",
+            &parallelism.to_string(),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -476,6 +483,9 @@ struct StageReport {
     context: StageQuantiles,
     search: StageQuantiles,
     test: StageQuantiles,
+    /// Time inside parallel CHECK fan-outs — a sub-stage of `test`, zero
+    /// when the engine runs sequentially (`--parallelism 1`).
+    check_parallel: StageQuantiles,
 }
 
 #[derive(Serialize, Default)]
@@ -489,6 +499,8 @@ struct BenchReport {
     smoke: bool,
     items: usize,
     threads: usize,
+    /// The `--parallelism` budget the server ran with.
+    parallelism: usize,
     duration_secs: f64,
     requests: u64,
     divergences: u64,
@@ -631,6 +643,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let threads: usize = parse_flag(args, "--threads", if smoke { 2 } else { 4 })?;
     let duration_secs: u64 = parse_flag(args, "--duration-secs", 10)?;
     let k: usize = parse_flag(args, "--k", 5)?;
+    // Per-request CHECK worker budget handed to the engine (1 = each
+    // request stays on its service worker; answers are bit-identical
+    // either way — the reference comparison below enforces exactly that).
+    let parallelism: usize = parse_flag(args, "--parallelism", 1)?;
     let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
 
     // Build the synthetic world, write it out, and re-parse the written
@@ -668,7 +684,7 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let bin = server_binary(args)?;
-    let mut server = spawn_server(&bin, &graph_file, &event_log)?;
+    let mut server = spawn_server(&bin, &graph_file, &event_log, parallelism)?;
     eprintln!("loadgen: server {} up at {}", bin.display(), server.addr);
 
     let result = drive(
@@ -676,6 +692,7 @@ fn run(args: &[String]) -> Result<(), String> {
         plan,
         smoke,
         threads,
+        parallelism,
         duration_secs,
         items,
         &graph,
@@ -748,6 +765,7 @@ fn drive(
     plan: Vec<PlannedRequest>,
     smoke: bool,
     threads: usize,
+    parallelism: usize,
     duration_secs: u64,
     items: usize,
     graph: &Hin,
@@ -817,6 +835,7 @@ fn drive(
         smoke,
         items,
         threads,
+        parallelism,
         duration_secs: elapsed,
         requests,
         divergences: divergences.len() as u64,
@@ -830,6 +849,7 @@ fn drive(
             context: stage_quantiles(&server_metrics.stage_context),
             search: stage_quantiles(&server_metrics.stage_search),
             test: stage_quantiles(&server_metrics.stage_test),
+            check_parallel: stage_quantiles(&server_metrics.stage_check_parallel),
         },
         event_log: EventLogReport::default(),
         server_metrics,

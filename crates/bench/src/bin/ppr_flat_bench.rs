@@ -17,7 +17,7 @@
 
 use emigre_bench::world;
 use emigre_core::explanation::actions_to_delta;
-use emigre_core::tester::{score_floor, Tester};
+use emigre_core::tester::{score_floor, PreCheck, Tester};
 use emigre_core::{Action, ExplainContext};
 use emigre_hin::{EdgeKey, GraphView, Hin, NodeId};
 use emigre_obs::{CounterSnapshot, ObsHandle};
@@ -141,6 +141,14 @@ struct Entry {
     /// Op-counter delta of one `flat` call with observability enabled
     /// (None for entries measured without instrumentation).
     counters: Option<CounterSnapshot>,
+    /// CHECK worker count, for the `check_batch` thread-sweep entries
+    /// (None for single-threaded microbenchmarks).
+    threads: Option<usize>,
+    /// `t_seq / (threads × t_par)`: fraction of ideal linear scaling the
+    /// batched CHECK sweep achieved at this worker count. On a
+    /// single-core host this is ≈ 1/threads by construction — the sweep
+    /// then documents pool overhead, not speedup.
+    parallel_efficiency: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -171,6 +179,8 @@ fn entry_with_counters(
         flat_us,
         speedup: baseline_us / flat_us,
         counters,
+        threads: None,
+        parallel_efficiency: None,
     };
     println!(
         "{:>26} items={:<5} baseline {:>10.2} µs   flat {:>10.2} µs   speedup {:>5.2}x",
@@ -290,6 +300,53 @@ fn main() {
         });
         entries.push(entry("check_add", items, n, chk_add_old, chk_add_new));
 
+        // Batched CHECK thread sweep: `Tester::first_passing` over the
+        // incremental-style prefix ladder of the user's removals, at 1, 2,
+        // 4, and 8 CHECK workers. The 1-thread time is the sequential
+        // baseline of every row, so `speedup` is wall-clock scaling and
+        // `parallel_efficiency` its fraction of ideal. Consecutive prefixes
+        // share all but one patched row, so this path also exercises the
+        // shared-patch-prefix row cache.
+        let mut prefix = Vec::new();
+        let mut sets: Vec<Vec<Action>> = Vec::new();
+        g.for_each_out(user, |v, et, wt| {
+            if et == w.hin.rated && sets.len() < 8 {
+                prefix.push(Action::remove(EdgeKey::new(user, v, et), wt));
+                sets.push(prefix.clone());
+            }
+        });
+        let verdicts = |p: usize| {
+            let cfg = w.cfg.clone().with_parallelism(p);
+            let ctx = ExplainContext::build(g, cfg, user, wni).expect("valid scenario");
+            let t = Tester::new(&ctx);
+            let found = t.first_passing(&sets, |_| PreCheck::Proceed).found;
+            (found, t.checks_performed())
+        };
+        let seq = verdicts(1);
+        let mut batch_seq_us = 0.0;
+        for &threads in &[1usize, 2, 4, 8] {
+            assert_eq!(verdicts(threads), seq, "parallel batch diverged");
+            let cfg = w.cfg.clone().with_parallelism(threads);
+            let ctx = ExplainContext::build(g, cfg, user, wni).expect("valid scenario");
+            let tester = Tester::new(&ctx);
+            let batch_us = measure_us(2, || {
+                std::hint::black_box(tester.first_passing(&sets, |_| PreCheck::Proceed).found);
+            });
+            if threads == 1 {
+                batch_seq_us = batch_us;
+            }
+            let mut e = entry(
+                &format!("check_batch_t{threads}"),
+                items,
+                n,
+                batch_seq_us,
+                batch_us,
+            );
+            e.threads = Some(threads);
+            e.parallel_efficiency = Some(batch_seq_us / (threads as f64 * batch_us));
+            entries.push(e);
+        }
+
         // Instrumentation cost: the same CHECK with an enabled ObsHandle
         // (baseline = uninstrumented `chk_rm_new` from above). The counter
         // delta of one call goes into the JSON so cost comparisons can be
@@ -313,6 +370,23 @@ fn main() {
             chk_rm_new,
             chk_rm_obs,
             Some(delta),
+        ));
+
+        // Add-path op profile (satellite of the check_add-lag issue): the
+        // counter delta shows where the add CHECK's time goes in ops.
+        let before = obs.counters();
+        assert_eq!(tester_obs.test(&add), tester.test(&add));
+        let delta_add = obs.counters().delta(&before);
+        let chk_add_obs = measure_us(4, || {
+            std::hint::black_box(tester_obs.test(&add));
+        });
+        entries.push(entry_with_counters(
+            "check_add_obs",
+            items,
+            n,
+            chk_add_new,
+            chk_add_obs,
+            Some(delta_add),
         ));
     }
 

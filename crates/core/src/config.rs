@@ -43,6 +43,12 @@ pub struct EmigreConfig {
     /// the TEST step (`false` recomputes each counterfactual from scratch;
     /// kept as a switch for the ablation benchmark).
     pub dynamic_test: bool,
+    /// Worker threads for candidate CHECK evaluation. `1` (the default)
+    /// keeps the sequential path; `0` resolves to the machine's available
+    /// parallelism; `n ≥ 2` fans CHECKs across `n` workers with a
+    /// deterministic in-order merge, so results, traces, and counters are
+    /// bit-identical to the sequential path at any setting.
+    pub parallelism: usize,
 }
 
 impl EmigreConfig {
@@ -60,7 +66,27 @@ impl EmigreConfig {
             max_enumerated_subsets: 100_000,
             max_checks: 2_000,
             dynamic_test: true,
+            parallelism: 1,
         }
+    }
+
+    /// Sets the CHECK parallelism knob (see [`EmigreConfig::parallelism`]).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The effective CHECK worker count: resolves `parallelism == 0` to the
+    /// machine's available parallelism, and caps at 64 workers.
+    pub fn effective_parallelism(&self) -> usize {
+        let raw = if self.parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.parallelism
+        };
+        raw.clamp(1, 64)
     }
 
     /// Restricts explanation actions to the given edge types (`T_e`).
@@ -105,6 +131,17 @@ mod tests {
     #[test]
     fn defaults_validate() {
         cfg().validate();
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        let c = cfg();
+        assert_eq!(c.parallelism, 1, "sequential by default");
+        assert_eq!(c.effective_parallelism(), 1);
+        assert_eq!(c.with_parallelism(8).effective_parallelism(), 8);
+        // Auto resolves to at least one worker.
+        assert!(cfg().with_parallelism(0).effective_parallelism() >= 1);
+        assert_eq!(cfg().with_parallelism(1000).effective_parallelism(), 64);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::config::EmigreConfig;
 use crate::question::{QuestionError, WhyNotQuestion};
 use emigre_hin::{GraphDelta, GraphView, NodeId, NodeTypeId};
 use emigre_obs::{ObsHandle, Op};
-use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
+use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, RowCache, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -108,11 +108,13 @@ impl CandidateIndex {
 }
 
 /// Mutable per-check scratch shared through the context: the reusable push
-/// workspace and the candidate index. Borrowed exclusively for the duration
-/// of one CHECK.
+/// workspace, the candidate index, and the patched-row cache. Borrowed
+/// exclusively for the duration of one CHECK — or moved wholesale into a
+/// CHECK worker thread by the parallel path.
 pub(crate) struct CheckState {
     pub(crate) ws: PushWorkspace,
     pub(crate) cand: CandidateIndex,
+    pub(crate) rows: RowCache,
 }
 
 /// The per-user half of a question's pre-computed state: everything that
@@ -210,6 +212,10 @@ pub struct ExplainContext<'g, G: GraphView> {
     pub kernel: Arc<TransitionCsr>,
     /// Reusable CHECK scratch (push workspace + candidate index).
     pub(crate) check: RefCell<CheckState>,
+    /// Recycled CHECK states for parallel workers: taken before a fan-out,
+    /// returned after, so repeated parallel sessions within one question
+    /// reuse their `O(n)` buffers and warmed row caches.
+    pub(crate) spare_states: RefCell<Vec<CheckState>>,
     /// Observability sink for everything computed through this context
     /// (counters, spans, the per-question trace). Disabled by default;
     /// see [`ExplainContext::build_with_obs`].
@@ -296,9 +302,48 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
             check: RefCell::new(CheckState {
                 ws,
                 cand: artifacts.cand_base.clone(),
+                rows: RowCache::new(),
             }),
+            spare_states: RefCell::new(Vec::new()),
             obs,
         })
+    }
+
+    /// Takes `count` CHECK states for parallel workers, building the ones
+    /// the spare pool cannot supply. Must be called between CHECKs (the
+    /// main state's candidate index is override-free then, so its `Clone`
+    /// is the base index).
+    pub(crate) fn take_check_states(&self, count: usize) -> Vec<CheckState> {
+        let mut states = Vec::with_capacity(count);
+        {
+            let mut spare = self.spare_states.borrow_mut();
+            while states.len() < count {
+                match spare.pop() {
+                    Some(s) => states.push(s),
+                    None => break,
+                }
+            }
+        }
+        while states.len() < count {
+            let mut ws = PushWorkspace::new(self.graph.num_nodes());
+            if self.cfg.dynamic_test {
+                ws.load_base(&self.user_push);
+            } else {
+                ws.clear(self.graph.num_nodes());
+            }
+            let cand = self.check.borrow().cand.clone();
+            states.push(CheckState {
+                ws,
+                cand,
+                rows: RowCache::new(),
+            });
+        }
+        states
+    }
+
+    /// Returns worker CHECK states to the spare pool for the next fan-out.
+    pub(crate) fn return_check_states(&self, states: Vec<CheckState>) {
+        self.spare_states.borrow_mut().extend(states);
     }
 
     /// Consumes the context, handing its push workspace back for reuse by

@@ -145,8 +145,20 @@ fn run<G: GraphView>(
             budget_hit = true;
             break;
         }
+        // Scan this size for qualifying combinations, remembering each
+        // one's enumeration position so the final `SubsetsEnumerated`
+        // count reflects exactly where a sequential scan would have
+        // stopped. The qualifying combinations are independent pure
+        // CHECKs, so the (possibly parallel) in-order scan below matches
+        // the sequential per-combination loop bit for bit.
+        let before = enumerated;
+        let mut scanned = 0usize;
+        let mut sets: Vec<Vec<Action>> = Vec::new();
+        // Per qualifying combination: (enumeration position, binding
+        // margin, index vector).
+        let mut qual: Vec<(usize, f64, Vec<usize>)> = Vec::new();
         for idx in Combinations::new(pool.len(), size) {
-            enumerated += 1;
+            scanned += 1;
             // The selection rule: strictly positive against every target.
             let qualifies = (0..targets.len()).all(|ti| {
                 let sum: f64 = idx.iter().map(|&i| contribution_matrix[i][ti]).sum();
@@ -155,18 +167,19 @@ fn run<G: GraphView>(
             if !qualifies {
                 continue;
             }
-            if ctx.obs.is_enabled() {
-                // Binding margin: the smallest per-target surplus of the
-                // qualifying combination (how close τ was to not crossing).
-                let margin = (0..targets.len())
+            // Binding margin: the smallest per-target surplus of the
+            // qualifying combination (how close τ was to not crossing).
+            // Only needed for the trace.
+            let margin = if ctx.obs.is_enabled() {
+                (0..targets.len())
                     .map(|ti| {
                         let sum: f64 = idx.iter().map(|&i| contribution_matrix[i][ti]).sum();
                         sum - threshold[ti]
                     })
-                    .fold(f64::INFINITY, f64::min);
-                ctx.obs.trace_crossing(enumerated as u64, -margin);
-            }
-            accepted.push(idx.clone());
+                    .fold(f64::INFINITY, f64::min)
+            } else {
+                0.0
+            };
             let actions: Vec<Action> = idx
                 .iter()
                 .map(|&i| {
@@ -179,7 +192,13 @@ fn run<G: GraphView>(
                 })
                 .collect();
             if direct {
-                // Baseline: trust the prediction, skip the CHECK.
+                // Baseline: trust the prediction, skip the CHECK and stop
+                // at the first candidate combination.
+                if ctx.obs.is_enabled() {
+                    ctx.obs.trace_crossing((before + scanned) as u64, -margin);
+                }
+                accepted.push(idx.clone());
+                enumerated = before + scanned;
                 result = Some(Explanation {
                     mode: Some(space.mode),
                     actions,
@@ -189,21 +208,44 @@ fn run<G: GraphView>(
                 });
                 break 'sizes;
             }
+            qual.push((before + scanned, margin, idx));
+            sets.push(actions);
+        }
+        if direct {
+            enumerated = before + scanned;
+            continue;
+        }
+
+        let mut stop_at: Option<usize> = None;
+        let scan = tester.first_passing(&sets, |i| {
+            if ctx.obs.is_enabled() {
+                ctx.obs.trace_crossing(qual[i].0 as u64, -qual[i].1);
+            }
+            accepted.push(qual[i].2.clone());
             if tester.budget_exhausted() {
                 budget_hit = true;
-                break 'sizes;
+                stop_at = Some(i);
+                crate::tester::PreCheck::Stop
+            } else {
+                crate::tester::PreCheck::Proceed
             }
-            if tester.test(&actions) {
-                result = Some(Explanation {
-                    mode: Some(space.mode),
-                    actions,
-                    new_top: ctx.wni,
-                    checks_performed: tester.checks_performed(),
-                    verified: true,
-                });
-                break 'sizes;
-            }
+        });
+        if let Some(i) = scan.found {
+            enumerated = qual[i].0;
+            result = Some(Explanation {
+                mode: Some(space.mode),
+                actions: sets.swap_remove(i),
+                new_top: ctx.wni,
+                checks_performed: tester.checks_performed(),
+                verified: true,
+            });
+            break 'sizes;
         }
+        if scan.stopped {
+            enumerated = qual[stop_at.expect("stop implies a gated index")].0;
+            break 'sizes;
+        }
+        enumerated = before + scanned;
     }
     drop(test_loop_span);
     ctx.obs

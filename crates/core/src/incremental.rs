@@ -15,7 +15,7 @@ use crate::context::ExplainContext;
 use crate::explanation::{Action, Explanation};
 use crate::failure::{classify_failure, ExplainFailure};
 use crate::search::SearchSpace;
-use crate::tester::Tester;
+use crate::tester::{PreCheck, Tester};
 use emigre_hin::{EdgeKey, GraphView};
 
 /// Runs Algorithm 3 over a prepared search space (either mode).
@@ -27,9 +27,15 @@ pub fn incremental<G: GraphView>(
     let mut tau = space.tau;
     let slack = crate::search::tau_slack(space.tau);
     let mut actions: Vec<Action> = Vec::new();
-    let mut budget_hit = false;
 
     let _test_loop = ctx.obs.span("test_loop");
+    // One pass over the ranked list accumulates the prefix chain; each
+    // prefix whose running τ crossed into CHECK territory becomes one
+    // candidate set for the (possibly parallel) CHECK scan below. The
+    // prefixes are independent pure checks, so fanning them out and
+    // consuming verdicts in rank order is exactly the sequential loop.
+    let mut sets: Vec<Vec<Action>> = Vec::new();
+    let mut crossings: Vec<(u64, f64)> = Vec::new();
     for (rank, cand) in space.candidates.iter().enumerate() {
         // Candidates are sorted descending; once contributions stop being
         // positive, no further candidate can close the gap (paper line 7's
@@ -44,22 +50,30 @@ pub fn incremental<G: GraphView>(
         });
         tau -= cand.contribution;
         if tau <= slack {
-            // τ crossed into CHECK territory at this candidate rank.
-            ctx.obs.trace_crossing(rank as u64, tau);
-            if tester.budget_exhausted() {
-                budget_hit = true;
-                break;
-            }
-            if tester.test(&actions) {
-                return Ok(Explanation {
-                    mode: Some(space.mode),
-                    actions,
-                    new_top: ctx.wni,
-                    checks_performed: tester.checks_performed(),
-                    verified: true,
-                });
-            }
+            crossings.push((rank as u64, tau));
+            sets.push(actions.clone());
         }
+    }
+
+    let mut budget_hit = false;
+    let scan = tester.first_passing(&sets, |i| {
+        // τ crossed into CHECK territory at this candidate rank.
+        ctx.obs.trace_crossing(crossings[i].0, crossings[i].1);
+        if tester.budget_exhausted() {
+            budget_hit = true;
+            PreCheck::Stop
+        } else {
+            PreCheck::Proceed
+        }
+    });
+    if let Some(i) = scan.found {
+        return Ok(Explanation {
+            mode: Some(space.mode),
+            actions: sets.swap_remove(i),
+            new_top: ctx.wni,
+            checks_performed: tester.checks_performed(),
+            verified: true,
+        });
     }
 
     Err(classify_failure(

@@ -44,6 +44,7 @@ pub mod failure;
 pub mod group;
 pub mod incremental;
 pub mod minimal;
+pub(crate) mod parallel;
 pub mod powerset;
 pub mod prince;
 pub mod question;

@@ -1,0 +1,443 @@
+//! A work-stealing speculation pool for the parallel CHECK path.
+//!
+//! [`speculative_scan`] evaluates an ordered list of independent items on a
+//! small worker pool while the **main thread consumes results strictly in
+//! input order**. The consumer can stop the scan at any item (the parallel
+//! analogue of "first passing candidate wins"); items evaluated past the
+//! stop point were speculative and their results are discarded. Because the
+//! per-item `work` function is pure with respect to everything but its own
+//! worker-local state, in-order consumption makes the scan's observable
+//! behaviour — which items were consumed, in which order, with which
+//! results — bit-identical to a sequential loop, regardless of thread
+//! count, stealing order, or timing.
+//!
+//! ## Topology
+//!
+//! * A bounded **feed** channel (the PR 3 MPMC channel) carries batches of
+//!   item indices from the main thread to the workers. The main thread only
+//!   feeds within a bounded speculation window ahead of the consumer, so a
+//!   `Stop` never leaves more than `O(threads)` wasted evaluations.
+//! * Each worker owns a FIFO **deque** ([`crossbeam::deque::Worker`]); it
+//!   unpacks feed batches into it and, when idle, **steals** from siblings
+//!   front-first, preserving global index order as closely as possible.
+//! * A global **injector** re-homes the local queue of a dying worker (see
+//!   panic handling below) so its items are never stranded.
+//! * A **results** channel (capacity `items + threads`, so senders never
+//!   block) returns `(index, result)` pairs; the main thread re-orders them
+//!   through a buffer and consumes the next needed index.
+//!
+//! ## Liveness and panic containment
+//!
+//! Every evaluation runs under `catch_unwind`. A worker whose item panics
+//! reports `(index, Err)`, drains its local deque into the injector, and
+//! exits — its state is considered poisoned and is dropped rather than
+//! returned. The main thread recomputes such items itself (the consumer
+//! receives [`Consumed::Fallback`] and runs the sequential path), so the
+//! scan completes with correct accounting even if *every* worker dies.
+//! Stranded-work races (a worker re-homes items after its siblings decided
+//! the queues were empty and exited) are covered the same way: if no result
+//! arrives within a grace period, the main thread computes the next needed
+//! item itself and ignores any late duplicate result.
+
+use crossbeam::channel::{bounded, RecvTimeoutError, TryRecvError, TrySendError};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Items handed to workers per feed message; small enough that stealing has
+/// work to balance, large enough to amortise channel traffic.
+const FEED_BATCH: usize = 4;
+
+/// How long the consumer waits for a worker result for the next needed item
+/// before computing it on the main thread. Generous compared to a CHECK
+/// (microseconds to low milliseconds) so it only fires on genuine worker
+/// loss or stranding, not on slow items.
+const STARVATION_GRACE: Duration = Duration::from_millis(100);
+
+/// Consumer verdict after each item: keep scanning or cancel the rest.
+pub(crate) enum ScanControl {
+    Continue,
+    Stop,
+}
+
+/// What the pool delivers to the consumer for one item, in input order.
+pub(crate) enum Consumed<R> {
+    /// A worker evaluated the item; here is its result.
+    Done(R),
+    /// The pool could not produce this item's result (the evaluating worker
+    /// panicked, or the result did not arrive within the grace period). The
+    /// consumer must evaluate the item itself on the main thread.
+    Fallback,
+}
+
+/// Scan summary returned by [`speculative_scan`]. The counter fields are
+/// diagnostics, asserted on by the pool's own tests.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) struct ScanOutcome<S> {
+    /// Worker states that survived the scan (panicked workers' states are
+    /// dropped as poisoned). Length ≤ the number of workers spawned.
+    pub states: Vec<S>,
+    /// Worker panics observed (per poisoned item, not per worker exit).
+    pub panics: usize,
+    /// Items delivered as [`Consumed::Fallback`].
+    pub fallbacks: usize,
+    /// Items consumed before the scan ended.
+    pub consumed: usize,
+}
+
+/// Evaluates `items` on `threads` workers, consuming results in input
+/// order. See the module docs for the contract; `work` must be pure apart
+/// from its `&mut S` scratch (same item + equivalent state ⇒ same result).
+pub(crate) fn speculative_scan<T, S, R>(
+    threads: usize,
+    items: &[T],
+    states: Vec<S>,
+    work: impl Fn(&mut S, usize, &T) -> R + Sync,
+    mut consume: impl FnMut(usize, Consumed<R>) -> ScanControl,
+) -> ScanOutcome<S>
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+{
+    let total = items.len();
+    assert!(threads >= 2, "parallel scan needs at least two workers");
+    assert_eq!(states.len(), threads, "one state per worker");
+    if total == 0 {
+        return ScanOutcome {
+            states,
+            panics: 0,
+            fallbacks: 0,
+            consumed: 0,
+        };
+    }
+
+    let window = threads * FEED_BATCH * 2;
+    let (feed_tx, feed_rx) = bounded::<Vec<usize>>(threads);
+    let (res_tx, res_rx) = bounded::<(usize, Result<R, ()>)>(total + threads);
+    let cancel = AtomicBool::new(false);
+    let overflow = Injector::<usize>::new();
+    let locals: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+
+    let work = &work;
+    let cancel = &cancel;
+    let overflow = &overflow;
+    let stealers = &stealers;
+
+    let scope_result = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (wi, (local, state)) in locals.into_iter().zip(states).enumerate() {
+            let feed_rx = feed_rx.clone();
+            let res_tx = res_tx.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut state = state;
+                let mut disconnected = false;
+                loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        return Some(state);
+                    }
+                    // Task acquisition, cheapest source first: own deque,
+                    // re-homed overflow, fresh feed batch, sibling steal.
+                    let next = local
+                        .pop()
+                        .or_else(|| steal_settled(|| overflow.steal()))
+                        .or_else(|| match feed_rx.try_recv() {
+                            Ok(batch) => {
+                                let mut it = batch.into_iter();
+                                let first = it.next();
+                                for i in it {
+                                    local.push(i);
+                                }
+                                first
+                            }
+                            Err(TryRecvError::Disconnected) => {
+                                disconnected = true;
+                                None
+                            }
+                            Err(TryRecvError::Empty) => None,
+                        })
+                        .or_else(|| {
+                            stealers
+                                .iter()
+                                .enumerate()
+                                .filter(|&(si, _)| si != wi)
+                                .find_map(|(_, s)| s.steal_until_settled())
+                        });
+                    match next {
+                        Some(idx) => {
+                            let hit = catch_unwind(AssertUnwindSafe(|| {
+                                work(&mut state, idx, &items[idx])
+                            }));
+                            match hit {
+                                Ok(r) => {
+                                    let _ = res_tx.try_send((idx, Ok(r)));
+                                }
+                                Err(_) => {
+                                    // Poisoned state: report, re-home the
+                                    // local queue, and retire this worker.
+                                    let _ = res_tx.try_send((idx, Err(())));
+                                    while let Some(i) = local.pop() {
+                                        overflow.push(i);
+                                    }
+                                    return None;
+                                }
+                            }
+                        }
+                        None if disconnected => return Some(state),
+                        None => match feed_rx.recv_timeout(Duration::from_millis(1)) {
+                            Ok(batch) => {
+                                for i in batch {
+                                    local.push(i);
+                                }
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                        },
+                    }
+                }
+            }));
+        }
+        drop(feed_rx);
+        drop(res_tx);
+
+        // Drive: feed ahead within the window, consume in order, fall back
+        // to local computation when the pool cannot deliver.
+        let mut buffer: Vec<Option<Consumed<R>>> = Vec::with_capacity(total);
+        buffer.resize_with(total, || None);
+        let mut next_feed = 0usize;
+        let mut next_consume = 0usize;
+        let mut panics = 0usize;
+        let mut fallbacks = 0usize;
+        let mut stopped = false;
+
+        'drive: while next_consume < total {
+            // `saturating_sub`: fallback consumption can overtake the feed
+            // cursor when the pool is dead and feeding has stopped.
+            while next_feed < total && next_feed.saturating_sub(next_consume) < window {
+                let end = (next_feed + FEED_BATCH).min(total);
+                match feed_tx.try_send((next_feed..end).collect()) {
+                    Ok(()) => next_feed = end,
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            while let Some(c) = buffer[next_consume].take() {
+                if matches!(c, Consumed::Fallback) {
+                    fallbacks += 1;
+                }
+                let ctrl = consume(next_consume, c);
+                next_consume += 1;
+                if matches!(ctrl, ScanControl::Stop) {
+                    stopped = true;
+                }
+                if stopped || next_consume >= total {
+                    break 'drive;
+                }
+            }
+            match res_rx.recv_timeout(STARVATION_GRACE) {
+                Ok((idx, res)) => {
+                    if res.is_err() {
+                        panics += 1;
+                    }
+                    if idx >= next_consume && buffer[idx].is_none() {
+                        buffer[idx] = Some(match res {
+                            Ok(r) => Consumed::Done(r),
+                            Err(()) => Consumed::Fallback,
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    // Starved (stranded item or dead pool): compute the
+                    // next needed item locally; late duplicates are ignored
+                    // by the `idx >= next_consume` guard above.
+                    if buffer[next_consume].is_none() {
+                        buffer[next_consume] = Some(Consumed::Fallback);
+                    }
+                }
+            }
+        }
+
+        cancel.store(true, Ordering::Relaxed);
+        drop(feed_tx);
+        let mut states = Vec::with_capacity(threads);
+        for h in handles {
+            match h.join() {
+                Ok(Some(s)) => states.push(s),
+                Ok(None) => {}
+                Err(_) => panics += 1,
+            }
+        }
+        ScanOutcome {
+            states,
+            panics,
+            fallbacks,
+            consumed: next_consume,
+        }
+    });
+    match scope_result {
+        Ok(outcome) => outcome,
+        // A panic in `consume` (main-thread callback) propagates.
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Retries a [`Steal`] source through `Retry` contention until it settles.
+fn steal_settled<T>(mut source: impl FnMut() -> Steal<T>) -> Option<T> {
+    loop {
+        match source() {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => return None,
+            Steal::Retry => std::thread::yield_now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    fn run_scan(
+        threads: usize,
+        n: usize,
+        stop_at: Option<usize>,
+        panic_on: &[usize],
+        sleep_us: impl Fn(usize) -> u64 + Sync,
+    ) -> (Vec<usize>, Vec<bool>, ScanOutcome<usize>) {
+        let items: Vec<usize> = (0..n).collect();
+        let panic_on: std::collections::HashSet<usize> = panic_on.iter().copied().collect();
+        let consumed_order = Mutex::new(Vec::new());
+        let fallback_flags = Mutex::new(Vec::new());
+        let outcome = speculative_scan(
+            threads,
+            &items,
+            vec![0usize; threads],
+            |state, idx, item| {
+                *state += 1;
+                if sleep_us(idx) > 0 {
+                    std::thread::sleep(Duration::from_micros(sleep_us(idx)));
+                }
+                if panic_on.contains(&idx) {
+                    panic!("injected worker fault at {idx}");
+                }
+                item * 10
+            },
+            |idx, c| {
+                consumed_order.lock().unwrap().push(idx);
+                let is_fallback = matches!(c, Consumed::Fallback);
+                if let Consumed::Done(r) = c {
+                    assert_eq!(r, idx * 10, "result routed to wrong index");
+                }
+                fallback_flags.lock().unwrap().push(is_fallback);
+                match stop_at {
+                    Some(s) if idx == s => ScanControl::Stop,
+                    _ => ScanControl::Continue,
+                }
+            },
+        );
+        (
+            consumed_order.into_inner().unwrap(),
+            fallback_flags.into_inner().unwrap(),
+            outcome,
+        )
+    }
+
+    #[test]
+    fn consumes_every_item_in_input_order() {
+        for threads in [2, 4] {
+            let (order, _, outcome) = run_scan(threads, 97, None, &[], |_| 0);
+            assert_eq!(order, (0..97).collect::<Vec<_>>());
+            assert_eq!(outcome.consumed, 97);
+            assert_eq!(outcome.panics, 0);
+            assert_eq!(outcome.states.len(), threads);
+            // Every item ran exactly once on some worker (no fallbacks).
+            assert_eq!(outcome.states.iter().sum::<usize>(), 97);
+        }
+    }
+
+    #[test]
+    fn stop_cancels_the_scan_early() {
+        let (order, _, outcome) = run_scan(4, 500, Some(20), &[], |_| 5);
+        assert_eq!(order, (0..=20).collect::<Vec<_>>());
+        assert_eq!(outcome.consumed, 21);
+        // Speculation is bounded by the feed window, not the item count.
+        let evaluated: usize = outcome.states.iter().sum();
+        assert!(
+            evaluated < 200,
+            "runaway speculation: {evaluated} items evaluated for a stop at 20"
+        );
+    }
+
+    #[test]
+    fn panicked_items_fall_back_and_accounting_stays_exact() {
+        let (order, flags, outcome) = run_scan(4, 60, None, &[7, 8, 31], |_| 2);
+        assert_eq!(order, (0..60).collect::<Vec<_>>());
+        assert_eq!(outcome.panics, 3);
+        assert!(outcome.fallbacks >= 3, "panicked items must fall back");
+        for &idx in &[7usize, 8, 31] {
+            assert!(flags[idx], "item {idx} must be delivered as Fallback");
+        }
+        // Three workers died; their states are dropped as poisoned.
+        assert_eq!(outcome.states.len(), 1);
+    }
+
+    #[test]
+    fn survives_every_worker_dying() {
+        // Panics on early indices kill all workers; the main thread must
+        // finish the scan alone via fallback.
+        let (order, flags, outcome) = run_scan(2, 30, None, &[0, 1], |_| 0);
+        assert_eq!(order, (0..30).collect::<Vec<_>>());
+        assert_eq!(outcome.states.len(), 0, "both workers must retire");
+        assert_eq!(outcome.panics, 2);
+        // The poisoned items themselves always fall back; the survivor
+        // worker may finish others before it hits the re-homed second
+        // poison, but everything after the pool dies falls back too.
+        assert!(flags[0] && flags[1]);
+        assert!(outcome.fallbacks >= 2);
+    }
+
+    #[test]
+    fn shutdown_steal_interleaving_stress() {
+        // Hammer the shutdown/steal race: random per-item delays, early
+        // stops at varying points, and a mid-scan panic. Every iteration
+        // must preserve in-order consumption and terminate.
+        for seed in 0..12u64 {
+            let stop = (seed as usize * 7) % 40;
+            let panic_at = if seed % 3 == 0 {
+                vec![stop / 2]
+            } else {
+                vec![]
+            };
+            let (order, _, _) = run_scan(3, 40, Some(stop), &panic_at, move |idx| {
+                // Deterministic pseudo-random stagger from the seed.
+                (idx as u64).wrapping_mul(seed.wrapping_add(17)) % 37
+            });
+            assert_eq!(order, (0..=stop).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn consumer_panic_propagates() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            speculative_scan(
+                2,
+                &items,
+                vec![(), ()],
+                |_, _, item| *item,
+                |idx, _| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    if idx == 3 {
+                        panic!("consumer failure");
+                    }
+                    ScanControl::Continue
+                },
+            )
+        }));
+        assert!(result.is_err());
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

@@ -67,33 +67,47 @@ pub fn powerset<G: GraphView>(
                 .expect("contributions are finite")
                 .then_with(|| a.0.cmp(&b.0))
         });
+        // Line 24: only subsets whose combined contribution closes the gap
+        // are worth a CHECK. Sorted descending by sum, the qualifying
+        // subsets are a prefix of this size's list; they are independent
+        // pure checks, so the (possibly parallel) in-order scan below is
+        // exactly the sequential per-combo loop.
+        let slack = crate::search::tau_slack(space.tau);
+        let mut sets: Vec<Vec<Action>> = Vec::new();
+        let mut margins: Vec<f64> = Vec::new();
         for (idx, sum) in combos {
-            // Line 24: only subsets whose combined contribution closes the
-            // gap are worth a CHECK.
-            if space.tau - sum > crate::search::tau_slack(space.tau) {
-                // Sorted descending by sum: the rest of this size cannot
-                // close the gap either.
-                continue 'sizes;
+            if space.tau - sum > slack {
+                break; // the rest of this size cannot close the gap either
             }
+            margins.push(space.tau - sum);
+            sets.push(
+                idx.iter()
+                    .map(|&i| to_action(space.mode, ctx.user, pool[i]))
+                    .collect(),
+            );
+        }
+        let scan = tester.first_passing(&sets, |i| {
             if tester.budget_exhausted() {
                 budget_hit = true;
-                break 'sizes;
+                crate::tester::PreCheck::Stop
+            } else {
+                // This subset's combined contribution crossed τ: a CHECK
+                // fires.
+                ctx.obs.trace_crossing(enumerated as u64, margins[i]);
+                crate::tester::PreCheck::Proceed
             }
-            // This subset's combined contribution crossed τ: a CHECK fires.
-            ctx.obs.trace_crossing(enumerated as u64, space.tau - sum);
-            let actions: Vec<Action> = idx
-                .iter()
-                .map(|&i| to_action(space.mode, ctx.user, pool[i]))
-                .collect();
-            if tester.test(&actions) {
-                return Ok(Explanation {
-                    mode: Some(space.mode),
-                    actions,
-                    new_top: ctx.wni,
-                    checks_performed: tester.checks_performed(),
-                    verified: true,
-                });
-            }
+        });
+        if let Some(i) = scan.found {
+            return Ok(Explanation {
+                mode: Some(space.mode),
+                actions: sets.swap_remove(i),
+                new_top: ctx.wni,
+                checks_performed: tester.checks_performed(),
+                verified: true,
+            });
+        }
+        if scan.stopped {
+            break 'sizes;
         }
     }
 

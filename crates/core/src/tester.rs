@@ -12,12 +12,21 @@
 //! derives each counterfactual PPR vector from the user's base-graph push
 //! state via residual repair ([`emigre_ppr::dynamic`]) instead of pushing
 //! from scratch.
+//!
+//! The verification core lives in [`run_check`], a pure function of the
+//! shared question inputs ([`CheckShared`]) and one mutable scratch
+//! ([`CheckState`]): no observability, no budget, no interior mutability.
+//! That purity is what lets [`Tester::first_passing`] fan candidate sets
+//! across worker threads ([`crate::parallel`]) and still merge results in
+//! input order with bit-identical verdicts, counters, and traces.
 
-use crate::context::ExplainContext;
+use crate::config::EmigreConfig;
+use crate::context::{CheckState, ExplainContext};
 use crate::explanation::{actions_to_delta, actions_to_trace, Action};
-use emigre_hin::{GraphView, NodeId};
+use crate::parallel::{speculative_scan, Consumed, ScanControl};
+use emigre_hin::{GraphDelta, GraphView, NodeId};
 use emigre_obs::Op;
-use emigre_ppr::TransitionKernel;
+use emigre_ppr::{RowKey, TransitionCsr, TransitionKernel};
 use emigre_rec::RecList;
 use std::cell::Cell;
 
@@ -26,6 +35,218 @@ use std::cell::Cell;
 /// the fresh and the residual-repaired push states.
 pub fn score_floor(cfg: &crate::config::EmigreConfig) -> f64 {
     cfg.rec.ppr.epsilon * 10.0
+}
+
+/// The read-only question inputs a CHECK needs, detached from
+/// [`ExplainContext`]'s interior-mutable cells so worker threads can share
+/// one copy (`G: GraphView` implies `Sync`).
+#[derive(Clone, Copy)]
+pub(crate) struct CheckShared<'a, G: GraphView> {
+    graph: &'a G,
+    cfg: &'a EmigreConfig,
+    kernel: &'a TransitionCsr,
+    user: NodeId,
+    wni: NodeId,
+}
+
+impl<'a, G: GraphView> CheckShared<'a, G> {
+    pub(crate) fn of(ctx: &'a ExplainContext<'_, G>) -> Self {
+        CheckShared {
+            graph: ctx.graph,
+            cfg: &ctx.cfg,
+            kernel: &ctx.kernel,
+            user: ctx.user,
+            wni: ctx.wni,
+        }
+    }
+}
+
+/// What one CHECK produced: the verdict plus the counter deltas the caller
+/// replays into observability (in consumption order, so parallel traces
+/// match sequential ones exactly).
+pub(crate) struct CheckOutcome {
+    pub(crate) verdict: bool,
+    pub(crate) pushes: u64,
+    pub(crate) drained: f64,
+    pub(crate) rows_patched: u64,
+    pub(crate) index_hits: u64,
+}
+
+/// Per-source signatures of a counterfactual delta: the patched transition
+/// row of a node depends only on its base row and the delta edges rooted at
+/// it, so those edges — sorted canonically — key the context's
+/// [`emigre_ppr::RowCache`]. The user's own row is excluded (`None`): every
+/// action is rooted at the user, so that row differs per candidate subset
+/// and could never hit.
+/// Canonical signature of one delta edge:
+/// `(src, dst, edge type, weight bits, added?)`.
+type EdgeSig = (u32, u32, u16, u64, bool);
+
+struct DeltaSignatures {
+    by_src: Vec<(u32, EdgeSig)>,
+    user: u32,
+}
+
+impl DeltaSignatures {
+    fn new(delta: &GraphDelta, user: NodeId) -> Self {
+        let mut by_src = Vec::with_capacity(delta.added().len() + delta.removed().len());
+        for a in delta.added() {
+            let k = a.key;
+            by_src.push((
+                k.src.0,
+                (k.src.0, k.dst.0, k.etype.0, a.weight.to_bits(), true),
+            ));
+        }
+        for r in delta.removed() {
+            by_src.push((r.src.0, (r.src.0, r.dst.0, r.etype.0, 0, false)));
+        }
+        by_src.sort_unstable();
+        DeltaSignatures {
+            by_src,
+            user: user.0,
+        }
+    }
+
+    fn get(&self, u: NodeId) -> Option<RowKey> {
+        if u.0 == self.user {
+            return None;
+        }
+        let lo = self.by_src.partition_point(|e| e.0 < u.0);
+        let hi = self.by_src.partition_point(|e| e.0 <= u.0);
+        Some(self.by_src[lo..hi].iter().map(|e| e.1).collect())
+    }
+}
+
+/// The TEST function of the paper: does applying `actions` make the Why-Not
+/// item the top-1 recommendation?
+///
+/// Uses **staged precision**: the counterfactual push runs at a coarse
+/// threshold first, and the decision is returned as soon as the residual
+/// bound proves it — `PPR ∈ [p − R, p + R]` with `R = Σ|residual|` (from
+/// the Eq. 3 invariant with `PPR(x,t) ≤ 1`), so once the Why-Not item's
+/// interval clears (or is cleared by) every competitor's interval, pushing
+/// further cannot change the answer. Undecidable cases fall through to the
+/// full-precision comparison, which matches
+/// [`Tester::recommendation_after`] exactly.
+///
+/// The check is **allocation-free in the graph size**: the push runs in a
+/// reusable [`emigre_ppr::PushWorkspace`] over the precomputed flat kernel
+/// with only the delta's rows patched — endpoint rows replayed from the
+/// state's [`emigre_ppr::RowCache`] when an earlier CHECK already built
+/// them — and is rolled back through an undo log. No push-state clone, no
+/// per-call `O(n)` vectors, no full residual scans.
+pub(crate) fn run_check<G: GraphView>(
+    shared: &CheckShared<'_, G>,
+    state: &mut CheckState,
+    actions: &[Action],
+) -> CheckOutcome {
+    check_fault::trip();
+    let cfg = shared.cfg;
+    let delta = actions_to_delta(actions, cfg);
+    let view = delta.overlay(shared.graph);
+    let target_eps = cfg.rec.ppr.epsilon;
+    let floor = score_floor(cfg);
+    let wni = shared.wni;
+    let touched = delta.touched_sources();
+    let sigs = DeltaSignatures::new(&delta, shared.user);
+
+    let CheckState { ws, cand, rows } = state;
+    let patched = shared
+        .kernel
+        .patched_cached(&view, &touched, rows, |u| sigs.get(u));
+    cand.apply_delta(shared.user, &delta, &view);
+
+    // Per-CHECK counter baseline: the workspace tallies pushes/drained
+    // cumulatively, so the delta after rollback is this check's cost.
+    let pushes_before = ws.pushes();
+    let drained_before = ws.mass_drained();
+    let mut index_hits = 0u64;
+
+    let verdict = 'verdict: {
+        if cand.is_interacted(wni) {
+            break 'verdict false; // an interacted item can never be recommended
+        }
+
+        // Counterfactual push state: repaired residuals (dynamic) or a
+        // fresh seed, pushed in stages of decreasing ε.
+        if cfg.dynamic_test {
+            for &u in &touched {
+                ws.repair_row_change(
+                    &cfg.rec.ppr,
+                    u,
+                    shared.kernel.forward_row(u),
+                    patched.forward_row(u),
+                );
+            }
+        } else {
+            ws.add_residual(shared.user, 1.0);
+        }
+
+        let mut eps = 1e-3_f64.max(target_eps);
+        loop {
+            ws.push_stage(&patched, &cfg.rec.ppr, eps);
+            let r = ws.residual_mass();
+            let p_wni = ws.estimate(wni);
+            if p_wni + r <= floor {
+                break 'verdict false; // cannot clear the recommendability floor
+            }
+            // Strongest competitor among valid candidates.
+            index_hits += cand.items().len() as u64;
+            let mut best_other = f64::NEG_INFINITY;
+            for &n in cand.items() {
+                if n != wni && !cand.is_interacted(n) {
+                    best_other = best_other.max(ws.estimate(n));
+                }
+            }
+            if best_other - r > p_wni + r && best_other - r > floor {
+                break 'verdict false; // some competitor provably wins
+            }
+            if p_wni - r > floor && p_wni - r > best_other + r {
+                break 'verdict true; // WNI provably wins
+            }
+            if eps <= target_eps {
+                break; // fully converged yet numerically undecided: ties
+            }
+            eps = (eps * 0.03).max(target_eps);
+        }
+
+        // Tie region at target precision: replicate the exact ranking
+        // rule (floor + score-desc + id-asc) of `recommendation_after`.
+        index_hits += cand.items().len() as u64;
+        let scores = ws.estimates();
+        let candidates = cand
+            .items()
+            .iter()
+            .copied()
+            .filter(|&n| scores[n.index()] > floor && !cand.is_interacted(n));
+        RecList::from_scores(scores, candidates, 1).top() == Some(wni)
+    };
+
+    ws.rollback();
+    cand.revert();
+    CheckOutcome {
+        verdict,
+        pushes: (ws.pushes() - pushes_before) as u64,
+        drained: ws.mass_drained() - drained_before,
+        rows_patched: touched.len() as u64,
+        index_hits,
+    }
+}
+
+/// Caller-side gate run before each candidate in [`Tester::first_passing`],
+/// in input order: the algorithm's budget/trace bookkeeping. `Stop` aborts
+/// the scan (budget exhausted) exactly as a sequential `break` would.
+pub enum PreCheck {
+    Proceed,
+    Stop,
+}
+
+/// Result of [`Tester::first_passing`].
+pub struct FirstPass {
+    /// Index of the first candidate set whose CHECK passed.
+    pub found: Option<usize>,
+    /// The pre-check gate stopped the scan before any set passed.
+    pub stopped: bool,
 }
 
 /// Verifies candidate action sets for one Why-Not question.
@@ -52,115 +273,113 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         self.checks.get() >= self.ctx.cfg.max_checks
     }
 
-    /// The TEST function of the paper: does applying `actions` make the
-    /// Why-Not item the top-1 recommendation?
-    ///
-    /// Uses **staged precision**: the counterfactual push runs at a coarse
-    /// threshold first, and the decision is returned as soon as the
-    /// residual bound proves it — `PPR ∈ [p − R, p + R]` with
-    /// `R = Σ|residual|` (from the Eq. 3 invariant with `PPR(x,t) ≤ 1`),
-    /// so once the Why-Not item's interval clears (or is cleared by) every
-    /// competitor's interval, pushing further cannot change the answer.
-    /// Undecidable cases fall through to the full-precision comparison,
-    /// which matches [`Self::recommendation_after`] exactly.
-    /// The check is **allocation-free in the graph size**: the push runs in
-    /// the context's reusable [`emigre_ppr::PushWorkspace`] over the
-    /// precomputed flat kernel with only the delta's rows patched, and is
-    /// rolled back through an undo log — no push-state clone, no per-call
-    /// `O(n)` vectors, no full residual scans.
+    /// Runs one CHECK through the context's scratch state and records its
+    /// cost (see [`run_check`] for the verification semantics).
     pub fn test(&self, actions: &[Action]) -> bool {
         self.checks.set(self.checks.get() + 1);
-        let ctx = self.ctx;
-        let delta = actions_to_delta(actions, &ctx.cfg);
-        let view = delta.overlay(ctx.graph);
-        let target_eps = ctx.cfg.rec.ppr.epsilon;
-        let floor = score_floor(&ctx.cfg);
-        let wni = ctx.wni;
-        let touched = delta.touched_sources();
-        let patched = ctx.kernel.patched(&view, &touched);
-
-        let mut check = ctx.check.borrow_mut();
-        let crate::context::CheckState { ws, cand } = &mut *check;
-        cand.apply_delta(ctx.user, &delta, &view);
-
-        // Per-CHECK counter baseline: the workspace tallies pushes/drained
-        // cumulatively, so the delta after rollback is this check's cost.
-        let pushes_before = ws.pushes();
-        let drained_before = ws.mass_drained();
-        let mut index_hits = 0u64;
-
-        let verdict = 'verdict: {
-            if cand.is_interacted(wni) {
-                break 'verdict false; // an interacted item can never be recommended
-            }
-
-            // Counterfactual push state: repaired residuals (dynamic) or a
-            // fresh seed, pushed in stages of decreasing ε.
-            if ctx.cfg.dynamic_test {
-                for &u in &touched {
-                    ws.repair_row_change(
-                        &ctx.cfg.rec.ppr,
-                        u,
-                        ctx.kernel.forward_row(u),
-                        patched.forward_row(u),
-                    );
-                }
-            } else {
-                ws.add_residual(ctx.user, 1.0);
-            }
-
-            let mut eps = 1e-3_f64.max(target_eps);
-            loop {
-                ws.push_stage(&patched, &ctx.cfg.rec.ppr, eps);
-                let r = ws.residual_mass();
-                let p_wni = ws.estimate(wni);
-                if p_wni + r <= floor {
-                    break 'verdict false; // cannot clear the recommendability floor
-                }
-                // Strongest competitor among valid candidates.
-                index_hits += cand.items().len() as u64;
-                let mut best_other = f64::NEG_INFINITY;
-                for &n in cand.items() {
-                    if n != wni && !cand.is_interacted(n) {
-                        best_other = best_other.max(ws.estimate(n));
-                    }
-                }
-                if best_other - r > p_wni + r && best_other - r > floor {
-                    break 'verdict false; // some competitor provably wins
-                }
-                if p_wni - r > floor && p_wni - r > best_other + r {
-                    break 'verdict true; // WNI provably wins
-                }
-                if eps <= target_eps {
-                    break; // fully converged yet numerically undecided: ties
-                }
-                eps = (eps * 0.03).max(target_eps);
-            }
-
-            // Tie region at target precision: replicate the exact ranking
-            // rule (floor + score-desc + id-asc) of `recommendation_after`.
-            index_hits += cand.items().len() as u64;
-            let scores = ws.estimates();
-            let candidates = cand
-                .items()
-                .iter()
-                .copied()
-                .filter(|&n| scores[n.index()] > floor && !cand.is_interacted(n));
-            RecList::from_scores(scores, candidates, 1).top() == Some(wni)
+        let shared = CheckShared::of(self.ctx);
+        let outcome = {
+            let mut check = self.ctx.check.borrow_mut();
+            run_check(&shared, &mut check, actions)
         };
+        self.record(actions, &outcome);
+        outcome.verdict
+    }
 
-        ws.rollback();
-        cand.revert();
+    /// Replays a CHECK's cost and trace into observability. Called in
+    /// consumption order by both the sequential and the parallel path, so
+    /// traces and counters are independent of evaluation order.
+    fn record(&self, actions: &[Action], outcome: &CheckOutcome) {
+        let ctx = self.ctx;
         if ctx.obs.is_enabled() {
             let obs = &ctx.obs;
             obs.count(Op::Checks, 1);
-            obs.count(Op::ForwardPushes, (ws.pushes() - pushes_before) as u64);
-            obs.add_mass(ws.mass_drained() - drained_before);
-            obs.count(Op::RowsPatched, touched.len() as u64);
-            obs.count(Op::CandidateIndexHits, index_hits);
-            obs.trace_test(actions_to_trace(actions), verdict);
+            obs.count(Op::ForwardPushes, outcome.pushes);
+            obs.add_mass(outcome.drained);
+            obs.count(Op::RowsPatched, outcome.rows_patched);
+            obs.count(Op::CandidateIndexHits, outcome.index_hits);
+            obs.trace_test(actions_to_trace(actions), outcome.verdict);
         }
-        verdict
+    }
+
+    /// Scans `sets` in order — `pre(i)`, then CHECK — returning the index
+    /// of the first passing set, exactly like the sequential loop
+    ///
+    /// ```text
+    /// for (i, s) in sets { if pre(i) == Stop { break } if test(s) { return i } }
+    /// ```
+    ///
+    /// When the config's `parallelism` resolves to ≥ 2 workers and there is
+    /// more than one set, the CHECKs are evaluated speculatively on a
+    /// work-stealing pool ([`crate::parallel::speculative_scan`]) while
+    /// this thread consumes outcomes in input order; verdicts, budget
+    /// accounting, counters, and traces are bit-identical to the sequential
+    /// scan at any thread count.
+    pub fn first_passing(
+        &self,
+        sets: &[Vec<Action>],
+        mut pre: impl FnMut(usize) -> PreCheck,
+    ) -> FirstPass {
+        let threads = self.ctx.cfg.effective_parallelism().min(sets.len());
+        if threads < 2 {
+            for (i, actions) in sets.iter().enumerate() {
+                if matches!(pre(i), PreCheck::Stop) {
+                    return FirstPass {
+                        found: None,
+                        stopped: true,
+                    };
+                }
+                if self.test(actions) {
+                    return FirstPass {
+                        found: Some(i),
+                        stopped: false,
+                    };
+                }
+            }
+            return FirstPass {
+                found: None,
+                stopped: false,
+            };
+        }
+
+        let ctx = self.ctx;
+        let shared = CheckShared::of(ctx);
+        let states = ctx.take_check_states(threads);
+        let span = ctx.obs.span("check_parallel");
+        let mut found = None;
+        let mut stopped = false;
+        let outcome = speculative_scan(
+            threads,
+            sets,
+            states,
+            |state, _idx, actions: &Vec<Action>| run_check(&shared, state, actions),
+            |i, consumed| {
+                if matches!(pre(i), PreCheck::Stop) {
+                    stopped = true;
+                    return ScanControl::Stop;
+                }
+                let verdict = match consumed {
+                    Consumed::Done(out) => {
+                        self.checks.set(self.checks.get() + 1);
+                        self.record(&sets[i], &out);
+                        out.verdict
+                    }
+                    // Worker lost (panic or stranding): the sequential
+                    // path recomputes on the context's own state, with
+                    // budget and trace accounting exactly as usual.
+                    Consumed::Fallback => self.test(&sets[i]),
+                };
+                if verdict {
+                    found = Some(i);
+                    ScanControl::Stop
+                } else {
+                    ScanControl::Continue
+                }
+            },
+        );
+        drop(span);
+        ctx.return_check_states(outcome.states);
+        FirstPass { found, stopped }
     }
 
     /// Top-1 recommendation on the counterfactual graph (also used by the
@@ -176,10 +395,13 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         let delta = actions_to_delta(actions, &ctx.cfg);
         let view = delta.overlay(ctx.graph);
         let touched = delta.touched_sources();
-        let patched = ctx.kernel.patched(&view, &touched);
+        let sigs = DeltaSignatures::new(&delta, ctx.user);
 
         let mut check = ctx.check.borrow_mut();
-        let crate::context::CheckState { ws, cand } = &mut *check;
+        let CheckState { ws, cand, rows } = &mut *check;
+        let patched = ctx
+            .kernel
+            .patched_cached(&view, &touched, rows, |u| sigs.get(u));
         cand.apply_delta(ctx.user, &delta, &view);
         let pushes_before = ws.pushes();
         let drained_before = ws.mass_drained();
@@ -224,6 +446,38 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
             obs.count(Op::CandidateIndexHits, cand.items().len() as u64);
         }
         list
+    }
+}
+
+/// Test-only CHECK fault injection, reachable from integration tests in
+/// other crates (hence compiled in, but disarmed: one relaxed atomic
+/// decrement per CHECK, never tripping from the sentinel). Arm it to make
+/// the `n`-th subsequent CHECK panic wherever it runs — on a pool worker
+/// or inline — to exercise the fallback path end to end.
+#[doc(hidden)]
+pub mod check_fault {
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    /// `i64::MIN` wraps to `i64::MAX` on the first decrement, so the
+    /// disarmed countdown cannot reach zero in any realistic run.
+    static COUNTDOWN: AtomicI64 = AtomicI64::new(i64::MIN);
+
+    /// Panics the `n`-th CHECK from now (0-based). The panic fires once:
+    /// later CHECKs (including the fallback re-run of the same subset)
+    /// see a negative countdown and proceed normally.
+    pub fn arm(n: i64) {
+        COUNTDOWN.store(n, Ordering::SeqCst);
+    }
+
+    /// Returns to the never-fires sentinel.
+    pub fn disarm() {
+        COUNTDOWN.store(i64::MIN, Ordering::SeqCst);
+    }
+
+    pub(crate) fn trip() {
+        if COUNTDOWN.fetch_sub(1, Ordering::Relaxed) == 0 {
+            panic!("injected CHECK fault");
+        }
     }
 }
 
@@ -433,5 +687,90 @@ mod tests {
         tester.test(&[]);
         tester.test(&[]);
         assert!(tester.budget_exhausted());
+    }
+
+    /// All eight subsets of the fixture's action pool, as candidate sets
+    /// for `first_passing` (the empty set first, so early indices fail).
+    fn all_subsets(f: &Fixture) -> Vec<Vec<Action>> {
+        let pool = [
+            Action::remove(EdgeKey::new(f.u, NodeId(2), f.rated), 1.0), // "other"
+            Action::remove(EdgeKey::new(f.u, f.pivot, f.rated), 1.0),
+            Action::add(EdgeKey::new(f.u, f.bridge, f.rated), 1.0),
+        ];
+        (0u32..(1 << pool.len()))
+            .map(|mask| {
+                pool.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, a)| *a)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_passing_matches_sequential_at_any_thread_count() {
+        let f = fixture();
+        let sets = {
+            let ctx = ExplainContext::build(&f.g, f.cfg.clone(), f.u, f.wni).unwrap();
+            drop(ctx);
+            all_subsets(&f)
+        };
+        let mut reference: Option<(Option<usize>, usize)> = None;
+        for threads in [1usize, 2, 8] {
+            let cfg = f.cfg.clone().with_parallelism(threads);
+            let ctx = ExplainContext::build(&f.g, cfg, f.u, f.wni).unwrap();
+            let tester = Tester::new(&ctx);
+            let fp = tester.first_passing(&sets, |_| PreCheck::Proceed);
+            assert!(!fp.stopped);
+            let got = (fp.found, tester.checks_performed());
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "divergence at {threads} threads"),
+            }
+        }
+        let (found, checks) = reference.unwrap();
+        let idx = found.expect("some subset flips the recommendation");
+        assert!(idx > 0, "the empty set cannot pass");
+        assert_eq!(checks, idx + 1, "budget must count consumed checks only");
+    }
+
+    #[test]
+    fn first_passing_honours_the_pre_gate() {
+        let f = fixture();
+        let sets = all_subsets(&f);
+        for threads in [1usize, 4] {
+            let cfg = f.cfg.clone().with_parallelism(threads);
+            let ctx = ExplainContext::build(&f.g, cfg, f.u, f.wni).unwrap();
+            let tester = Tester::new(&ctx);
+            let fp = tester.first_passing(&sets, |i| {
+                if i == 1 {
+                    PreCheck::Stop
+                } else {
+                    PreCheck::Proceed
+                }
+            });
+            assert!(fp.stopped, "gate at index 1 must stop the scan");
+            assert_eq!(fp.found, None);
+            assert_eq!(tester.checks_performed(), 1, "only index 0 was checked");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_reuses_and_returns_worker_states() {
+        let f = fixture();
+        let cfg = f.cfg.clone().with_parallelism(4);
+        let ctx = ExplainContext::build(&f.g, cfg, f.u, f.wni).unwrap();
+        let tester = Tester::new(&ctx);
+        let sets = all_subsets(&f);
+        tester.first_passing(&sets, |_| PreCheck::Proceed);
+        let spare_after_first = ctx.spare_states.borrow().len();
+        assert!(spare_after_first > 0, "worker states must be recycled");
+        tester.first_passing(&sets, |_| PreCheck::Proceed);
+        assert_eq!(
+            ctx.spare_states.borrow().len(),
+            spare_after_first,
+            "second fan-out must reuse the spare pool, not grow it"
+        );
     }
 }

@@ -13,7 +13,11 @@ use crate::types::{EdgeTypeId, NodeId, NodeTypeId, TypeRegistry};
 /// rather than returned iterators: overlay views splice several underlying
 /// edge sources together and a monomorphised closure keeps the hot PPR push
 /// loops free of boxing and dynamic dispatch.
-pub trait GraphView {
+///
+/// Views are `Sync`: the parallel CHECK path shares one `&G` across its
+/// worker threads, and every implementation is plain immutable data. An
+/// implementation needing interior mutability must use a thread-safe cell.
+pub trait GraphView: Sync {
     /// Number of nodes. Node ids are dense in `0..num_nodes()`.
     fn num_nodes(&self) -> usize;
 

@@ -34,6 +34,12 @@ pub struct StageLatencies {
     pub search_us: u64,
     /// The TEST/CHECK loop: `test_loop` spans.
     pub test_us: u64,
+    /// Time inside parallel CHECK fan-outs (`check_parallel` spans). A
+    /// **sub-stage of `test_us`**, reported separately so operators can see
+    /// how much of the TEST loop ran on the worker pool; it is *not*
+    /// subtracted by [`StageLatencies::unattributed_us`]. Zero whenever the
+    /// explainer runs sequentially (`parallelism = 1`).
+    pub check_parallel_us: u64,
     /// End-to-end duration including queue wait and unattributed time.
     pub total_us: u64,
 }
@@ -64,12 +70,32 @@ fn walk(nodes: &[SpanExport], acc: &mut StageLatencies) {
         match n.name.as_str() {
             "context_build" => acc.context_us += n.duration_us,
             "search_space" | "candidate_ranking" => acc.search_us += n.duration_us,
-            "test_loop" => acc.test_us += n.duration_us,
+            "test_loop" => {
+                acc.test_us += n.duration_us;
+                // Children of a matched span are absorbed into its stage —
+                // except the parallel fan-out marker, which is collected
+                // into its dedicated sub-stage counter.
+                acc.check_parallel_us += sum_named(&n.children, "check_parallel");
+            }
+            "check_parallel" => acc.check_parallel_us += n.duration_us,
             // Transparent wrapper (question / method-label / batch_setup):
             // attribute its children individually.
             _ => walk(&n.children, acc),
         }
     }
+}
+
+/// Total duration of spans named `name` anywhere in the forest.
+fn sum_named(nodes: &[SpanExport], name: &str) -> u64 {
+    let mut total = 0;
+    for n in nodes {
+        if n.name == name {
+            total += n.duration_us;
+        } else {
+            total += sum_named(&n.children, name);
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -133,6 +159,7 @@ mod tests {
             context_us: 20,
             search_us: 30,
             test_us: 40,
+            check_parallel_us: 25, // sub-stage of test_us: never subtracted
             total_us: 150,
         };
         assert_eq!(s.unattributed_us(), 50);
@@ -171,10 +198,34 @@ mod tests {
             context_us: 2,
             search_us: 3,
             test_us: 4,
+            check_parallel_us: 2,
             total_us: 11,
         };
         let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("check_parallel_us"));
         let back: StageLatencies = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn check_parallel_is_collected_inside_test_loop() {
+        // The fan-out span nests inside test_loop; the absorption rule
+        // would normally swallow it, so it is collected explicitly and
+        // reported as a sub-stage without reducing test_us.
+        let tree = vec![span(
+            "remove_Incremental",
+            1000,
+            vec![span(
+                "test_loop",
+                800,
+                vec![
+                    span("check_parallel", 300, Vec::new()),
+                    span("check_parallel", 200, Vec::new()),
+                ],
+            )],
+        )];
+        let s = StageLatencies::from_spans(&tree);
+        assert_eq!(s.test_us, 800);
+        assert_eq!(s.check_parallel_us, 500);
     }
 }

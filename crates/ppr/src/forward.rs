@@ -120,6 +120,11 @@ impl ForwardPush {
     /// invariant and the ε guarantee are unaffected; each push retires at
     /// least `α·ε` of residual mass, so the sweep count is bounded by
     /// `Σ|r| / (α·ε)` and in practice by `O(log(1/ε))`.
+    ///
+    /// The inner spread runs in fixed-size chunks: the dense
+    /// `spread × probs` multiply autovectorises into a stack buffer before
+    /// the scatter pass applies it. Per-entry arithmetic and order are
+    /// unchanged, so estimates stay bit-identical to the fused loop.
     pub fn push_until_converged_kernel<K: TransitionKernel>(
         &mut self,
         kernel: &K,
@@ -127,6 +132,8 @@ impl ForwardPush {
     ) {
         let eps = cfg.epsilon;
         let n = self.residuals.len();
+        const CHUNK: usize = 32;
+        let mut add = [0.0f64; CHUNK];
         loop {
             let mut any = false;
             for u in 0..n {
@@ -141,8 +148,16 @@ impl ForwardPush {
                 self.drained += r.abs();
                 let spread = (1.0 - cfg.alpha) * r;
                 let (dsts, probs) = kernel.forward_row(NodeId(u as u32));
-                for (&v, &p) in dsts.iter().zip(probs) {
-                    self.residuals[v as usize] += spread * p;
+                let mut start = 0;
+                while start < dsts.len() {
+                    let end = (start + CHUNK).min(dsts.len());
+                    for (j, &p) in probs[start..end].iter().enumerate() {
+                        add[j] = spread * p;
+                    }
+                    for (j, &v) in dsts[start..end].iter().enumerate() {
+                        self.residuals[v as usize] += add[j];
+                    }
+                    start = end;
                 }
             }
             if !any {

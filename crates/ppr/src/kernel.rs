@@ -19,6 +19,8 @@
 
 use crate::transition::{transition_row_into, TransitionModel};
 use emigre_hin::{GraphView, NodeId};
+use std::cell::OnceCell;
+use std::collections::HashMap;
 
 /// Row-slice access to a transition matrix `W` and its transpose.
 ///
@@ -111,6 +113,14 @@ impl TransitionCsr {
     /// that appears in an old or new touched row are patched to match, so
     /// the result is exactly `TransitionCsr::build(view, model)` up to row
     /// ordering — at `O(Σ deg(touched))` cost instead of `O(E)`.
+    ///
+    /// Reverse patches are built **lazily** on the first [`reverse_row`]
+    /// call: the forward-push CHECK loop never reads reverse rows, and
+    /// eagerly transposing every affected destination (for a popular item
+    /// endpoint that is its whole neighbourhood) used to dominate the add
+    /// path's per-CHECK cost.
+    ///
+    /// [`reverse_row`]: TransitionKernel::reverse_row
     pub fn patched<'a, G: GraphView>(&'a self, view: &G, touched: &[NodeId]) -> PatchedCsr<'a> {
         let mut fwd_patches: Vec<(u32, Vec<u32>, Vec<f64>)> = Vec::with_capacity(touched.len());
         let mut row: Vec<(NodeId, f64)> = Vec::new();
@@ -122,43 +132,117 @@ impl TransitionCsr {
         }
         fwd_patches.sort_unstable_by_key(|&(u, _, _)| u);
 
-        // Destinations whose reverse row changes: union of the old and new
-        // rows of every touched source.
-        let mut affected: Vec<u32> = Vec::new();
-        for &(u, ref dsts, _) in &fwd_patches {
-            let (old_dsts, _) = self.forward_row(NodeId(u));
-            affected.extend_from_slice(old_dsts);
-            affected.extend_from_slice(dsts);
+        PatchedCsr {
+            base: self,
+            fwd_patches,
+            rev_patches: OnceCell::new(),
         }
-        affected.sort_unstable();
-        affected.dedup();
+    }
 
-        let touched_ids: Vec<u32> = fwd_patches.iter().map(|&(u, _, _)| u).collect();
-        let mut rev_patches: Vec<(u32, Vec<u32>, Vec<f64>)> = Vec::with_capacity(affected.len());
-        for &v in &affected {
-            let (srcs, probs) = self.reverse_row(NodeId(v));
-            let mut new_srcs: Vec<u32> = Vec::with_capacity(srcs.len());
-            let mut new_probs: Vec<f64> = Vec::with_capacity(probs.len());
-            for (&s, &p) in srcs.iter().zip(probs) {
-                if touched_ids.binary_search(&s).is_err() {
-                    new_srcs.push(s);
-                    new_probs.push(p);
+    /// [`TransitionCsr::patched`] with a per-question row cache: touched
+    /// sources whose patch signature (see [`RowCache`]) is unchanged since
+    /// an earlier CHECK reuse the cached row bit-for-bit instead of
+    /// re-evaluating `view`'s edges.
+    ///
+    /// `signature(u)` returns the cache key for `u`'s row under the current
+    /// delta, or `None` to always rebuild (e.g. the user's row, whose delta
+    /// footprint differs per candidate subset). A row is a pure function of
+    /// `(base graph, model, delta edges rooted at u)`, so a signature that
+    /// captures exactly those delta edges makes cached reuse exact.
+    pub fn patched_cached<'a, G: GraphView, S>(
+        &'a self,
+        view: &G,
+        touched: &[NodeId],
+        cache: &mut RowCache,
+        mut signature: S,
+    ) -> PatchedCsr<'a>
+    where
+        S: FnMut(NodeId) -> Option<RowKey>,
+    {
+        let mut fwd_patches: Vec<(u32, Vec<u32>, Vec<f64>)> = Vec::with_capacity(touched.len());
+        let mut row: Vec<(NodeId, f64)> = Vec::new();
+        for &u in touched {
+            let key = signature(u);
+            if let Some(key) = key {
+                if let Some((k, dsts, probs)) = cache.entries.get(&u.0) {
+                    if *k == key {
+                        cache.hits += 1;
+                        fwd_patches.push((u.0, dsts.clone(), probs.clone()));
+                        continue;
+                    }
                 }
+                cache.misses += 1;
+                transition_row_into(view, self.model, u, &mut row);
+                let dsts: Vec<u32> = row.iter().map(|&(v, _)| v.0).collect();
+                let probs: Vec<f64> = row.iter().map(|&(_, p)| p).collect();
+                cache
+                    .entries
+                    .insert(u.0, (key, dsts.clone(), probs.clone()));
+                fwd_patches.push((u.0, dsts, probs));
+            } else {
+                cache.misses += 1;
+                transition_row_into(view, self.model, u, &mut row);
+                let dsts: Vec<u32> = row.iter().map(|&(v, _)| v.0).collect();
+                let probs: Vec<f64> = row.iter().map(|&(_, p)| p).collect();
+                fwd_patches.push((u.0, dsts, probs));
             }
-            for &(u, ref dsts, ref probs) in &fwd_patches {
-                if let Ok(i) = dsts.binary_search(&v) {
-                    new_srcs.push(u);
-                    new_probs.push(probs[i]);
-                }
-            }
-            rev_patches.push((v, new_srcs, new_probs));
         }
+        fwd_patches.sort_unstable_by_key(|&(u, _, _)| u);
 
         PatchedCsr {
             base: self,
             fwd_patches,
-            rev_patches,
+            rev_patches: OnceCell::new(),
         }
+    }
+}
+
+/// Identity of one patched row: the delta edges rooted at the row's source,
+/// as `(src, dst, edge type, weight bits, added)` tuples in a canonical
+/// order. Stored in full (not hashed) so a cache hit is provably exact.
+pub type RowKey = Vec<(u32, u32, u16, u64, bool)>;
+
+/// Caches patched forward rows across the CHECKs of one explanation.
+///
+/// EMiGRe's candidate actions are user-rooted edges `(user, n)` mirrored
+/// bidirectionally, so a CHECK of the subset `{n_1 … n_k}` patches the
+/// user's row plus one row per endpoint — and endpoint `n_i`'s patched row
+/// depends only on *its own* action, not on the other subset members. Across
+/// the hundreds of CHECKs of one search, each endpoint row is therefore
+/// computed once and replayed from here (`Σ` sizes shrink from quadratic in
+/// the prefix length to linear for Incremental's prefix chain).
+///
+/// Shared-patch-prefix reuse, in cache form: the common prefix's row deltas
+/// are forked (cloned) per CHECK instead of rebuilt. Cached rows are exact
+/// copies of what a rebuild would produce, so CHECK verdicts are
+/// bit-identical with and without the cache — which also makes the cache
+/// safe for the parallel CHECK path (each worker owns one).
+#[derive(Debug, Default)]
+pub struct RowCache {
+    /// `node → (key, dsts, probs)`.
+    entries: HashMap<u32, (RowKey, Vec<u32>, Vec<f64>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RowCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows served from cache across the cache's lifetime.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Rows built fresh (uncacheable or signature changed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops all cached rows, keeping the map's capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -183,12 +267,18 @@ impl TransitionKernel for TransitionCsr {
 
 /// A [`TransitionCsr`] with a few rows overridden — the transition matrix
 /// of a counterfactual `base ⊕ delta` graph. See [`TransitionCsr::patched`].
+/// One overridden row: `(node, neighbours, probs)`, neighbours sorted.
+type PatchRow = (u32, Vec<u32>, Vec<f64>);
+
 pub struct PatchedCsr<'a> {
     base: &'a TransitionCsr,
-    /// `(node, dsts, probs)` sorted by node; dsts sorted ascending.
-    fwd_patches: Vec<(u32, Vec<u32>, Vec<f64>)>,
-    /// `(node, srcs, probs)` sorted by node.
-    rev_patches: Vec<(u32, Vec<u32>, Vec<f64>)>,
+    /// Forward patch rows sorted by node; dsts sorted ascending.
+    fwd_patches: Vec<PatchRow>,
+    /// Reverse patch rows sorted by node. Built lazily from
+    /// `fwd_patches` + base on first reverse access: the transpose of the
+    /// patch is derivable without the counterfactual view, and forward-only
+    /// consumers (the CHECK push) never pay for it.
+    rev_patches: OnceCell<Vec<PatchRow>>,
 }
 
 impl PatchedCsr<'_> {
@@ -200,6 +290,48 @@ impl PatchedCsr<'_> {
     /// Number of overridden forward rows.
     pub fn num_patched_rows(&self) -> usize {
         self.fwd_patches.len()
+    }
+
+    /// Whether the reverse transpose of the patch has been materialised.
+    pub fn reverse_materialized(&self) -> bool {
+        self.rev_patches.get().is_some()
+    }
+
+    /// Builds the patched reverse rows: for every destination appearing in
+    /// an old or new row of a patched source, the base reverse row with
+    /// patched sources filtered out and re-appended from the new forward
+    /// rows. Identical output to the former eager construction.
+    fn build_rev_patches(&self) -> Vec<(u32, Vec<u32>, Vec<f64>)> {
+        let mut affected: Vec<u32> = Vec::new();
+        for &(u, ref dsts, _) in &self.fwd_patches {
+            let (old_dsts, _) = self.base.forward_row(NodeId(u));
+            affected.extend_from_slice(old_dsts);
+            affected.extend_from_slice(dsts);
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        let touched_ids: Vec<u32> = self.fwd_patches.iter().map(|&(u, _, _)| u).collect();
+        let mut rev_patches: Vec<(u32, Vec<u32>, Vec<f64>)> = Vec::with_capacity(affected.len());
+        for &v in &affected {
+            let (srcs, probs) = self.base.reverse_row(NodeId(v));
+            let mut new_srcs: Vec<u32> = Vec::with_capacity(srcs.len());
+            let mut new_probs: Vec<f64> = Vec::with_capacity(probs.len());
+            for (&s, &p) in srcs.iter().zip(probs) {
+                if touched_ids.binary_search(&s).is_err() {
+                    new_srcs.push(s);
+                    new_probs.push(p);
+                }
+            }
+            for &(u, ref dsts, ref probs) in &self.fwd_patches {
+                if let Ok(i) = dsts.binary_search(&v) {
+                    new_srcs.push(u);
+                    new_probs.push(probs[i]);
+                }
+            }
+            rev_patches.push((v, new_srcs, new_probs));
+        }
+        rev_patches
     }
 }
 
@@ -224,7 +356,8 @@ impl TransitionKernel for PatchedCsr<'_> {
 
     #[inline]
     fn reverse_row(&self, v: NodeId) -> (&[u32], &[f64]) {
-        lookup(&self.rev_patches, v.0).unwrap_or_else(|| self.base.reverse_row(v))
+        let rev = self.rev_patches.get_or_init(|| self.build_rev_patches());
+        lookup(rev, v.0).unwrap_or_else(|| self.base.reverse_row(v))
     }
 }
 
@@ -353,6 +486,95 @@ mod tests {
         let (d0, _) = csr.forward_row(NodeId(2));
         let (d1, _) = patched.forward_row(NodeId(2));
         assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn reverse_patches_build_lazily_and_match_eager_result() {
+        let g = sample_graph();
+        let et = g.registry().find_edge_type("a").unwrap();
+        let csr = TransitionCsr::build(&g, model());
+        let mut d = GraphDelta::new();
+        d.remove_edge(EdgeKey::new(NodeId(0), NodeId(1), et));
+        d.add_edge(EdgeKey::new(NodeId(2), NodeId(5), et), 2.0);
+        let view = d.overlay(&g);
+        let patched = csr.patched(&view, &d.touched_sources());
+
+        // Forward access must not trigger the transpose.
+        for u in 0..g.num_nodes() as u32 {
+            let _ = patched.forward_row(NodeId(u));
+        }
+        assert!(!patched.reverse_materialized());
+
+        // First reverse access materialises it; rows must equal a rebuild.
+        let rebuilt = TransitionCsr::build(&view, model());
+        let (ps, pp) = patched.reverse_row(NodeId(1));
+        assert!(patched.reverse_materialized());
+        let (rs, rp) = rebuilt.reverse_row(NodeId(1));
+        let mut a: Vec<(u32, u64)> = ps.iter().zip(pp).map(|(&s, &p)| (s, p.to_bits())).collect();
+        let mut b: Vec<(u32, u64)> = rs.iter().zip(rp).map(|(&s, &p)| (s, p.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a.len(), b.len());
+        for ((sa, pa), (sb, pb)) in a.iter().zip(&b) {
+            assert_eq!(sa, sb);
+            assert!((f64::from_bits(*pa) - f64::from_bits(*pb)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn row_cache_replays_bit_identical_rows() {
+        let g = sample_graph();
+        let et = g.registry().find_edge_type("a").unwrap();
+        let csr = TransitionCsr::build(&g, model());
+        let mut cache = RowCache::new();
+
+        // Two checks sharing the patch on node 2; node 0's row is the
+        // "user" row rebuilt each time (no signature).
+        let sig_of = |d: &GraphDelta, u: NodeId| -> Option<RowKey> {
+            if u == NodeId(0) {
+                return None;
+            }
+            let mut key: RowKey = Vec::new();
+            for a in d.added() {
+                if a.key.src == u {
+                    key.push((
+                        a.key.src.0,
+                        a.key.dst.0,
+                        a.key.etype.0,
+                        a.weight.to_bits(),
+                        true,
+                    ));
+                }
+            }
+            for r in d.removed() {
+                if r.src == u {
+                    key.push((r.src.0, r.dst.0, r.etype.0, 0, false));
+                }
+            }
+            key.sort_unstable();
+            Some(key)
+        };
+
+        for round in 0..3 {
+            let mut d = GraphDelta::new();
+            d.add_edge(EdgeKey::new(NodeId(2), NodeId(5), et), 2.0);
+            // The varying half of the delta (the "user" row).
+            d.remove_edge(EdgeKey::new(NodeId(0), NodeId((round % 2) + 1), et));
+            let view = d.overlay(&g);
+            let touched = d.touched_sources();
+            let plain = csr.patched(&view, &touched);
+            let cached = csr.patched_cached(&view, &touched, &mut cache, |u| sig_of(&d, u));
+            for &u in &touched {
+                let (pd, pp) = plain.forward_row(u);
+                let (cd, cp) = cached.forward_row(u);
+                assert_eq!(pd, cd, "round {round} node {u:?}");
+                for (a, b) in pp.iter().zip(cp) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "round {round} node {u:?}");
+                }
+            }
+        }
+        assert_eq!(cache.hits(), 2, "node 2's row replayed from round 2 on");
+        assert!(cache.misses() >= 3);
     }
 
     #[test]

@@ -213,6 +213,7 @@ mod tests {
                 context_us: 40,
                 search_us: 30,
                 test_us: 20,
+                check_parallel_us: 0,
                 total_us: 100,
             },
             session_cache_hit: Some(true),

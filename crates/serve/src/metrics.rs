@@ -55,6 +55,9 @@ pub struct ServeMetrics {
     pub stage_search: LatencyHistogram,
     /// Stage attribution: the TEST/CHECK loop.
     pub stage_test: LatencyHistogram,
+    /// Stage attribution: time inside parallel CHECK fan-outs (a
+    /// sub-stage of `stage_test`; zero under sequential explainers).
+    pub stage_check_parallel: LatencyHistogram,
 }
 
 impl ServeMetrics {
@@ -69,6 +72,7 @@ impl ServeMetrics {
         self.stage_context.record_us(s.context_us);
         self.stage_search.record_us(s.search_us);
         self.stage_test.record_us(s.test_us);
+        self.stage_check_parallel.record_us(s.check_parallel_us);
     }
 
     /// Copies the atomic state and merges in the service-owned fields.
@@ -97,6 +101,7 @@ impl ServeMetrics {
             stage_context: self.stage_context.snapshot(),
             stage_search: self.stage_search.snapshot(),
             stage_test: self.stage_test.snapshot(),
+            stage_check_parallel: self.stage_check_parallel.snapshot(),
             ops: owned.ops,
             events: owned.events,
             windows: owned.windows,
@@ -156,6 +161,7 @@ pub struct MetricsSnapshot {
     pub stage_context: HistogramSnapshot,
     pub stage_search: HistogramSnapshot,
     pub stage_test: HistogramSnapshot,
+    pub stage_check_parallel: HistogramSnapshot,
     /// PPR/CHECK op counters aggregated across all requests.
     pub ops: CounterSnapshot,
     pub events: EventLogStats,
@@ -346,6 +352,7 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         ("context", &s.stage_context),
         ("search", &s.stage_search),
         ("test", &s.stage_test),
+        ("check_parallel", &s.stage_check_parallel),
     ] {
         p.histogram("emigre_stage_latency_us", &[("stage", stage)], h);
     }
@@ -392,6 +399,7 @@ mod tests {
             context_us: 400,
             search_us: 300,
             test_us: 500,
+            check_parallel_us: 150,
             total_us: 1234,
         });
         m

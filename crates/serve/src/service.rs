@@ -98,6 +98,13 @@ pub struct ServiceConfig {
     /// Test-only fault hooks consulted once per dequeued job. `None` in
     /// production — see [`crate::fault`].
     pub faults: Option<FaultHandle>,
+    /// Intra-request CHECK parallelism budget handed to the engine
+    /// (overrides [`EmigreConfig::parallelism`] for served requests).
+    /// `1` keeps each request on its worker thread — the right default
+    /// when `workers` already saturates the machine; raise it only when
+    /// workers are few and per-request latency matters more than
+    /// throughput. `0` lets the engine auto-detect.
+    pub intra_request_parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -114,6 +121,7 @@ impl Default for ServiceConfig {
             event_log: None,
             event_log_capacity: 4096,
             faults: None,
+            intra_request_parallelism: 1,
         }
     }
 }
@@ -253,7 +261,8 @@ pub struct ExplanationService {
 impl ExplanationService {
     /// Builds the transition kernel, starts the workers, and returns the
     /// handle. The graph is frozen for the service's lifetime.
-    pub fn start(graph: Hin, cfg: EmigreConfig, sc: ServiceConfig) -> Self {
+    pub fn start(graph: Hin, mut cfg: EmigreConfig, sc: ServiceConfig) -> Self {
+        cfg.parallelism = sc.intra_request_parallelism;
         cfg.validate();
         assert!(sc.workers >= 1, "service needs at least one worker");
         let kernel = Arc::new(TransitionCsr::build(&graph, cfg.rec.ppr.transition));

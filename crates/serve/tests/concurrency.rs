@@ -336,3 +336,61 @@ fn caches_reuse_session_and_column_artifacts() {
     assert_eq!(m.session_cache.len, 1);
     assert_eq!(m.column_cache.len, 2);
 }
+
+#[test]
+fn intra_request_parallelism_preserves_reference_answers() {
+    // The parallel CHECK fan-out must be invisible in served answers: a
+    // service granting each request a 2-thread CHECK budget returns
+    // byte-identical outcomes to the sequential single-threaded reference.
+    let (graph, cfg, users) = test_world();
+    let calls = build_calls(&graph, &cfg, &users);
+    let expected: Vec<_> = calls
+        .iter()
+        .map(|c| match *c {
+            Call::Explain(u, w, m) => {
+                format!("{:?}", reference_explain(&graph, &cfg, u, w, m))
+            }
+            Call::Recommend(u, k) => format!("{:?}", reference_recommend(&graph, &cfg, u, k)),
+        })
+        .collect();
+
+    let service = ExplanationService::start(
+        graph,
+        cfg,
+        ServiceConfig {
+            workers: 2,
+            intra_request_parallelism: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let explains = calls
+        .iter()
+        .filter(|c| matches!(c, Call::Explain(..)))
+        .count();
+    for (call, want) in calls.iter().zip(&expected) {
+        let got = match *call {
+            Call::Explain(u, w, m) => format!(
+                "{:?}",
+                service.explain(u, w, m).map_err(|e| match e {
+                    ServeError::InvalidQuestion(q) => q,
+                    other => panic!("service error: {other}"),
+                })
+            ),
+            Call::Recommend(u, k) => format!(
+                "{:?}",
+                service.recommend(u, k).map_err(|e| match e {
+                    ServeError::InvalidQuestion(q) => q,
+                    other => panic!("service error: {other}"),
+                })
+            ),
+        };
+        assert_eq!(&got, want, "parallel-budget service diverged on {call:?}");
+    }
+
+    let m = service.metrics();
+    assert_eq!(m.completed_total, calls.len() as u64);
+    // Every completed explain stamps the check_parallel sub-stage (zero
+    // when the request had fewer than two candidates to fan out).
+    assert_eq!(m.stage_check_parallel.count, explains as u64);
+    assert!(explains >= 2, "mix must exercise the explain path");
+}

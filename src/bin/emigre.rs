@@ -30,7 +30,7 @@ usage:
   emigre recommend --graph FILE --user ID [--top N]
   emigre explain --graph FILE --user ID --why-not ID|all
                  [--method NAME] [--minimise]
-  emigre serve --graph FILE [--port P] [--workers N]
+  emigre serve --graph FILE [--port P] [--workers N] [--parallelism N]
                [--queue N] [--deadline-ms N]      HTTP explanation service
                [--event-log FILE]                 JSON-lines request event log
                [--trace-cap N]                    replayable /trace/<id> store size
@@ -286,6 +286,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 if sc.trace_capacity == 0 {
                     return Err("--trace-cap must be at least 1".to_owned());
                 }
+            }
+            if let Some(p) = flag(args, "--parallelism")? {
+                // Per-request CHECK worker budget (0 = auto-detect); see
+                // the `parallelism` knob on EmigreConfig.
+                sc.intra_request_parallelism = p.parse().map_err(|_| "bad --parallelism")?;
             }
             let service = Arc::new(ExplanationService::start(g, cfg, sc));
             let server = HttpServer::bind(service, &format!("127.0.0.1:{port}"))

@@ -1,0 +1,248 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Work-stealing double-ended queues with the upstream API surface:
+//! a [`Worker`] owned by one thread that pushes and pops its own tasks,
+//! [`Stealer`] handles cloned to sibling threads that take tasks from the
+//! opposite end, and a shared [`Injector`] for global overflow. The
+//! upstream crate is lock-free; this stand-in keeps the exact same
+//! semantics over a `Mutex<VecDeque>` — correct under any interleaving,
+//! merely slower under heavy contention, which EMiGRe's CHECK fan-out
+//! (item cost ≫ queue cost) never approaches.
+//!
+//! Semantics preserved from upstream:
+//!
+//! * FIFO workers pop from the front; stealers also take from the front,
+//!   so a steal never reorders the victim's remaining tasks;
+//! * [`Steal::Retry`] is reported when the victim's lock is contended,
+//!   and callers are expected to retry — [`Stealer::steal_batch`] and the
+//!   `steal()` loop in this repo's pool do;
+//! * handles are `Send + Sync` and freely clonable; dropping a `Worker`
+//!   leaves outstanding `Stealer`s valid (they drain what remains).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt, as in upstream `crossbeam-deque`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race (lock contention here); try again.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `Some` on success, `None` otherwise.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True iff the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A FIFO work-stealing queue owned by a single worker thread.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue (the only flavour the pool uses; LIFO
+    /// would break the deterministic in-order merge downstream).
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pops a task from the front of the queue.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Number of queued tasks (snapshot; may be stale immediately).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the queue is empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates a stealer handle for sibling threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A handle for stealing tasks from another thread's [`Worker`].
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one task from the front of the victim's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                // A panicking victim mid-push cannot half-apply a VecDeque
+                // operation we observe; treat the remains as drainable.
+                match p.into_inner().pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                }
+            }
+        }
+    }
+
+    /// Steals one task, retrying through contention until the queue is
+    /// observed empty or a task is taken.
+    pub fn steal_until_settled(&self) -> Option<T> {
+        loop {
+            match self.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => return None,
+                Steal::Retry => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// A shared FIFO overflow queue every worker can push to and steal from —
+/// upstream's global injector. Used here to re-home tasks stranded in a
+/// dying worker's local queue.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the back of the global queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Attempts to steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(p)) => match p.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    /// Whether the queue is empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_is_fifo() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_front_preserving_order() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(10);
+        w.push(20);
+        assert_eq!(s.steal(), Steal::Success(10));
+        assert_eq!(w.pop(), Some(20));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_each_task_exactly_once() {
+        let w = Worker::new_fifo();
+        let n = 1000usize;
+        for i in 0..n {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let (taken, sum) = (&taken, &sum);
+                scope.spawn(move || {
+                    while let Some(v) = s.steal_until_settled() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn injector_round_trips() {
+        let inj = Injector::new();
+        assert!(inj.is_empty());
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 //! disconnect semantics (see that module's docs for scope).
 
 pub mod channel;
+pub mod deque;
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
