@@ -37,7 +37,10 @@ use emigre_hin::{GraphView, Hin, NodeId};
 use emigre_obs::{ExplainTrace, HistogramSnapshot, StageLatencies};
 use emigre_ppr::{PprConfig, TransitionModel};
 use emigre_rec::RecConfig;
-use emigre_serve::{reference_explain, reference_recommend, MetricsSnapshot, RequestEvent};
+use emigre_serve::{
+    events_to_delta, reference_explain, reference_recommend, FeedbackEvent, MetricsSnapshot,
+    RequestEvent,
+};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -143,11 +146,28 @@ enum Endpoint {
     Recommend,
 }
 
+/// The semantic content of a planned request — what the deferred
+/// (epoch-pinned) verifier needs to recompute the reference answer on
+/// whichever graph epoch the server reports it served from.
+#[derive(Clone, Copy)]
+enum RequestSpec {
+    Explain {
+        user: NodeId,
+        wni: NodeId,
+        method: emigre_core::Method,
+    },
+    Recommend {
+        user: NodeId,
+        k: usize,
+    },
+}
+
 #[derive(Clone)]
 struct PlannedRequest {
     endpoint: Endpoint,
     path: &'static str,
     body: String,
+    spec: RequestSpec,
     expected_status: u16,
     expected: Expected,
 }
@@ -176,6 +196,7 @@ fn build_plan(graph: &Hin, cfg: &EmigreConfig, users: &[NodeId], k: usize) -> Ve
             endpoint: Endpoint::Recommend,
             path: "/recommend",
             body: format!("{{\"user\":{},\"k\":{}}}", user.0, k),
+            spec: RequestSpec::Recommend { user, k },
             expected_status: 200,
             expected: Expected::Recommend(rec.iter().map(|&(n, s)| (n.0, s)).collect()),
         });
@@ -196,6 +217,7 @@ fn build_plan(graph: &Hin, cfg: &EmigreConfig, users: &[NodeId], k: usize) -> Ve
                     wni.0,
                     method.label()
                 ),
+                spec: RequestSpec::Explain { user, wni, method },
                 expected_status,
                 expected,
             });
@@ -284,6 +306,250 @@ fn verify_response(req: &PlannedRequest, status: u16, body: &str) -> Result<u64,
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed read/write mode (`--feedback-rate`): a dedicated writer publishes
+// epochs through `POST /feedback` while readers run, and every read is
+// verified *afterwards* against the reference on the epoch it reports.
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift64* — `rand` is not available to this binary.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[derive(Serialize)]
+struct FeedbackWire {
+    events: Vec<FeedbackEvent>,
+}
+
+#[derive(Deserialize)]
+struct WireFeedback {
+    status: Option<String>,
+    epoch: Option<u64>,
+}
+
+/// Any read response's epoch field, regardless of endpoint shape.
+#[derive(Deserialize)]
+struct WireEpoch {
+    epoch: Option<u64>,
+}
+
+struct WriterOutput {
+    latencies_us: Vec<u64>,
+    /// `applied[e - 1]` is the batch that published epoch `e`.
+    applied: Vec<Vec<FeedbackEvent>>,
+    divergences: Vec<String>,
+}
+
+/// The single mutator: generates batches valid against a local mirror of
+/// the served graph (add an absent `rated` edge / remove a present one,
+/// never touching a planned question's (user, wni) pair), posts them at
+/// `rate` batches per second, and replays each acknowledged batch onto
+/// the mirror. Epochs must come back consecutive — the mirror chain is
+/// the verifier's epoch-indexed reference.
+#[allow(clippy::too_many_arguments)]
+fn feedback_writer(
+    addr: String,
+    seed_graph: Hin,
+    users: Vec<NodeId>,
+    items: Vec<NodeId>,
+    avoid: Vec<(u32, u32)>,
+    rate: f64,
+    bidirectional: bool,
+    stop: Arc<AtomicBool>,
+) -> Result<WriterOutput, String> {
+    let mut client = HttpClient::connect(&addr)?;
+    let rated = seed_graph
+        .registry()
+        .find_edge_type("rated")
+        .ok_or("graph has no `rated` edge type")?;
+    let mut rng = Xorshift(0x5eedf00d);
+    let mut mirror = seed_graph;
+    let mut out = WriterOutput {
+        latencies_us: Vec::new(),
+        applied: Vec::new(),
+        divergences: Vec::new(),
+    };
+    let pause = Duration::from_secs_f64(1.0 / rate.max(1e-3));
+    while !stop.load(Ordering::Relaxed) {
+        let mut events: Vec<FeedbackEvent> = Vec::with_capacity(2);
+        let mut used: Vec<(u32, u32)> = Vec::with_capacity(2);
+        while events.len() < 2 {
+            let user = users[rng.below(users.len())];
+            let item = items[rng.below(items.len())];
+            let pair = (user.0, item.0);
+            if used.contains(&pair) || avoid.contains(&pair) {
+                continue;
+            }
+            used.push(pair);
+            events.push(if mirror.has_edge(user, item, rated) {
+                FeedbackEvent::remove(user.0, item.0, "rated")
+            } else {
+                FeedbackEvent::add(user.0, item.0, "rated", 1.5)
+            });
+        }
+        let body = serde_json::to_string(&FeedbackWire {
+            events: events.clone(),
+        })
+        .map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        let (status, resp) = client.request("POST", "/feedback", &body)?;
+        out.latencies_us.push(t0.elapsed().as_micros() as u64);
+        if status != 200 {
+            out.divergences
+                .push(format!("/feedback {body} -> {status} {resp:.200}"));
+            break;
+        }
+        let w: WireFeedback = serde_json::from_str(&resp)
+            .map_err(|e| format!("unparseable feedback body: {e} ({resp:.200})"))?;
+        if w.status.as_deref() != Some("ok") || w.epoch != Some(out.applied.len() as u64 + 1) {
+            out.divergences.push(format!(
+                "/feedback answered epoch {:?} after {} applied batches: {resp:.200}",
+                w.epoch,
+                out.applied.len()
+            ));
+            break;
+        }
+        mirror = events_to_delta(&events, &mirror, bidirectional)
+            .map_err(|e| format!("acknowledged batch does not convert: {e:?}"))?
+            .apply_to(&mirror)
+            .map_err(|e| format!("acknowledged batch does not apply: {e}"))?;
+        out.applied.push(events);
+        std::thread::sleep(pause);
+    }
+    Ok(out)
+}
+
+/// A read captured for deferred verification: the reference answer can
+/// only be computed once the full epoch chain is known.
+struct DeferredRead {
+    plan_idx: usize,
+    status: u16,
+    body: String,
+}
+
+/// Closed-loop reader that records responses instead of verifying inline.
+fn mixed_reader(
+    addr: String,
+    plan: Arc<Vec<PlannedRequest>>,
+    cursor: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+) -> Result<(Vec<u64>, Vec<u64>, Vec<DeferredRead>), String> {
+    let mut client = HttpClient::connect(&addr)?;
+    let (mut explain_us, mut recommend_us) = (Vec::new(), Vec::new());
+    let mut reads = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let seq = cursor.fetch_add(1, Ordering::Relaxed);
+        let plan_idx = seq % plan.len();
+        let req = &plan[plan_idx];
+        let t0 = Instant::now();
+        let (status, body) = client.request("POST", req.path, &req.body)?;
+        let us = t0.elapsed().as_micros() as u64;
+        match req.endpoint {
+            Endpoint::Explain => explain_us.push(us),
+            Endpoint::Recommend => recommend_us.push(us),
+        }
+        reads.push(DeferredRead {
+            plan_idx,
+            status,
+            body,
+        });
+    }
+    Ok((explain_us, recommend_us, reads))
+}
+
+/// Replays the writer's event history into an epoch-indexed snapshot
+/// chain, then verifies every recorded read against the reference on the
+/// epoch its response reports. A 400 (the question went invalid under
+/// drift) carries no epoch; its check is existential — some published
+/// epoch must indeed reject it.
+fn verify_deferred_reads(
+    seed_graph: &Hin,
+    cfg: &EmigreConfig,
+    plan: &[PlannedRequest],
+    applied: &[Vec<FeedbackEvent>],
+    reads: &[DeferredRead],
+    divergences: &mut Vec<String>,
+) -> Result<(), String> {
+    let mut snapshots: Vec<Hin> = vec![seed_graph.clone()];
+    for events in applied {
+        let next = events_to_delta(events, snapshots.last().unwrap(), cfg.bidirectional_actions)
+            .map_err(|e| format!("replaying the event history: {e:?}"))?
+            .apply_to(snapshots.last().unwrap())
+            .map_err(|e| format!("replaying the event history: {e}"))?;
+        snapshots.push(next);
+    }
+    for read in reads {
+        let req = &plan[read.plan_idx];
+        if read.status == 400 {
+            let invalid_somewhere = snapshots.iter().any(|g| match req.spec {
+                RequestSpec::Explain { user, wni, method } => {
+                    reference_explain(g, cfg, user, wni, method).is_err()
+                }
+                RequestSpec::Recommend { user, k } => reference_recommend(g, cfg, user, k).is_err(),
+            });
+            if !invalid_somewhere {
+                divergences.push(format!(
+                    "{} {} -> 400, but the question validates on every epoch",
+                    req.path, req.body
+                ));
+            }
+            continue;
+        }
+        let reported = serde_json::from_str::<WireEpoch>(&read.body)
+            .ok()
+            .and_then(|w| w.epoch);
+        let epoch = match reported {
+            Some(e) if (e as usize) < snapshots.len() => e as usize,
+            _ => {
+                divergences.push(format!(
+                    "{} {} -> unusable epoch {reported:?}: {:.200}",
+                    req.path, req.body, read.body
+                ));
+                continue;
+            }
+        };
+        let graph = &snapshots[epoch];
+        let (expected_status, expected) = match req.spec {
+            RequestSpec::Explain { user, wni, method } => {
+                expected_explain(reference_explain(graph, cfg, user, wni, method))
+            }
+            RequestSpec::Recommend { user, k } => match reference_recommend(graph, cfg, user, k) {
+                Ok(rec) => (
+                    200,
+                    Expected::Recommend(rec.iter().map(|&(n, s)| (n.0, s)).collect()),
+                ),
+                Err(_) => (400, Expected::InvalidQuestion),
+            },
+        };
+        let pinned = PlannedRequest {
+            expected_status,
+            expected,
+            ..req.clone()
+        };
+        if let Err(d) = verify_response(&pinned, read.status, &read.body) {
+            divergences.push(format!(
+                "{} {} on epoch {epoch} -> {d}",
+                req.path, req.body
+            ));
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +757,8 @@ struct StageReport {
 #[derive(Serialize, Default)]
 struct EventLogReport {
     lines: u64,
+    /// Lines with `endpoint == "feedback"` (mixed read/write runs only).
+    feedback_lines: u64,
     verified: bool,
 }
 
@@ -511,6 +779,17 @@ struct BenchReport {
     /// of recorded TEST verdicts re-executed and matched.
     traces_replayed: u64,
     verdicts_replayed: u64,
+    /// Feedback batches per second the writer targeted (0 = read-only run).
+    feedback_rate: f64,
+    /// `POST /feedback` round-trip latency (mixed runs only).
+    feedback: LatencyReport,
+    /// Edge events the server acknowledged, and the resulting publish
+    /// throughput over the measured window.
+    feedback_events_applied: u64,
+    update_throughput_per_sec: f64,
+    /// `/explain` p99 while the writer was publishing — the headline
+    /// "reads under writes" number (0 in read-only runs).
+    read_p99_under_writes_us: u64,
     stages: StageReport,
     event_log: EventLogReport,
     server_metrics: MetricsSnapshot,
@@ -647,6 +926,16 @@ fn run(args: &[String]) -> Result<(), String> {
     // request stays on its service worker; answers are bit-identical
     // either way — the reference comparison below enforces exactly that).
     let parallelism: usize = parse_flag(args, "--parallelism", 1)?;
+    // Mixed read/write mode: a dedicated writer posts this many feedback
+    // batches per second while the readers run, and every read is
+    // verified against the reference on its pinned epoch afterwards.
+    let feedback_rate: f64 = parse_flag(args, "--feedback-rate", 0.0)?;
+    if feedback_rate > 0.0 && smoke {
+        return Err(
+            "--feedback-rate and --smoke are mutually exclusive (trace replay assumes a static graph)"
+                .to_owned(),
+        );
+    }
     let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
 
     // Build the synthetic world, write it out, and re-parse the written
@@ -687,17 +976,32 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut server = spawn_server(&bin, &graph_file, &event_log, parallelism)?;
     eprintln!("loadgen: server {} up at {}", bin.display(), server.addr);
 
-    let result = drive(
-        &server.addr,
-        plan,
-        smoke,
-        threads,
-        parallelism,
-        duration_secs,
-        items,
-        &graph,
-        &cfg,
-    );
+    let result = if feedback_rate > 0.0 {
+        drive_mixed(
+            &server.addr,
+            plan,
+            threads,
+            parallelism,
+            duration_secs,
+            items,
+            feedback_rate,
+            &graph,
+            &cfg,
+            &w.hin.users,
+        )
+    } else {
+        drive(
+            &server.addr,
+            plan,
+            smoke,
+            threads,
+            parallelism,
+            duration_secs,
+            items,
+            &graph,
+            &cfg,
+        )
+    };
 
     // Graceful stop: POST /shutdown, then require a clean exit. The
     // drain flushes the event log, so it is only read after the wait.
@@ -715,8 +1019,13 @@ fn run(args: &[String]) -> Result<(), String> {
     eprintln!("loadgen: server drained and exited cleanly");
     let mut report = result?;
 
-    // Structured event log: one JSON line per request, zero lost events.
-    report.event_log = verify_event_log(&event_log, report.requests)?;
+    // Structured event log: one JSON line per request — feedback
+    // included, it draws ids from the same sequence — zero lost events.
+    report.event_log = verify_event_log(
+        &event_log,
+        report.requests + report.feedback.count,
+        report.feedback.count,
+    )?;
     let _ = std::fs::remove_file(&event_log);
     eprintln!(
         "loadgen: event log verified — {} parseable line(s), zero lost",
@@ -734,17 +1043,29 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Every line of the event log must parse as a [`RequestEvent`] with a
-/// valid request id, and the line count must equal the number of
-/// requests the workers issued — fewer means events were dropped.
-fn verify_event_log(path: &Path, requests: u64) -> Result<EventLogReport, String> {
+/// valid request id, the line count must equal the number of requests
+/// the workers issued (fewer means events were dropped), and in mixed
+/// runs exactly `feedback` of them must be feedback lines.
+fn verify_event_log(
+    path: &Path,
+    requests: u64,
+    feedback: u64,
+) -> Result<EventLogReport, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let mut lines = 0u64;
+    let mut feedback_lines = 0u64;
     for (i, line) in text.lines().enumerate() {
         let ev: RequestEvent = serde_json::from_str(line)
             .map_err(|e| format!("event log line {}: {e} ({line:.200})", i + 1))?;
         if ev.request_id == 0 {
             return Err(format!("event log line {}: request_id is 0", i + 1));
+        }
+        if ev.endpoint == "feedback" {
+            if ev.epoch.is_none() {
+                return Err(format!("event log line {}: feedback without epoch", i + 1));
+            }
+            feedback_lines += 1;
         }
         lines += 1;
     }
@@ -753,8 +1074,14 @@ fn verify_event_log(path: &Path, requests: u64) -> Result<EventLogReport, String
             "event log has {lines} line(s) for {requests} request(s) — events were lost"
         ));
     }
+    if feedback_lines != feedback {
+        return Err(format!(
+            "event log has {feedback_lines} feedback line(s) for {feedback} batch(es)"
+        ));
+    }
     Ok(EventLogReport {
         lines,
+        feedback_lines,
         verified: true,
     })
 }
@@ -844,6 +1171,11 @@ fn drive(
         recommend: latency_report(recommend_us),
         traces_replayed: traces.len() as u64,
         verdicts_replayed,
+        feedback_rate: 0.0,
+        feedback: LatencyReport::default(),
+        feedback_events_applied: 0,
+        update_throughput_per_sec: 0.0,
+        read_p99_under_writes_us: 0,
         stages: StageReport {
             queue: stage_quantiles(&server_metrics.queue_wait),
             context: stage_quantiles(&server_metrics.stage_context),
@@ -861,6 +1193,159 @@ fn drive(
     if !divergences.is_empty() {
         return Err(format!(
             "{} served response(s) diverged from the single-threaded reference",
+            divergences.len()
+        ));
+    }
+    Ok(report)
+}
+
+/// Mixed read/write measurement: `threads` closed-loop readers race one
+/// feedback writer for `duration_secs`, then the whole run is verified —
+/// the writer's event history replayed into an epoch chain, every read
+/// checked against the reference on its pinned epoch.
+#[allow(clippy::too_many_arguments)]
+fn drive_mixed(
+    addr: &str,
+    plan: Vec<PlannedRequest>,
+    threads: usize,
+    parallelism: usize,
+    duration_secs: u64,
+    items: usize,
+    feedback_rate: f64,
+    graph: &Hin,
+    cfg: &EmigreConfig,
+    users: &[NodeId],
+) -> Result<BenchReport, String> {
+    let mut probe = HttpClient::connect(addr)?;
+    let (status, _) = probe.request("GET", "/healthz", "")?;
+    if status != 200 {
+        return Err(format!("healthz returned {status}"));
+    }
+
+    // Writable item pool and the question pairs the writer must not touch
+    // (adding a rated edge on one would invalidate that planned explain
+    // for every later epoch).
+    let item_t = graph
+        .registry()
+        .find_node_type("item")
+        .ok_or("graph has no `item` node type")?;
+    let item_nodes: Vec<NodeId> = (0..graph.num_nodes() as u32)
+        .map(NodeId)
+        .filter(|&n| graph.node_type(n) == item_t)
+        .collect();
+    let avoid: Vec<(u32, u32)> = plan
+        .iter()
+        .filter_map(|p| match p.spec {
+            RequestSpec::Explain { user, wni, .. } => Some((user.0, wni.0)),
+            RequestSpec::Recommend { .. } => None,
+        })
+        .collect();
+
+    let plan = Arc::new(plan);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let t0 = Instant::now();
+    let writer = {
+        let (addr, graph, users, items, avoid, stop) = (
+            addr.to_owned(),
+            graph.clone(),
+            users.to_vec(),
+            item_nodes,
+            avoid,
+            Arc::clone(&stop),
+        );
+        let bidirectional = cfg.bidirectional_actions;
+        std::thread::spawn(move || {
+            feedback_writer(addr, graph, users, items, avoid, feedback_rate, bidirectional, stop)
+        })
+    };
+    let readers: Vec<_> = (0..threads.max(1))
+        .map(|_| {
+            let (addr, plan, cursor, stop) = (
+                addr.to_owned(),
+                Arc::clone(&plan),
+                Arc::clone(&cursor),
+                Arc::clone(&stop),
+            );
+            std::thread::spawn(move || mixed_reader(addr, plan, cursor, stop))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs(duration_secs));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut explain_us = Vec::new();
+    let mut recommend_us = Vec::new();
+    let mut reads = Vec::new();
+    for h in readers {
+        let (e, r, d) = h
+            .join()
+            .map_err(|_| "reader panicked".to_owned())??;
+        explain_us.extend(e);
+        recommend_us.extend(r);
+        reads.extend(d);
+    }
+    let writer_out = writer.join().map_err(|_| "writer panicked".to_owned())??;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut divergences = writer_out.divergences;
+    eprintln!(
+        "loadgen: verifying {} read(s) against {} published epoch(s)",
+        reads.len(),
+        writer_out.applied.len()
+    );
+    verify_deferred_reads(graph, cfg, &plan, &writer_out.applied, &reads, &mut divergences)?;
+
+    let (_, metrics_json) = probe.request("GET", "/metrics", "")?;
+    let server_metrics: MetricsSnapshot =
+        serde_json::from_str(&metrics_json).map_err(|e| format!("parsing /metrics: {e}"))?;
+    if server_metrics.graph_epoch != writer_out.applied.len() as u64 {
+        divergences.push(format!(
+            "server reports epoch {}, writer published {}",
+            server_metrics.graph_epoch,
+            writer_out.applied.len()
+        ));
+    }
+    let events_applied = server_metrics.feedback_events_applied;
+
+    let requests = (explain_us.len() + recommend_us.len()) as u64;
+    let explain = latency_report(explain_us);
+    let read_p99_under_writes_us = explain.p99_us;
+    let report = BenchReport {
+        smoke: false,
+        items,
+        threads,
+        parallelism,
+        duration_secs: elapsed,
+        requests,
+        divergences: divergences.len() as u64,
+        qps: requests as f64 / elapsed.max(1e-9),
+        explain,
+        recommend: latency_report(recommend_us),
+        traces_replayed: 0,
+        verdicts_replayed: 0,
+        feedback_rate,
+        feedback: latency_report(writer_out.latencies_us),
+        feedback_events_applied: events_applied,
+        update_throughput_per_sec: events_applied as f64 / elapsed.max(1e-9),
+        read_p99_under_writes_us,
+        stages: StageReport {
+            queue: stage_quantiles(&server_metrics.queue_wait),
+            context: stage_quantiles(&server_metrics.stage_context),
+            search: stage_quantiles(&server_metrics.stage_search),
+            test: stage_quantiles(&server_metrics.stage_test),
+            check_parallel: stage_quantiles(&server_metrics.stage_check_parallel),
+        },
+        event_log: EventLogReport::default(),
+        server_metrics,
+    };
+
+    for d in divergences.iter().take(5) {
+        eprintln!("divergence: {d}");
+    }
+    if !divergences.is_empty() {
+        return Err(format!(
+            "{} response(s) diverged from the epoch-pinned reference",
             divergences.len()
         ));
     }

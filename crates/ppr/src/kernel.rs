@@ -65,8 +65,19 @@ impl TransitionCsr {
             fwd_offsets.push(fwd_dsts.len());
         }
 
-        // Transpose by counting sort: one pass to size the reverse rows,
-        // one to fill them (sources come out in ascending order).
+        Self::from_forward(model, fwd_offsets, fwd_dsts, fwd_probs)
+    }
+
+    /// Assembles a kernel from finished forward rows, deriving the reverse
+    /// arrays by counting sort: one pass to size the reverse rows, one to
+    /// fill them (sources come out in ascending order).
+    fn from_forward(
+        model: TransitionModel,
+        fwd_offsets: Vec<usize>,
+        fwd_dsts: Vec<u32>,
+        fwd_probs: Vec<f64>,
+    ) -> Self {
+        let n = fwd_offsets.len() - 1;
         let mut rev_offsets = vec![0usize; n + 1];
         for &v in &fwd_dsts {
             rev_offsets[v as usize + 1] += 1;
@@ -96,6 +107,49 @@ impl TransitionCsr {
             rev_srcs,
             rev_probs,
         }
+    }
+
+    /// A new **owned** kernel equal to `TransitionCsr::build(view, model)`:
+    /// the `touched` rows are re-evaluated on `view` (the updated graph) and
+    /// every other row's slices are copied verbatim from `self`. This is the
+    /// committed counterpart of [`TransitionCsr::patched`] — instead of a
+    /// borrowed overlay for one CHECK, it produces a standalone kernel that
+    /// outlives `self`, which is what an epoch publish needs. Forward cost
+    /// is `O(Σ deg(touched))` recompute plus an `O(E)` memcpy; the reverse
+    /// transpose is rebuilt by counting sort (`O(V + E)`), so the whole
+    /// rebuild stays linear in the graph rather than `O(E log deg)`.
+    ///
+    /// `view` must have the same node count as the base kernel: live
+    /// feedback mutates edges between existing nodes, never the node set.
+    pub fn rebuild_rows<G: GraphView>(&self, view: &G, touched: &[NodeId]) -> TransitionCsr {
+        let n = self.num_nodes();
+        debug_assert_eq!(view.num_nodes(), n, "rebuild_rows: node count changed");
+        let mut is_touched = vec![false; n];
+        for &u in touched {
+            is_touched[u.index()] = true;
+        }
+
+        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        fwd_offsets.push(0usize);
+        let mut fwd_dsts: Vec<u32> = Vec::with_capacity(self.fwd_dsts.len());
+        let mut fwd_probs: Vec<f64> = Vec::with_capacity(self.fwd_probs.len());
+        let mut row: Vec<(NodeId, f64)> = Vec::new();
+        for u in 0..n {
+            if is_touched[u] {
+                transition_row_into(view, self.model, NodeId(u as u32), &mut row);
+                for &(v, p) in &row {
+                    fwd_dsts.push(v.0);
+                    fwd_probs.push(p);
+                }
+            } else {
+                let (dsts, probs) = self.forward_row(NodeId(u as u32));
+                fwd_dsts.extend_from_slice(dsts);
+                fwd_probs.extend_from_slice(probs);
+            }
+            fwd_offsets.push(fwd_dsts.len());
+        }
+
+        Self::from_forward(self.model, fwd_offsets, fwd_dsts, fwd_probs)
     }
 
     /// The transition model the rows were materialised under.
@@ -473,6 +527,75 @@ mod tests {
             for ((sa, pa), (sb, pb)) in a.iter().zip(&b) {
                 assert_eq!(sa, sb);
                 assert!((f64::from_bits(*pa) - f64::from_bits(*pb)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_rows_matches_full_build_bit_for_bit() {
+        let g = sample_graph();
+        let et = g.registry().find_edge_type("a").unwrap();
+        let csr = TransitionCsr::build(&g, model());
+
+        let mut d = GraphDelta::new();
+        d.remove_edge(EdgeKey::new(NodeId(0), NodeId(1), et));
+        d.add_edge(EdgeKey::new(NodeId(0), NodeId(4), et), 3.0);
+        d.add_edge(EdgeKey::new(NodeId(3), NodeId(0), et), 1.5);
+        let committed = d.apply_to(&g).unwrap();
+
+        let incremental = csr.rebuild_rows(&committed, &d.touched_sources());
+        let full = TransitionCsr::build(&committed, model());
+        assert_eq!(incremental.num_entries(), full.num_entries());
+        for u in 0..g.num_nodes() as u32 {
+            let (id, ip) = incremental.forward_row(NodeId(u));
+            let (fd, fp) = full.forward_row(NodeId(u));
+            assert_eq!(id, fd, "forward dsts differ at {u}");
+            for (a, b) in ip.iter().zip(fp) {
+                assert_eq!(a.to_bits(), b.to_bits(), "forward prob differs at {u}");
+            }
+            let (is, ipr) = incremental.reverse_row(NodeId(u));
+            let (fs, fpr) = full.reverse_row(NodeId(u));
+            assert_eq!(is, fs, "reverse srcs differ at {u}");
+            for (a, b) in ipr.iter().zip(fpr) {
+                assert_eq!(a.to_bits(), b.to_bits(), "reverse prob differs at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_rows_chain_tracks_repeated_deltas() {
+        // An epoch chain: apply three deltas in sequence, rebuilding
+        // incrementally each time, and compare the final kernel against a
+        // from-scratch build on the final graph.
+        let g0 = sample_graph();
+        let et = g0.registry().find_edge_type("a").unwrap();
+        let mut kernel = TransitionCsr::build(&g0, model());
+        let mut graph = g0;
+
+        let deltas: Vec<GraphDelta> = {
+            let mut d1 = GraphDelta::new();
+            d1.remove_edge(EdgeKey::new(NodeId(1), NodeId(2), et));
+            let mut d2 = GraphDelta::new();
+            d2.add_edge(EdgeKey::new(NodeId(4), NodeId(1), et), 0.75);
+            let mut d3 = GraphDelta::new();
+            d3.add_edge(EdgeKey::new(NodeId(1), NodeId(5), et), 2.5);
+            d3.remove_edge(EdgeKey::new(NodeId(4), NodeId(0), et));
+            vec![d1, d2, d3]
+        };
+        for d in &deltas {
+            let next = d.apply_to(&graph).unwrap();
+            kernel = kernel.rebuild_rows(&next, &d.touched_sources());
+            graph = next;
+        }
+
+        let full = TransitionCsr::build(&graph, model());
+        assert_eq!(kernel.num_entries(), full.num_entries());
+        for u in 0..graph.num_nodes() as u32 {
+            let (id, ip) = kernel.forward_row(NodeId(u));
+            let (fd, fp) = full.forward_row(NodeId(u));
+            assert_eq!(id, fd);
+            for (a, b) in ip.iter().zip(fp) {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

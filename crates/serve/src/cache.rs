@@ -128,6 +128,100 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// An [`LruCache`] whose entries are stamped with the graph epoch they
+/// were computed on. Lookups pass the *pinned* epoch of the requesting
+/// job: an entry from any other epoch is removed on sight, counted as a
+/// stale invalidation, and reported as a miss — stale artefacts are never
+/// returned, in either direction (an old request pinned to epoch *e*
+/// also refuses an entry rebuilt on *e+1*).
+///
+/// Invalidation is **lazy**: publishing an epoch doesn't sweep the cache
+/// (that would stall the write path on the cache lock); each entry dies
+/// on its first post-bump touch, or by ordinary LRU pressure. Between a
+/// publish and that first touch the stale entry occupies a slot but is
+/// unreachable for serving.
+///
+/// Hit/miss accounting lives here, not in the inner cache, so that a
+/// stale hit counts as a miss in `/metrics` (the caller must rebuild)
+/// while the dedicated stale counter preserves the why.
+pub struct EpochCache<K: Eq + Hash, V> {
+    inner: LruCache<K, (u64, V)>,
+    hits: u64,
+    misses: u64,
+    stale_invalidations: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> EpochCache<K, V> {
+    /// A cache holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        EpochCache {
+            inner: LruCache::new(cap),
+            hits: 0,
+            misses: 0,
+            stale_invalidations: 0,
+        }
+    }
+
+    /// Clone of the value cached *at* `epoch`, refreshing its recency.
+    /// An entry stamped with any other epoch is invalidated and `None`
+    /// is returned.
+    pub fn get_at(&mut self, key: &K, epoch: u64) -> Option<V> {
+        match self.inner.get(key) {
+            Some((e, v)) if e == epoch => {
+                self.hits += 1;
+                Some(v)
+            }
+            Some(_) => {
+                self.inner.remove(key);
+                self.stale_invalidations += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key` stamped with the epoch it was computed on.
+    pub fn insert_at(&mut self, key: K, epoch: u64, value: V) {
+        self.inner.insert(key, (epoch, value));
+    }
+
+    /// Quarantine, exactly like [`LruCache::remove`].
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Entries dropped because their epoch didn't match the pinned one.
+    pub fn stale_invalidations(&self) -> u64 {
+        self.stale_invalidations
+    }
+
+    /// Accounting snapshot for `/metrics`: len/capacity/evictions from
+    /// the inner LRU, hit/miss from the epoch-aware layer.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            ..self.inner.stats()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +310,105 @@ mod tests {
         c.insert(3, 30);
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 0);
+    }
+
+    // ---- EpochCache: epoch-keyed invalidation --------------------------
+    //
+    // These tests drive epochs off an `emigre_obs::ManualClock`, the same
+    // injected-time device the sliding-window tests use: the "current
+    // epoch" advances only when the test says so, making every
+    // invalidation decision deterministic — no sleeps, no wall clock.
+
+    use emigre_obs::ManualClock;
+
+    fn manual_epoch() -> ManualClock {
+        let (_, clock) = emigre_obs::SlidingWindow::with_manual_clock(4);
+        clock
+    }
+
+    #[test]
+    fn epoch_cache_serves_only_the_pinned_epoch() {
+        let clock = manual_epoch();
+        let mut c: EpochCache<u32, u32> = EpochCache::new(4);
+        c.insert_at(1, clock.now_sec(), 10);
+        assert_eq!(c.get_at(&1, clock.now_sec()), Some(10));
+
+        // Epoch bump: the same key must now miss, and the stale entry is
+        // gone (not just skipped).
+        clock.advance(1);
+        assert_eq!(c.get_at(&1, clock.now_sec()), None);
+        assert_eq!(c.stale_invalidations(), 1);
+        assert!(c.is_empty(), "stale entry was removed, not retained");
+
+        // Rebuilt on the new epoch: hits again.
+        c.insert_at(1, clock.now_sec(), 11);
+        assert_eq!(c.get_at(&1, clock.now_sec()), Some(11));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+    }
+
+    #[test]
+    fn epoch_cache_refuses_newer_entries_for_older_pins() {
+        // A request pinned to epoch 0 races a publish: the entry it finds
+        // was rebuilt on epoch 1. Serving it would tear the request across
+        // two graphs, so it must be refused too.
+        let clock = manual_epoch();
+        let mut c: EpochCache<u32, u32> = EpochCache::new(4);
+        let pinned = clock.now_sec(); // the old request's pin
+        clock.advance(1);
+        c.insert_at(7, clock.now_sec(), 70); // rebuilt on the new epoch
+        assert_eq!(c.get_at(&7, pinned), None);
+        assert_eq!(c.stale_invalidations(), 1);
+    }
+
+    #[test]
+    fn epoch_cache_invalidation_is_lazy_and_per_entry() {
+        let clock = manual_epoch();
+        let mut c: EpochCache<u32, u32> = EpochCache::new(8);
+        for k in 0..4u32 {
+            c.insert_at(k, clock.now_sec(), k * 10);
+        }
+        clock.advance(1);
+        // Nothing swept eagerly at the bump...
+        assert_eq!(c.len(), 4);
+        // ...each entry dies on its first post-bump touch, independently.
+        assert_eq!(c.get_at(&2, clock.now_sec()), None);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stale_invalidations(), 1);
+        c.insert_at(2, clock.now_sec(), 21);
+        assert_eq!(c.get_at(&2, clock.now_sec()), Some(21));
+        // Untouched stale survivors still refuse to serve.
+        assert_eq!(c.get_at(&3, clock.now_sec()), None);
+        assert_eq!(c.stale_invalidations(), 2);
+    }
+
+    #[test]
+    fn epoch_cache_counts_stale_as_miss_in_stats() {
+        let clock = manual_epoch();
+        let mut c: EpochCache<u32, u32> = EpochCache::new(2);
+        c.insert_at(1, clock.now_sec(), 1);
+        clock.advance(3); // epochs may jump by more than one
+        assert_eq!(c.get_at(&1, clock.now_sec()), None);
+        assert_eq!(c.get_at(&2, clock.now_sec()), None); // plain miss
+        let s = c.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2, "stale and plain misses both count");
+        assert_eq!(c.stale_invalidations(), 1, "only one was stale");
+        assert_eq!(s.evictions, 0, "staleness is hygiene, not pressure");
+    }
+
+    #[test]
+    fn epoch_cache_lru_pressure_still_applies_within_an_epoch() {
+        let clock = manual_epoch();
+        let mut c: EpochCache<u32, u32> = EpochCache::new(2);
+        let e = clock.now_sec();
+        c.insert_at(1, e, 10);
+        c.insert_at(2, e, 20);
+        assert_eq!(c.get_at(&1, e), Some(10)); // 2 becomes LRU
+        c.insert_at(3, e, 30);
+        assert_eq!(c.get_at(&2, e), None);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stale_invalidations(), 0);
     }
 
     /// The service serializes access through a mutex; this test hammers

@@ -30,10 +30,11 @@ use std::thread::JoinHandle;
 pub struct RequestEvent {
     /// The id echoed in the HTTP response and the `/trace/<id>` key.
     pub request_id: u64,
-    /// `explain` or `recommend`.
+    /// `explain`, `recommend`, or `feedback`.
     pub endpoint: String,
     /// `found`, `failure`, `ok`, `invalid_question`, `deadline_exceeded`,
-    /// `rejected_overload`, or `shutting_down`.
+    /// `rejected_overload`, `shutting_down`, `worker_panic` — or, for
+    /// feedback: `applied`, `feedback_rejected`, `update_panic`.
     pub outcome: String,
     pub user: u32,
     /// The Why-Not item (explain requests only).
@@ -51,6 +52,11 @@ pub struct RequestEvent {
     pub column_cache_hit: Option<bool>,
     /// PPR/CHECK op deltas attributable to this request alone.
     pub ops: CounterSnapshot,
+    /// The graph epoch the request was pinned to (read paths) or
+    /// published / left current (feedback). `None` for requests that
+    /// never reached a worker (admission rejections, worker panics before
+    /// accounting).
+    pub epoch: Option<u64>,
 }
 
 /// Counters describing the log itself, exported in `/metrics`.
@@ -219,6 +225,7 @@ mod tests {
             session_cache_hit: Some(true),
             column_cache_hit: Some(false),
             ops: CounterSnapshot::default(),
+            epoch: Some(0),
         }
     }
 

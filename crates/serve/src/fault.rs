@@ -46,6 +46,26 @@ pub trait FaultHooks: Send + Sync {
     /// Called once per dequeued job with its request id and endpoint
     /// (`"explain"` or `"recommend"`).
     fn on_dequeue(&self, _request_id: u64, _endpoint: &'static str) {}
+
+    /// Called twice per feedback update on the updater thread: once with
+    /// [`UpdatePhase::Apply`] before the new epoch's graph and kernel are
+    /// computed, and once with [`UpdatePhase::Publish`] after they are
+    /// fully built but before the epoch pointer is swapped. A panic in
+    /// `Apply` models a crash mid-update (the old epoch must stay intact);
+    /// a block in `Publish` models a stalled publish (readers must keep
+    /// seeing the old epoch, never a half-built one).
+    fn on_update(&self, _next_epoch: u64, _phase: UpdatePhase) {}
+}
+
+/// Where in the two-step publish protocol an update fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdatePhase {
+    /// Before the new graph/kernel are computed: a crash here loses only
+    /// the in-flight delta, never published state.
+    Apply,
+    /// After the new epoch is fully built, before the pointer swap: a
+    /// stall here delays visibility but can't expose partial state.
+    Publish,
 }
 
 /// Cloneable wrapper so [`ServiceConfig`](crate::service::ServiceConfig)
@@ -61,6 +81,11 @@ impl FaultHandle {
     #[inline]
     pub(crate) fn on_dequeue(&self, request_id: u64, endpoint: &'static str) {
         self.0.on_dequeue(request_id, endpoint);
+    }
+
+    #[inline]
+    pub(crate) fn on_update(&self, next_epoch: u64, phase: UpdatePhase) {
+        self.0.on_update(next_epoch, phase);
     }
 }
 
@@ -89,6 +114,9 @@ enum FaultAction {
 #[derive(Default)]
 pub struct FaultPlan {
     actions: Mutex<HashMap<u64, FaultAction>>,
+    /// Update faults keyed by `(next_epoch, phase)`; epochs are assigned
+    /// serially starting at 1, so tests know them in advance too.
+    update_actions: Mutex<HashMap<(u64, UpdatePhase), FaultAction>>,
     triggered: AtomicU64,
 }
 
@@ -127,17 +155,30 @@ impl FaultPlan {
         FaultRelease { _release: tx }
     }
 
+    /// The updater computing epoch `next_epoch` panics with
+    /// [`FAULT_PANIC`] in `phase` — a crash mid-update.
+    pub fn panic_on_update(&self, next_epoch: u64, phase: UpdatePhase) {
+        self.update_actions
+            .lock()
+            .insert((next_epoch, phase), FaultAction::Panic);
+    }
+
+    /// The updater computing epoch `next_epoch` parks in `phase` until
+    /// the returned [`FaultRelease`] is dropped — a stalled publish.
+    pub fn block_update(&self, next_epoch: u64, phase: UpdatePhase) -> FaultRelease {
+        let (tx, rx) = bounded::<()>(1);
+        self.update_actions
+            .lock()
+            .insert((next_epoch, phase), FaultAction::Block(rx));
+        FaultRelease { _release: tx }
+    }
+
     /// How many planned faults have fired so far.
     pub fn triggered(&self) -> u64 {
         self.triggered.load(Ordering::Relaxed)
     }
-}
 
-impl FaultHooks for FaultPlan {
-    fn on_dequeue(&self, request_id: u64, _endpoint: &'static str) {
-        // One-shot: take the action out before executing it.
-        let action = self.actions.lock().remove(&request_id);
-        let Some(action) = action else { return };
+    fn run(&self, action: FaultAction) {
         self.triggered.fetch_add(1, Ordering::Relaxed);
         match action {
             FaultAction::Panic => panic!("{FAULT_PANIC}"),
@@ -146,6 +187,21 @@ impl FaultHooks for FaultPlan {
                 let _ = rx.recv(); // parked until FaultRelease drops
             }
         }
+    }
+}
+
+impl FaultHooks for FaultPlan {
+    fn on_dequeue(&self, request_id: u64, _endpoint: &'static str) {
+        // One-shot: take the action out before executing it.
+        let action = self.actions.lock().remove(&request_id);
+        let Some(action) = action else { return };
+        self.run(action);
+    }
+
+    fn on_update(&self, next_epoch: u64, phase: UpdatePhase) {
+        let action = self.update_actions.lock().remove(&(next_epoch, phase));
+        let Some(action) = action else { return };
+        self.run(action);
     }
 }
 
@@ -171,6 +227,24 @@ mod tests {
         assert_eq!(plan.triggered(), 1);
         // Unplanned ids are untouched.
         plan.on_dequeue(8, "recommend");
+        assert_eq!(plan.triggered(), 1);
+    }
+
+    #[test]
+    fn update_actions_are_one_shot_and_phase_keyed() {
+        let plan = FaultPlan::new();
+        let release = plan.block_update(4, UpdatePhase::Publish);
+        // Wrong phase / wrong epoch: nothing fires.
+        plan.on_update(4, UpdatePhase::Apply);
+        plan.on_update(5, UpdatePhase::Publish);
+        assert_eq!(plan.triggered(), 0);
+        let plan2 = Arc::clone(&plan);
+        let t = std::thread::spawn(move || plan2.on_update(4, UpdatePhase::Publish));
+        drop(release);
+        t.join().unwrap();
+        assert_eq!(plan.triggered(), 1);
+        // One-shot: replays are inert.
+        plan.on_update(4, UpdatePhase::Publish);
         assert_eq!(plan.triggered(), 1);
     }
 

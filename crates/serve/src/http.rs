@@ -12,6 +12,7 @@
 //! |--------------------|-------------------------------------------------------------|
 //! | `POST /explain`    | `{"user":N,"why_not":N,"method":"...","deadline_ms":N}`     |
 //! | `POST /recommend`  | `{"user":N,"k":N,"deadline_ms":N}`                          |
+//! | `POST /feedback`   | `{"events":[{"op":"add","src":N,"dst":N,"etype":"..."}]}`   |
 //! | `GET  /healthz`    | — (build/version info, worker count, uptime)                |
 //! | `GET  /metrics`    | — (JSON; `?format=prometheus` for text exposition)          |
 //! | `GET  /trace/<id>` | — (replayable `ExplainTrace` of a recent request)           |
@@ -21,8 +22,13 @@
 //! to status codes: 400 invalid question, 429 overloaded, 503 shutting
 //! down, 504 deadline exceeded. Every `/explain` and `/recommend`
 //! response — success or rejection — carries the `request_id` assigned at
-//! admission; successful ones also carry per-stage latency attribution.
+//! admission; successful ones also carry per-stage latency attribution
+//! and the graph `epoch` they were served from. `/feedback` applies edge
+//! add/remove events atomically as one new epoch and answers with the
+//! epoch it published (400 on validation failure, 500 if the update
+//! worker panicked — the previous epoch stays current either way).
 
+use crate::live::{FeedbackError, FeedbackEvent};
 use crate::metrics::prometheus_text;
 use crate::service::{ExplanationService, ServeError};
 use emigre_core::{Explanation, Method};
@@ -68,6 +74,20 @@ struct RecommendBody {
     deadline_ms: Option<u64>,
 }
 
+#[derive(Deserialize)]
+struct FeedbackBody {
+    events: Vec<FeedbackEvent>,
+}
+
+#[derive(Serialize)]
+struct FeedbackOkBody {
+    status: String,
+    request_id: u64,
+    /// The epoch this batch published; all subsequent reads see it.
+    epoch: u64,
+    edges_changed: u64,
+}
+
 #[derive(Serialize)]
 struct StatusBody {
     status: String,
@@ -95,6 +115,8 @@ struct ExplainOkBody {
     request_id: u64,
     explanation: Explanation,
     stages: StageLatencies,
+    /// The graph epoch the request was pinned to.
+    epoch: u64,
 }
 
 #[derive(Serialize)]
@@ -103,6 +125,8 @@ struct ExplainFailureBody {
     request_id: u64,
     failure: emigre_core::ExplainFailure,
     stages: StageLatencies,
+    /// The graph epoch the request was pinned to.
+    epoch: u64,
 }
 
 #[derive(Serialize)]
@@ -117,6 +141,8 @@ struct RecommendOkBody {
     request_id: u64,
     items: Vec<ItemScore>,
     stages: StageLatencies,
+    /// The graph epoch the request was pinned to.
+    epoch: u64,
 }
 
 /// A bound, not-yet-running HTTP server.
@@ -391,7 +417,9 @@ fn route(
         }
         ("POST", "/explain") => handle_explain(service, &req.body),
         ("POST", "/recommend") => handle_recommend(service, &req.body),
-        ("POST", "/healthz" | "/metrics") | ("GET", "/explain" | "/recommend" | "/shutdown") => (
+        ("POST", "/feedback") => handle_feedback(service, &req.body),
+        ("POST", "/healthz" | "/metrics")
+        | ("GET", "/explain" | "/recommend" | "/feedback" | "/shutdown") => (
             405,
             JSON,
             json_error("method_not_allowed", req.method.clone()),
@@ -470,6 +498,7 @@ fn handle_explain(service: &ExplanationService, body: &[u8]) -> (u16, &'static s
                     request_id,
                     explanation,
                     stages: resp.stages,
+                    epoch: resp.epoch,
                 })
                 .unwrap_or_else(|e| json_error("internal", e.to_string())),
             ),
@@ -481,11 +510,44 @@ fn handle_explain(service: &ExplanationService, body: &[u8]) -> (u16, &'static s
                     request_id,
                     failure,
                     stages: resp.stages,
+                    epoch: resp.epoch,
                 })
                 .unwrap_or_else(|e| json_error("internal", e.to_string())),
             ),
         },
         Err(e) => serve_error_response(e, Some(request_id)),
+    }
+}
+
+fn handle_feedback(service: &ExplanationService, body: &[u8]) -> (u16, &'static str, String) {
+    let req: FeedbackBody = match parse_body(body) {
+        Ok(r) => r,
+        Err(e) => return (400, JSON, json_error("bad_request", e)),
+    };
+    let (request_id, result) = service.apply_feedback(&req.events);
+    match result {
+        Ok(out) => (
+            200,
+            JSON,
+            serde_json::to_string(&FeedbackOkBody {
+                status: "ok".to_owned(),
+                request_id,
+                epoch: out.epoch,
+                edges_changed: out.edges_changed as u64,
+            })
+            .unwrap_or_else(|e| json_error("internal", e.to_string())),
+        ),
+        Err(e) => {
+            let status = match &e {
+                FeedbackError::UpdatePanicked => 500,
+                _ => 400,
+            };
+            let label = match &e {
+                FeedbackError::UpdatePanicked => "update_panic",
+                _ => "feedback_rejected",
+            };
+            (status, JSON, json_error_id(label, e.to_string(), Some(request_id)))
+        }
     }
 }
 
@@ -516,6 +578,7 @@ fn handle_recommend(service: &ExplanationService, body: &[u8]) -> (u16, &'static
                     })
                     .collect(),
                 stages: resp.stages,
+                epoch: resp.epoch,
             })
             .unwrap_or_else(|e| json_error("internal", e.to_string())),
         ),

@@ -9,26 +9,36 @@
 //!    `PPR(·,WNI)` columns. Graceful shutdown drains every admitted
 //!    request.
 //! 2. [`HttpServer`] — a std-only HTTP/1.1 JSON front end (`POST
-//!    /explain`, `POST /recommend`, `GET /healthz`, `GET /metrics`,
-//!    `POST /shutdown`).
+//!    /explain`, `POST /recommend`, `POST /feedback`, `GET /healthz`,
+//!    `GET /metrics`, `POST /shutdown`).
+//!
+//! The graph is **live**: [`LiveGraph`] publishes epoch-versioned
+//! snapshots, feedback edge events build a new epoch off the serving
+//! path, and every read request pins one epoch for its whole lifetime —
+//! an explanation's CHECKs all see a single consistent graph.
 //!
 //! Served answers are identical to the single-threaded
-//! [`emigre_core::ExplainContext::build`] path — see
-//! [`service`]'s determinism notes and the `concurrency` test. The
-//! [`reference_explain`]/[`reference_recommend`] functions are that
-//! single-threaded oracle, used by the load generator's divergence check.
+//! [`emigre_core::ExplainContext::build`] path *on the pinned epoch's
+//! graph* — see [`service`]'s determinism notes and the `concurrency`
+//! test. The [`reference_explain`]/[`reference_recommend`] functions are
+//! that single-threaded oracle, used by the load generator's divergence
+//! check.
 
 pub mod cache;
 pub mod events;
 pub mod fault;
 pub mod http;
+pub mod live;
 pub mod metrics;
 pub mod service;
 
-pub use cache::{CacheStats, LruCache};
+pub use cache::{CacheStats, EpochCache, LruCache};
 pub use events::{EventLogStats, EventLogger, RequestEvent};
-pub use fault::{FaultHandle, FaultHooks, FaultPlan, FaultRelease, FAULT_PANIC};
+pub use fault::{FaultHandle, FaultHooks, FaultPlan, FaultRelease, UpdatePhase, FAULT_PANIC};
 pub use http::{method_from_label, HttpServer};
+pub use live::{
+    events_to_delta, FeedbackError, FeedbackEvent, FeedbackOutcome, GraphEpoch, LiveGraph,
+};
 pub use metrics::{prometheus_text, MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
 pub use service::{
     recommend_from_push, reference_explain, reference_recommend, ExplainOutcome, ExplainResponse,

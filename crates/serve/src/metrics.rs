@@ -43,6 +43,15 @@ pub struct ServeMetrics {
     /// Cache hits rejected by integrity validation (poisoned or corrupt
     /// entries quarantined instead of served).
     pub cache_poison_detected: AtomicU64,
+    /// Feedback requests reaching `apply_feedback` (applied or rejected).
+    /// Deliberately *not* counted in `requests_total`: the fault suites
+    /// assert `requests_total == completed_total + rejected_overload`
+    /// over the read path, and feedback never enters the worker queue.
+    pub feedback_requests: AtomicU64,
+    /// Individual edge events applied through published epochs.
+    pub feedback_events_applied: AtomicU64,
+    /// Feedback requests rejected (validation failure or update panic).
+    pub feedback_rejected: AtomicU64,
     /// End-to-end worker latency of explain jobs.
     pub explain_latency: LatencyHistogram,
     /// End-to-end worker latency of recommend jobs.
@@ -90,6 +99,14 @@ impl ServeMetrics {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             cache_poison_detected: self.cache_poison_detected.load(Ordering::Relaxed),
+            feedback_requests: self.feedback_requests.load(Ordering::Relaxed),
+            feedback_events_applied: self.feedback_events_applied.load(Ordering::Relaxed),
+            feedback_rejected: self.feedback_rejected.load(Ordering::Relaxed),
+            graph_epoch: owned.graph_epoch,
+            epochs_published: owned.epochs_published,
+            update_panics: owned.update_panics,
+            session_stale_invalidations: owned.session_stale_invalidations,
+            column_stale_invalidations: owned.column_stale_invalidations,
             queue_depth: owned.queue_depth,
             workers: owned.workers,
             uptime_secs: owned.uptime_secs,
@@ -118,6 +135,17 @@ pub struct ServiceOwned {
     pub queue_depth: u64,
     pub workers: u64,
     pub uptime_secs: u64,
+    /// The currently published graph epoch (0 = the seed graph).
+    pub graph_epoch: u64,
+    /// Epochs published since start (excludes the seed epoch 0).
+    pub epochs_published: u64,
+    /// Update attempts that panicked mid-apply or mid-publish; the
+    /// previous epoch stayed current each time.
+    pub update_panics: u64,
+    /// Session-cache entries lazily discarded for carrying a stale epoch.
+    pub session_stale_invalidations: u64,
+    /// Column-cache entries lazily discarded for carrying a stale epoch.
+    pub column_stale_invalidations: u64,
     pub session_cache: CacheStats,
     pub column_cache: CacheStats,
     pub ops: CounterSnapshot,
@@ -149,6 +177,22 @@ pub struct MetricsSnapshot {
     pub worker_panics: u64,
     /// Poisoned/corrupt cache entries detected and quarantined.
     pub cache_poison_detected: u64,
+    /// Feedback requests reaching the write path (applied or rejected).
+    pub feedback_requests: u64,
+    /// Individual edge events applied through published epochs.
+    pub feedback_events_applied: u64,
+    /// Feedback requests rejected (validation or update panic).
+    pub feedback_rejected: u64,
+    /// The currently published graph epoch (0 = the seed graph).
+    pub graph_epoch: u64,
+    /// Epochs published since start.
+    pub epochs_published: u64,
+    /// Update attempts that panicked; the prior epoch survived each one.
+    pub update_panics: u64,
+    /// Stale-epoch session-cache entries lazily invalidated.
+    pub session_stale_invalidations: u64,
+    /// Stale-epoch column-cache entries lazily invalidated.
+    pub column_stale_invalidations: u64,
     /// Jobs admitted but not yet picked up by a worker.
     pub queue_depth: u64,
     pub workers: u64,
@@ -248,6 +292,62 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         &[],
         s.cache_poison_detected,
     );
+
+    p.header(
+        "emigre_feedback_requests_total",
+        "counter",
+        "Feedback requests reaching the write path (applied or rejected)",
+    );
+    p.sample_u64("emigre_feedback_requests_total", &[], s.feedback_requests);
+    p.header(
+        "emigre_feedback_events_applied_total",
+        "counter",
+        "Edge events applied through published epochs",
+    );
+    p.sample_u64(
+        "emigre_feedback_events_applied_total",
+        &[],
+        s.feedback_events_applied,
+    );
+    p.header(
+        "emigre_feedback_rejected_total",
+        "counter",
+        "Feedback requests rejected by validation or an update panic",
+    );
+    p.sample_u64("emigre_feedback_rejected_total", &[], s.feedback_rejected);
+    p.header(
+        "emigre_graph_epoch",
+        "gauge",
+        "Currently published graph epoch (0 = seed graph)",
+    );
+    p.sample_u64("emigre_graph_epoch", &[], s.graph_epoch);
+    p.header(
+        "emigre_epochs_published_total",
+        "counter",
+        "Graph epochs published since start",
+    );
+    p.sample_u64("emigre_epochs_published_total", &[], s.epochs_published);
+    p.header(
+        "emigre_update_panics_total",
+        "counter",
+        "Update attempts that panicked; the prior epoch survived each",
+    );
+    p.sample_u64("emigre_update_panics_total", &[], s.update_panics);
+    p.header(
+        "emigre_cache_stale_invalidations_total",
+        "counter",
+        "Cache entries lazily invalidated for carrying a stale epoch",
+    );
+    for (name, v) in [
+        ("session", s.session_stale_invalidations),
+        ("column", s.column_stale_invalidations),
+    ] {
+        p.sample_u64(
+            "emigre_cache_stale_invalidations_total",
+            &[("cache", name)],
+            v,
+        );
+    }
 
     p.header(
         "emigre_queue_depth",
@@ -412,6 +512,11 @@ mod tests {
             queue_depth: 3,
             workers: 4,
             uptime_secs: 60,
+            graph_epoch: 5,
+            epochs_published: 5,
+            update_panics: 1,
+            session_stale_invalidations: 2,
+            column_stale_invalidations: 3,
             session_cache: CacheStats {
                 len: 2,
                 capacity: 8,
@@ -433,6 +538,11 @@ mod tests {
         let s = m.snapshot(owned);
         assert_eq!(s.queue_depth, 3);
         assert_eq!(s.workers, 4);
+        assert_eq!(s.graph_epoch, 5);
+        assert_eq!(s.epochs_published, 5);
+        assert_eq!(s.update_panics, 1);
+        assert_eq!(s.session_stale_invalidations, 2);
+        assert_eq!(s.column_stale_invalidations, 3);
         assert_eq!(s.session_cache.hits, 5);
         assert_eq!(s.ops.checks, 42);
         assert_eq!(s.events.written, 8);
@@ -447,6 +557,8 @@ mod tests {
             queue_depth: 2,
             workers: 4,
             uptime_secs: 9,
+            graph_epoch: 7,
+            session_stale_invalidations: 1,
             ..ServiceOwned::default()
         });
         let text = prometheus_text(&s);
@@ -454,6 +566,8 @@ mod tests {
         assert!(text.contains("emigre_rejected_total{reason=\"overload\"} 1"));
         assert!(text.contains("emigre_rejected_total{reason=\"deadline\"} 1"));
         assert!(text.contains("emigre_queue_depth 2"));
+        assert!(text.contains("emigre_graph_epoch 7"));
+        assert!(text.contains("emigre_cache_stale_invalidations_total{cache=\"session\"} 1"));
         assert!(text.contains("emigre_stage_latency_us_bucket{stage=\"test\""));
         assert!(text.contains("le=\"+Inf\""));
     }

@@ -1,23 +1,35 @@
-//! The in-process explanation service: a worker pool over one shared
-//! read-only graph.
+//! The in-process explanation service: a worker pool over an
+//! epoch-versioned live graph.
 //!
 //! ## Architecture
 //!
 //! ```text
 //!  callers ──try_send──▶ bounded queue ──recv──▶ N workers
 //!     ▲                      │                      │
-//!     │   Overloaded when    │                      ├─ session cache (user → UserArtifacts)
-//!     └── full: admission    │                      ├─ column cache  (WNI → PPR(·,WNI))
-//!         control, never     │                      ├─ per-worker PushWorkspace
-//!         unbounded queueing │                      └─ per-request ObsHandle (spans + trace)
+//!     │   Overloaded when    │                      ├─ pinned GraphEpoch (graph + kernel)
+//!     └── full: admission    │                      ├─ session cache (user → UserArtifacts)
+//!         control, never     │                      ├─ column cache  (WNI → PPR(·,WNI))
+//!         unbounded queueing │                      ├─ per-worker PushWorkspace
+//!                            │                      └─ per-request ObsHandle (spans + trace)
 //!                            └─ jobs carry a deadline; expired jobs are
 //!                               dropped when dequeued (DeadlineExceeded)
+//!
+//!  POST /feedback ──▶ apply_feedback ──▶ LiveGraph publish (next epoch)
 //! ```
 //!
-//! The graph, its [`TransitionCsr`] kernel, and every cached artefact are
+//! The graph and its [`TransitionCsr`] kernel live behind a [`LiveGraph`]:
+//! each worker **pins** the current [`GraphEpoch`] once per dequeued job
+//! and computes everything — artefacts, columns, every CHECK — against
+//! that snapshot, so a concurrent [`apply_feedback`] can never tear one
+//! explanation across two graphs. Epochs and every cached artefact are
 //! immutable and `Arc`-shared: workers never copy `O(n)`/`O(E)` state per
 //! request. Each worker owns one [`PushWorkspace`], recycled across every
-//! question it answers ([`ExplainContext::into_workspace`]).
+//! question it answers ([`ExplainContext::into_workspace`]). The session
+//! and column caches are epoch-keyed ([`EpochCache`]): an entry built on
+//! epoch *e* is only served to requests pinned to *e*; a hit on any other
+//! epoch invalidates the entry and rebuilds on the pinned kernel.
+//!
+//! [`apply_feedback`]: ExplanationService::apply_feedback
 //!
 //! ## Telemetry
 //!
@@ -35,13 +47,15 @@
 //! ## Determinism
 //!
 //! A served answer is bit-identical to the single-threaded
-//! [`ExplainContext::build`] → [`Explainer::explain_with_context`] path:
-//! artefact builds, column pushes, and CHECKs are deterministic, caches
-//! only memoise values those deterministic computations would recompute,
-//! and workspace recycling restores the exact base state
+//! [`ExplainContext::build`] → [`Explainer::explain_with_context`] path
+//! *on the graph of the epoch it was served from*: artefact builds,
+//! column pushes, and CHECKs are deterministic, caches only memoise
+//! values those deterministic computations would recompute on the same
+//! epoch, and workspace recycling restores the exact base state
 //! ([`PushWorkspace::load_base`]/[`PushWorkspace::clear`]). The
 //! `concurrency` integration test asserts this equivalence under mixed
-//! parallel traffic.
+//! parallel traffic; the testkit `epoch_consistency` suite asserts it
+//! while feedback writes are racing the readers.
 //!
 //! ## Shutdown
 //!
@@ -51,9 +65,12 @@
 //! abort. New submissions fail with [`ServeError::ShuttingDown`]. The
 //! event log is flushed after the workers drain.
 
-use crate::cache::LruCache;
+use crate::cache::{EpochCache, LruCache};
 use crate::events::{EventLogger, RequestEvent};
 use crate::fault::FaultHandle;
+use crate::live::{
+    events_to_delta, FeedbackError, FeedbackEvent, FeedbackOutcome, GraphEpoch, LiveGraph,
+};
 use crate::metrics::{MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use emigre_core::{
@@ -183,6 +200,9 @@ pub type RecommendOutcome = Vec<(NodeId, f64)>;
 pub struct ExplainResponse {
     pub outcome: ExplainOutcome,
     pub stages: StageLatencies,
+    /// The graph epoch this answer was computed on (pinned for the whole
+    /// request; every CHECK inside the explanation saw this graph).
+    pub epoch: u64,
 }
 
 /// A recommend answer plus its request-scoped telemetry.
@@ -190,6 +210,8 @@ pub struct ExplainResponse {
 pub struct RecommendResponse {
     pub items: RecommendOutcome,
     pub stages: StageLatencies,
+    /// The graph epoch the list was scored on.
+    pub epoch: u64,
 }
 
 enum Work {
@@ -221,11 +243,10 @@ struct Job {
 
 /// State shared between the front-end handle and every worker.
 struct Shared {
-    graph: Arc<Hin>,
+    live: LiveGraph,
     cfg: EmigreConfig,
-    kernel: Arc<TransitionCsr>,
-    sessions: Mutex<LruCache<u32, Arc<UserArtifacts>>>,
-    columns: Mutex<LruCache<u32, Arc<ReversePush>>>,
+    sessions: Mutex<EpochCache<u32, Arc<UserArtifacts>>>,
+    columns: Mutex<EpochCache<u32, Arc<ReversePush>>>,
     metrics: ServeMetrics,
     /// Counters-only service-lifetime handle: per-request span/trace state
     /// lives on private handles and only counter deltas are merged here.
@@ -260,18 +281,19 @@ pub struct ExplanationService {
 
 impl ExplanationService {
     /// Builds the transition kernel, starts the workers, and returns the
-    /// handle. The graph is frozen for the service's lifetime.
+    /// handle. The graph becomes epoch 0 of the service's [`LiveGraph`];
+    /// [`apply_feedback`](ExplanationService::apply_feedback) publishes
+    /// later epochs.
     pub fn start(graph: Hin, mut cfg: EmigreConfig, sc: ServiceConfig) -> Self {
         cfg.parallelism = sc.intra_request_parallelism;
         cfg.validate();
         assert!(sc.workers >= 1, "service needs at least one worker");
         let kernel = Arc::new(TransitionCsr::build(&graph, cfg.rec.ppr.transition));
         let shared = Arc::new(Shared {
-            graph: Arc::new(graph),
+            live: LiveGraph::new(Arc::new(graph), kernel),
             cfg,
-            kernel,
-            sessions: Mutex::new(LruCache::new(sc.session_capacity)),
-            columns: Mutex::new(LruCache::new(sc.column_capacity)),
+            sessions: Mutex::new(EpochCache::new(sc.session_capacity)),
+            columns: Mutex::new(EpochCache::new(sc.column_capacity)),
             metrics: ServeMetrics::default(),
             obs: ObsHandle::counters_only(),
             traces: Mutex::new(LruCache::new(sc.trace_capacity)),
@@ -450,6 +472,18 @@ impl ExplanationService {
     /// windows, event-log stats, and the PPR op counters aggregated
     /// across all served requests.
     pub fn metrics(&self) -> MetricsSnapshot {
+        // Each cache is locked exactly once, *before* the struct literal:
+        // guard temporaries inside the literal would all live to the end
+        // of the statement, and a second `.lock()` of the same (non-
+        // reentrant) mutex there would self-deadlock.
+        let (session_cache, session_stale_invalidations) = {
+            let g = self.shared.sessions.lock();
+            (g.stats(), g.stale_invalidations())
+        };
+        let (column_cache, column_stale_invalidations) = {
+            let g = self.shared.columns.lock();
+            (g.stats(), g.stale_invalidations())
+        };
         let owned = ServiceOwned {
             queue_depth: self
                 .tx
@@ -459,10 +493,15 @@ impl ExplanationService {
                 .unwrap_or(0),
             workers: self.shared.workers as u64,
             uptime_secs: self.shared.started.elapsed().as_secs(),
-            session_cache: self.shared.sessions.lock().stats(),
-            column_cache: self.shared.columns.lock().stats(),
+            session_cache,
+            column_cache,
             ops: self.shared.obs.counters(),
             events: self.shared.events.stats(),
+            graph_epoch: self.shared.live.current_epoch(),
+            epochs_published: self.shared.live.epochs_published(),
+            update_panics: self.shared.live.update_panics(),
+            session_stale_invalidations,
+            column_stale_invalidations,
             windows: WindowsSnapshot {
                 explain_10s: self.shared.explain_window.stats(10),
                 explain_60s: self.shared.explain_window.stats(60),
@@ -537,28 +576,105 @@ impl ExplanationService {
         self.shared.events.shutdown();
     }
 
-    /// The service's graph (read-only, shared with the workers).
-    pub fn graph(&self) -> &Arc<Hin> {
-        &self.shared.graph
+    /// The current epoch's graph. A point-in-time snapshot: a concurrent
+    /// [`apply_feedback`](ExplanationService::apply_feedback) may publish
+    /// a newer epoch right after this returns — use
+    /// [`pin_epoch`](ExplanationService::pin_epoch) to hold graph, kernel,
+    /// and epoch id together.
+    pub fn graph(&self) -> Arc<Hin> {
+        Arc::clone(&self.shared.live.pin().graph)
     }
 
-    /// The shared transition kernel workers compute against.
-    pub fn kernel(&self) -> &Arc<TransitionCsr> {
-        &self.shared.kernel
+    /// The current epoch's transition kernel (same caveat as
+    /// [`graph`](ExplanationService::graph)).
+    pub fn kernel(&self) -> Arc<TransitionCsr> {
+        Arc::clone(&self.shared.live.pin().kernel)
     }
 
-    /// Plants an arbitrary entry in the session cache, bypassing the
-    /// build path. Fault-injection scaffolding: the differential suite
-    /// uses it to prove a poisoned artefact is detected and never served.
+    /// Pins the current graph epoch, exactly as a worker does at the top
+    /// of each job.
+    pub fn pin_epoch(&self) -> Arc<GraphEpoch> {
+        self.shared.live.pin()
+    }
+
+    /// The current graph epoch id (0 until the first accepted feedback).
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.live.current_epoch()
+    }
+
+    /// Applies one batch of feedback events as the next graph epoch and
+    /// returns the request id alongside the outcome. Runs synchronously on
+    /// the caller's thread (writers are serialised inside [`LiveGraph`]);
+    /// in-flight explains keep their pinned epochs. Rejection is
+    /// all-or-nothing and leaves the current epoch untouched — including
+    /// when the updater panics (injected or real).
+    ///
+    /// Feedback requests draw ids from the same sequence as explains and
+    /// emit one event-log line each, but are accounted under the
+    /// `feedback_*` metrics, not the read-path request counters.
+    pub fn apply_feedback(
+        &self,
+        events: &[FeedbackEvent],
+    ) -> (u64, Result<FeedbackOutcome, FeedbackError>) {
+        let request_id = self.shared.next_id();
+        ServeMetrics::bump(&self.shared.metrics.feedback_requests);
+        let start = Instant::now();
+        let result = events_to_delta(
+            events,
+            &self.shared.live.pin().graph,
+            self.shared.cfg.bidirectional_actions,
+        )
+        .and_then(|delta| self.shared.live.apply(&delta, self.shared.faults.as_ref()));
+        let total_us = start.elapsed().as_micros() as u64;
+        let mut event = RequestEvent {
+            request_id,
+            endpoint: "feedback".to_owned(),
+            user: events.first().map(|e| e.src).unwrap_or(0),
+            explanation_size: Some(events.len() as u64),
+            stages: StageLatencies {
+                total_us,
+                ..StageLatencies::default()
+            },
+            ..RequestEvent::default()
+        };
+        match &result {
+            Ok(out) => {
+                self.shared
+                    .metrics
+                    .feedback_events_applied
+                    .fetch_add(events.len() as u64, Ordering::Relaxed);
+                event.outcome = "applied".to_owned();
+                event.epoch = Some(out.epoch);
+            }
+            Err(e) => {
+                ServeMetrics::bump(&self.shared.metrics.feedback_rejected);
+                event.outcome = match e {
+                    FeedbackError::UpdatePanicked => "update_panic".to_owned(),
+                    _ => "feedback_rejected".to_owned(),
+                };
+                event.epoch = Some(self.shared.live.current_epoch());
+            }
+        }
+        self.shared.events.emit(&event);
+        (request_id, result)
+    }
+
+    /// Plants an arbitrary entry in the session cache (stamped with the
+    /// current epoch), bypassing the build path. Fault-injection
+    /// scaffolding: the differential suite uses it to prove a poisoned
+    /// artefact is detected and never served.
     #[doc(hidden)]
     pub fn poison_session_for_test(&self, user: NodeId, art: Arc<UserArtifacts>) {
-        self.shared.sessions.lock().insert(user.0, art);
+        let epoch = self.shared.live.current_epoch();
+        self.shared.sessions.lock().insert_at(user.0, epoch, art);
     }
 
-    /// Plants an arbitrary `PPR(·, WNI)` column in the column cache.
+    /// Plants an arbitrary `PPR(·, WNI)` column in the column cache,
+    /// stamped with the current epoch.
     #[doc(hidden)]
     pub fn poison_column_for_test(&self, wni: NodeId, col: Arc<ReversePush>) {
-        self.shared.columns.lock().insert(wni.0, col);
+        let epoch = self.shared.live.current_epoch();
+        self.shared.columns.lock().insert_at(wni.0, epoch, col);
     }
 
     /// The serving configuration (recommender + explanation settings).
@@ -581,7 +697,8 @@ impl Drop for ExplanationService {
 fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
     // One workspace per worker, recycled across every question. Sized lazily
     // by load_base/clear, so starting at the graph size just pre-warms it.
-    let mut ws = PushWorkspace::new(shared.graph.num_nodes());
+    // (Feedback never changes the node count, only edges.)
+    let mut ws = PushWorkspace::new(shared.live.pin().graph.num_nodes());
     // recv drains queued jobs even after the sender disconnects: graceful
     // shutdown answers everything that was admitted.
     while let Ok(job) = rx.recv() {
@@ -622,13 +739,16 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
                     )
                 }));
                 match run {
-                    Ok((result, stages)) => {
-                        let _ = reply
-                            .try_send(result.map(|outcome| ExplainResponse { outcome, stages }));
+                    Ok((result, stages, epoch)) => {
+                        let _ = reply.try_send(result.map(|outcome| ExplainResponse {
+                            outcome,
+                            stages,
+                            epoch,
+                        }));
                         // caller may have gone away
                     }
                     Err(_) => {
-                        ws = PushWorkspace::new(shared.graph.num_nodes());
+                        ws = PushWorkspace::new(shared.live.pin().graph.num_nodes());
                         account_panic(
                             &shared,
                             request_id,
@@ -647,9 +767,12 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
                     recommend_job(&shared, request_id, admitted_at, deadline, user, k)
                 }));
                 match run {
-                    Ok((result, stages)) => {
-                        let _ =
-                            reply.try_send(result.map(|items| RecommendResponse { items, stages }));
+                    Ok((result, stages, epoch)) => {
+                        let _ = reply.try_send(result.map(|items| RecommendResponse {
+                            items,
+                            stages,
+                            epoch,
+                        }));
                     }
                     Err(_) => {
                         account_panic(
@@ -683,10 +806,14 @@ fn explain_job(
     wni: NodeId,
     method: Method,
     ws: &mut PushWorkspace,
-) -> (Result<ExplainOutcome, ServeError>, StageLatencies) {
+) -> (Result<ExplainOutcome, ServeError>, StageLatencies, u64) {
     if let Some(f) = &shared.faults {
         f.on_dequeue(request_id, "explain");
     }
+    // Pin the graph epoch for the whole request: every artefact build,
+    // column push, and CHECK below sees exactly this snapshot, no matter
+    // how many feedback batches publish while we compute.
+    let snap = shared.live.pin();
     // `start` is taken after the fault hook so an injected delay counts as
     // processing time and can expire the job it hit, like any slow worker.
     let start = Instant::now();
@@ -703,6 +830,7 @@ fn explain_job(
         user: user.0,
         wni: Some(wni.0),
         method: Some(method.label().to_owned()),
+        epoch: Some(snap.epoch),
         ..RequestEvent::default()
     };
     let result = if expired {
@@ -711,7 +839,7 @@ fn explain_job(
     } else {
         // Private handle: spans + trace stay request-scoped.
         let req_obs = ObsHandle::enabled();
-        let r = run_explain(shared, user, wni, method, ws, &req_obs);
+        let r = run_explain(shared, &snap, user, wni, method, ws, &req_obs);
         stages = StageLatencies {
             queue_us,
             ..StageLatencies::from_spans(&req_obs.span_tree())
@@ -764,7 +892,7 @@ fn explain_job(
     // Count completion before replying: once a caller has its answer, the
     // metrics must already include that request.
     ServeMetrics::bump(&shared.metrics.completed_total);
-    (result, stages)
+    (result, stages, snap.epoch)
 }
 
 /// The full recommend path of one dequeued job; see [`explain_job`].
@@ -775,10 +903,11 @@ fn recommend_job(
     deadline: Instant,
     user: NodeId,
     k: usize,
-) -> (Result<RecommendOutcome, ServeError>, StageLatencies) {
+) -> (Result<RecommendOutcome, ServeError>, StageLatencies, u64) {
     if let Some(f) = &shared.faults {
         f.on_dequeue(request_id, "recommend");
     }
+    let snap = shared.live.pin();
     let start = Instant::now();
     let queue_us = start.duration_since(admitted_at).as_micros() as u64;
     let expired = start >= deadline;
@@ -791,6 +920,7 @@ fn recommend_job(
         request_id,
         endpoint: "recommend".to_owned(),
         user: user.0,
+        epoch: Some(snap.epoch),
         ..RequestEvent::default()
     };
     let result = if expired {
@@ -798,7 +928,7 @@ fn recommend_job(
         Err(ServeError::DeadlineExceeded)
     } else {
         let req_obs = ObsHandle::enabled();
-        let r = run_recommend(shared, user, k, &req_obs);
+        let r = run_recommend(shared, &snap, user, k, &req_obs);
         stages = StageLatencies {
             queue_us,
             ..StageLatencies::from_spans(&req_obs.span_tree())
@@ -831,7 +961,7 @@ fn recommend_job(
     event.stages = stages;
     shared.events.emit(&event);
     ServeMetrics::bump(&shared.metrics.completed_total);
-    (result, stages)
+    (result, stages, snap.epoch)
 }
 
 /// Accounting for a job whose computation unwound: the request still
@@ -873,16 +1003,14 @@ fn account_panic(
     ServeMetrics::bump(&shared.metrics.completed_total);
 }
 
-/// User artefacts from the session cache, building on miss; the bool is
-/// the cache-hit flag. Concurrent misses for the same user may build
-/// twice; both builds are deterministic and identical, so the race costs
-/// time, never correctness.
 /// Cheap structural integrity check on a session-cache hit. A healthy
 /// build can never fail it; a poisoned or corrupted entry (wrong user,
 /// truncated estimates, out-of-bounds recommendation) is caught before a
-/// single score is read from it.
-fn session_artifacts_valid(shared: &Shared, user: NodeId, art: &UserArtifacts) -> bool {
-    let n = shared.graph.num_nodes();
+/// single score is read from it. Epoch staleness is checked *before* this
+/// (by [`EpochCache::get_at`]); this guards against corruption within the
+/// right epoch.
+fn session_artifacts_valid(snap: &GraphEpoch, user: NodeId, art: &UserArtifacts) -> bool {
+    let n = snap.graph.num_nodes();
     art.user == user
         && art.user_push.seed == user
         && art.user_push.estimates.len() == n
@@ -893,20 +1021,27 @@ fn session_artifacts_valid(shared: &Shared, user: NodeId, art: &UserArtifacts) -
 
 /// Integrity check on a column-cache hit: the column must actually be
 /// `PPR(·, wni)` for this graph.
-fn column_valid(shared: &Shared, wni: NodeId, col: &ReversePush) -> bool {
-    col.target == wni && col.estimates.len() == shared.graph.num_nodes()
+fn column_valid(snap: &GraphEpoch, wni: NodeId, col: &ReversePush) -> bool {
+    col.target == wni && col.estimates.len() == snap.graph.num_nodes()
 }
 
+/// User artefacts from the session cache, building on miss; the bool is
+/// the cache-hit flag. Entries are keyed by the pinned epoch: a hit from
+/// any other epoch is invalidated (never served) and rebuilt here on the
+/// pinned kernel. Concurrent misses for the same user may build twice;
+/// both builds are deterministic and identical on the same epoch, so the
+/// race costs time, never correctness.
 fn artifacts(
     shared: &Shared,
+    snap: &GraphEpoch,
     user: NodeId,
     obs: &ObsHandle,
 ) -> Result<(Arc<UserArtifacts>, bool), QuestionError> {
     // Bind the lookup first: the lock guard must be released before the
     // quarantine path below re-locks the cache.
-    let cached = shared.sessions.lock().get(&user.0);
+    let cached = shared.sessions.lock().get_at(&user.0, snap.epoch);
     if let Some(hit) = cached {
-        if session_artifacts_valid(shared, user, &hit) {
+        if session_artifacts_valid(snap, user, &hit) {
             return Ok((hit, true));
         }
         // Quarantine: never serve from a poisoned artefact — drop the
@@ -915,39 +1050,51 @@ fn artifacts(
         shared.sessions.lock().remove(&user.0);
     }
     let built = UserArtifacts::build(
-        &*shared.graph,
+        &*snap.graph,
         &shared.cfg,
-        Arc::clone(&shared.kernel),
+        Arc::clone(&snap.kernel),
         user,
         obs,
     )?;
     let art = Arc::new(built);
-    shared.sessions.lock().insert(user.0, Arc::clone(&art));
+    shared
+        .sessions
+        .lock()
+        .insert_at(user.0, snap.epoch, Arc::clone(&art));
     Ok((art, false))
 }
 
 /// `PPR(·, wni)` from the column cache, computing on miss; the bool is
-/// the cache-hit flag. The caller must have validated `wni` (in bounds)
-/// first.
-fn column(shared: &Shared, wni: NodeId, obs: &ObsHandle) -> (Arc<ReversePush>, bool) {
-    let cached = shared.columns.lock().get(&wni.0);
+/// the cache-hit flag. Epoch-keyed like [`artifacts`]. The caller must
+/// have validated `wni` (in bounds) first.
+fn column(
+    shared: &Shared,
+    snap: &GraphEpoch,
+    wni: NodeId,
+    obs: &ObsHandle,
+) -> (Arc<ReversePush>, bool) {
+    let cached = shared.columns.lock().get_at(&wni.0, snap.epoch);
     if let Some(hit) = cached {
-        if column_valid(shared, wni, &hit) {
+        if column_valid(snap, wni, &hit) {
             return (hit, true);
         }
         ServeMetrics::bump(&shared.metrics.cache_poison_detected);
         shared.columns.lock().remove(&wni.0);
     }
-    let col = ReversePush::compute_kernel(&*shared.kernel, &shared.cfg.rec.ppr, wni);
+    let col = ReversePush::compute_kernel(&*snap.kernel, &shared.cfg.rec.ppr, wni);
     obs.count(Op::ReversePushes, col.pushes as u64);
     obs.add_mass(col.drained);
     let col = Arc::new(col);
-    shared.columns.lock().insert(wni.0, Arc::clone(&col));
+    shared
+        .columns
+        .lock()
+        .insert_at(wni.0, snap.epoch, Arc::clone(&col));
     (col, false)
 }
 
 fn run_explain(
     shared: &Shared,
+    snap: &GraphEpoch,
     user: NodeId,
     wni: NodeId,
     method: Method,
@@ -958,15 +1105,16 @@ fn run_explain(
     // bypasses `ExplainContext::build`'s own context_build span — open the
     // equivalent stage span here so attribution covers cache misses too.
     let cb = obs.span("context_build");
-    let (art, session_hit) = artifacts(shared, user, obs).map_err(ServeError::InvalidQuestion)?;
+    let (art, session_hit) =
+        artifacts(shared, snap, user, obs).map_err(ServeError::InvalidQuestion)?;
     // Full question validation before paying for the WNI column.
-    WhyNotQuestion::validate(&*shared.graph, &shared.cfg, user, wni, Some(art.rec))
+    WhyNotQuestion::validate(&*snap.graph, &shared.cfg, user, wni, Some(art.rec))
         .map_err(ServeError::InvalidQuestion)?;
-    let (col, column_hit) = column(shared, wni, obs);
+    let (col, column_hit) = column(shared, snap, wni, obs);
     // Lend the worker's workspace to the context; take it back afterwards.
     let ws = std::mem::replace(ws_slot, PushWorkspace::new(0));
     match ExplainContext::from_artifacts(
-        &*shared.graph,
+        &*snap.graph,
         shared.cfg.clone(),
         &art,
         wni,
@@ -988,14 +1136,16 @@ fn run_explain(
 
 fn run_recommend(
     shared: &Shared,
+    snap: &GraphEpoch,
     user: NodeId,
     k: usize,
     obs: &ObsHandle,
 ) -> Result<(RecommendOutcome, bool), ServeError> {
     let cb = obs.span("context_build");
-    let (art, session_hit) = artifacts(shared, user, obs).map_err(ServeError::InvalidQuestion)?;
+    let (art, session_hit) =
+        artifacts(shared, snap, user, obs).map_err(ServeError::InvalidQuestion)?;
     drop(cb);
-    let items = recommend_from_push(&*shared.graph, &shared.cfg, user, &art.user_push, k);
+    let items = recommend_from_push(&*snap.graph, &shared.cfg, user, &art.user_push, k);
     Ok((items, session_hit))
 }
 

@@ -1,0 +1,370 @@
+//! Differential suite, leg 4: epoch-pinned consistency under live writes.
+//!
+//! Interleaves feedback batches (edge adds/removes through `POST
+//! /feedback`'s programmatic twin, [`ExplanationService::apply_feedback`])
+//! with concurrent explains at 1, 2, and 8 reader threads, then replays
+//! every served verdict against the single-threaded reference — and the
+//! dense oracle — **on the graph of the epoch the response says it was
+//! pinned to**. The claim under test is the live-graph contract: a
+//! request pins one epoch for its whole lifetime, so its answer is
+//! bit-identical to `reference_explain` on that epoch's graph no matter
+//! how many epochs published while it computed.
+//!
+//! The writer is the only mutator, so the suite can maintain a mirror
+//! `Hin` per epoch: it generates each batch to be valid against the
+//! mirror, applies it through the service, and on success replays the
+//! identical delta onto the mirror — giving an independent, epoch-indexed
+//! snapshot chain to verify against. The 8-thread run injects worker
+//! panics and update-phase panics mid-stream; panicked requests answer
+//! `WorkerPanicked` (no verdict to check) and panicked updates must leave
+//! the epoch chain unbroken.
+
+use emigre_core::Method;
+use emigre_hin::{GraphView, Hin, NodeId};
+use emigre_serve::{
+    events_to_delta, reference_explain, ExplanationService, FaultPlan, FeedbackEvent, ServeError,
+    ServiceConfig, UpdatePhase, FAULT_PANIC,
+};
+use emigre_testkit::{
+    oracle_test, push_error_bound, viable_questions, World, WorldParams, WorldSpec,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// ISSUE acceptance floors for the big interleaved run.
+const MIN_FEEDBACK_EVENTS: usize = 200;
+const MIN_EXPLAINS: usize = 200;
+
+const RATED: &str = "rated";
+
+fn quiet_fault_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let planned = payload
+                .downcast_ref::<String>()
+                .map(|s| s.contains(FAULT_PANIC))
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.contains(FAULT_PANIC))
+                })
+                .unwrap_or(false);
+            if !planned {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A generated world with at least `min_questions` viable questions.
+/// Pathologies are off, which also forces the paper's bidirectional
+/// preprocessing — matching the service's mirrored feedback application.
+fn consistency_world(min_questions: usize) -> (World, Vec<(NodeId, NodeId)>) {
+    let params = WorldParams {
+        pathologies: false,
+        ..WorldParams::default()
+    };
+    for seed in 0..500u64 {
+        let world = WorldSpec::sample_seeded(seed, &params).build();
+        let questions = viable_questions(&world, min_questions);
+        if questions.len() >= min_questions {
+            return (world, questions);
+        }
+    }
+    panic!("no generated world produced {min_questions} viable questions");
+}
+
+/// One deterministic feedback batch, valid against `mirror`: two distinct
+/// (user, item) pairs, each an add if the rated edge is absent or a
+/// remove if present. Pairs in `avoid` are never *added*: adding a rated
+/// edge on a question's (user, wni) pair would permanently invalidate
+/// that question (`AlreadyInteracted`), starving the verdict replay.
+/// (They can't be removed either — a viable question's edge never
+/// existed, so it is never generated as a remove.)
+fn next_batch(
+    rng: &mut ChaCha8Rng,
+    users: &[NodeId],
+    items: &[NodeId],
+    avoid: &[(u32, u32)],
+    mirror: &Hin,
+) -> Vec<FeedbackEvent> {
+    let rated = mirror.registry().find_edge_type(RATED).unwrap();
+    let mut events: Vec<FeedbackEvent> = Vec::with_capacity(2);
+    let mut used: Vec<(u32, u32)> = Vec::with_capacity(2);
+    while events.len() < 2 {
+        let user = users[rng.gen_range(0..users.len())];
+        let item = items[rng.gen_range(0..items.len())];
+        let pair = (user.0, item.0);
+        if used.contains(&pair) || avoid.contains(&pair) {
+            continue;
+        }
+        used.push(pair);
+        events.push(if mirror.has_edge(user, item, rated) {
+            FeedbackEvent::remove(user.0, item.0, RATED)
+        } else {
+            let weight = (rng.gen_range(1..=10) as f64) * 0.5;
+            FeedbackEvent::add(user.0, item.0, RATED, weight)
+        });
+    }
+    events
+}
+
+struct RunReport {
+    explains_verified: usize,
+    /// `InvalidQuestion` rejections whose invalidity was confirmed to
+    /// hold on at least one published epoch (rejections carry no epoch,
+    /// so the exact pin is unknowable from the outside).
+    invalid_checked: usize,
+    oracle_decisive_checked: usize,
+    worker_panics_seen: usize,
+    events_applied: usize,
+    final_epoch: u64,
+}
+
+/// One seeded interleaved run: `reader_threads` readers, one writer, then
+/// full mirror replay + verification. Returns coverage counts; panics on
+/// the first divergence.
+fn interleaved_run(
+    seed: u64,
+    reader_threads: usize,
+    explains_per_thread: usize,
+    batches: usize,
+    inject_faults: bool,
+) -> RunReport {
+    quiet_fault_panics();
+    let (world, questions) = consistency_world(4);
+    let cfg = world.cfg.clone();
+    assert!(cfg.bidirectional_actions, "world uses mirrored preprocessing");
+
+    let plan = FaultPlan::new();
+    if inject_faults {
+        // A crashed updater mid-apply, a discarded fully-built epoch, and
+        // three worker panics spread across the request-id stream. Update
+        // faults are one-shot: the retried epoch number publishes later.
+        plan.panic_on_update(3, UpdatePhase::Apply);
+        plan.panic_on_update(7, UpdatePhase::Publish);
+        for id in [5, 60, 150] {
+            plan.panic_on(id);
+        }
+    }
+    let service = Arc::new(ExplanationService::start(
+        world.graph.clone(),
+        cfg.clone(),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            faults: inject_faults.then(|| plan.handle()),
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // Writer: the only mutator. Generates batches valid against its
+    // mirror, applies them through the service, and replays successes onto
+    // the mirror — collecting the epoch-indexed event history.
+    let writer = {
+        let service = Arc::clone(&service);
+        let graph = world.graph.clone();
+        let users = world.users.clone();
+        let items = world.items.clone();
+        let avoid: Vec<(u32, u32)> = questions.iter().map(|&(u, i)| (u.0, i.0)).collect();
+        std::thread::spawn(move || {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfeedbac);
+            let mut mirror = graph;
+            let mut applied: Vec<(u64, Vec<FeedbackEvent>)> = Vec::new();
+            let mut rejected = 0usize;
+            for _ in 0..batches {
+                let events = next_batch(&mut rng, &users, &items, &avoid, &mirror);
+                let (_, result) = service.apply_feedback(&events);
+                match result {
+                    Ok(out) => {
+                        let delta = events_to_delta(&events, &mirror, true)
+                            .expect("generated batch converts");
+                        mirror = delta.apply_to(&mirror).expect("generated batch applies");
+                        applied.push((out.epoch, events));
+                    }
+                    Err(e) => {
+                        assert!(
+                            inject_faults,
+                            "only injected faults may reject a generated batch: {e:?}"
+                        );
+                        rejected += 1;
+                    }
+                }
+                // Let readers land between publishes.
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            (applied, rejected)
+        })
+    };
+
+    // Readers: each thread asks seeded questions and keeps the response
+    // with the epoch it reports.
+    let methods = [Method::RemoveIncremental, Method::AddPowerset];
+    let mut readers = Vec::new();
+    for t in 0..reader_threads {
+        let service = Arc::clone(&service);
+        let questions = questions.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((t as u64) << 32) ^ 0xecad);
+            let mut results = Vec::with_capacity(explains_per_thread);
+            for _ in 0..explains_per_thread {
+                let (user, wni) = questions[rng.gen_range(0..questions.len())];
+                let method = methods[rng.gen_range(0..methods.len())];
+                let (_, r) =
+                    service.explain_request(user, wni, method, Duration::from_secs(120));
+                results.push((user, wni, method, r));
+            }
+            results
+        }));
+    }
+
+    let (applied, rejected) = writer.join().unwrap();
+    let results: Vec<_> = readers
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+
+    // Mirror replay: snapshots[e] is the graph of epoch e. Epochs must be
+    // consecutive — a rejected batch never burns one.
+    let mut snapshots: Vec<Hin> = vec![world.graph.clone()];
+    for (epoch, events) in &applied {
+        assert_eq!(
+            *epoch as usize,
+            snapshots.len(),
+            "published epochs are consecutive"
+        );
+        let delta = events_to_delta(events, snapshots.last().unwrap(), true).unwrap();
+        snapshots.push(delta.apply_to(snapshots.last().unwrap()).unwrap());
+    }
+    let m = service.metrics();
+    assert_eq!(m.graph_epoch as usize, snapshots.len() - 1);
+    assert_eq!(m.epochs_published as usize, applied.len());
+    assert_eq!(m.feedback_rejected as usize, rejected);
+
+    // Verdict replay: every served answer against the reference — and the
+    // oracle — on its pinned epoch's graph.
+    let bound = push_error_bound(world.graph.num_nodes(), cfg.rec.ppr.epsilon);
+    let mut verified = 0usize;
+    let mut invalid = 0usize;
+    let mut oracle_checked = 0usize;
+    let mut panics = 0usize;
+    for (user, wni, method, result) in results {
+        let resp = match result {
+            Ok(resp) => resp,
+            Err(ServeError::WorkerPanicked) => {
+                assert!(inject_faults, "no unplanned worker panics");
+                panics += 1;
+                continue;
+            }
+            Err(ServeError::InvalidQuestion(_)) => {
+                // Feedback never touches a question's own (user, wni)
+                // pair, but rec-list drift can still legitimately
+                // invalidate a question on later epochs (e.g. the WNI
+                // becomes the user's recommendation). The rejection
+                // carries no epoch, so the consistency check is
+                // existential: some published epoch must indeed reject
+                // this question under the reference.
+                assert!(
+                    snapshots
+                        .iter()
+                        .any(|g| reference_explain(g, &cfg, user, wni, method).is_err()),
+                    "service rejected a question that validates on every \
+                     published epoch (user={user:?} wni={wni:?})"
+                );
+                invalid += 1;
+                continue;
+            }
+            Err(e) => panic!("explain rejected unexpectedly: {e:?}"),
+        };
+        let graph = &snapshots[resp.epoch as usize];
+        let reference = reference_explain(graph, &cfg, user, wni, method)
+            .expect("question validated when served, so it validates on the same graph");
+        assert_eq!(
+            resp.outcome, reference,
+            "served verdict diverges from the reference on epoch {} \
+             (user={user:?} wni={wni:?} method={method:?})",
+            resp.epoch
+        );
+        verified += 1;
+        if let Ok(exp) = &resp.outcome {
+            let verdict = oracle_test(graph, &cfg, user, wni, &exp.actions)
+                .expect("explanation actions apply to the pinned epoch's graph");
+            if verdict.decisive(bound) {
+                assert!(
+                    verdict.wins,
+                    "oracle refutes a served explanation on epoch {} \
+                     (user={user:?} wni={wni:?} method={method:?}, margin {:e})",
+                    resp.epoch, verdict.margin
+                );
+                oracle_checked += 1;
+            }
+        }
+    }
+
+    // Read-path accounting is untouched by the write path.
+    assert_eq!(m.requests_total, m.completed_total + m.rejected_overload);
+    assert_eq!(m.feedback_requests as usize, batches);
+
+    service.shutdown();
+    RunReport {
+        explains_verified: verified,
+        invalid_checked: invalid,
+        oracle_decisive_checked: oracle_checked,
+        worker_panics_seen: panics,
+        events_applied: m.feedback_events_applied as usize,
+        final_epoch: m.graph_epoch,
+    }
+}
+
+#[test]
+fn single_reader_sees_consistent_epochs() {
+    let r = interleaved_run(7, 1, 60, 40, false);
+    assert_eq!(r.explains_verified + r.invalid_checked, 60);
+    assert!(r.explains_verified > 0, "some verdicts actually replayed");
+    assert!(r.final_epoch > 0, "writes actually published");
+}
+
+#[test]
+fn two_readers_race_the_writer_without_divergence() {
+    let r = interleaved_run(11, 2, 40, 50, false);
+    assert_eq!(r.explains_verified + r.invalid_checked, 80);
+    assert!(r.explains_verified > 0);
+    assert!(r.final_epoch > 0);
+}
+
+#[test]
+fn eight_readers_200_explains_200_events_zero_divergences_under_panics() {
+    // The ISSUE acceptance run: ≥200 feedback events and ≥200 concurrent
+    // explains in one seeded interleaving, with injected worker panics
+    // and update-phase panics, and zero verdict divergences from the
+    // epoch-pinned oracle.
+    let r = interleaved_run(42, 8, 26, 110, true);
+    assert!(
+        r.events_applied >= MIN_FEEDBACK_EVENTS,
+        "acceptance floor: {} events applied",
+        r.events_applied
+    );
+    let served = r.explains_verified + r.invalid_checked + r.worker_panics_seen;
+    assert!(
+        served >= MIN_EXPLAINS,
+        "acceptance floor: {served} explains served"
+    );
+    assert!(
+        r.explains_verified + r.invalid_checked >= MIN_EXPLAINS - 3,
+        "at most the 3 planned panics went unchecked: {} + {}",
+        r.explains_verified,
+        r.invalid_checked
+    );
+    assert!(
+        r.explains_verified >= MIN_EXPLAINS / 2,
+        "verdict replay covered a healthy share: {}",
+        r.explains_verified
+    );
+    assert!(r.oracle_decisive_checked > 0, "oracle leg actually ran");
+    assert!(r.final_epoch > 0);
+}

@@ -301,9 +301,9 @@ fn poisoned_cache_entries_are_quarantined_not_served() {
     // marker (a stand-in for any corruption that breaks the artefact's
     // structural invariants).
     let mut bad_art = emigre_core::UserArtifacts::build(
-        &*service.graph().clone(),
+        &*service.graph(),
         service.config(),
-        Arc::clone(service.kernel()),
+        service.kernel(),
         user,
         &ObsHandle::disabled(),
     )
@@ -320,7 +320,7 @@ fn poisoned_cache_entries_are_quarantined_not_served() {
         .find(|&i| i != wni)
         .expect("worlds have several items");
     let bad_col =
-        ReversePush::compute_kernel(&**service.kernel(), &service.config().rec.ppr, wrong_target);
+        ReversePush::compute_kernel(&*service.kernel(), &service.config().rec.ppr, wrong_target);
     service.poison_column_for_test(wni, Arc::new(bad_col));
 
     // Served answers after poisoning: detected, quarantined, rebuilt —

@@ -1,0 +1,317 @@
+//! Differential suite, leg 5: fault-injected live-graph updates.
+//!
+//! Drives the epoch publish path of `emigre-serve` through its
+//! [`FaultPlan`] update hooks and proves the live-graph recovery claims:
+//! a worker that panics mid-apply discards the half-built epoch without
+//! burning an epoch number, a stall between build and publish keeps every
+//! reader on the old epoch (no half-published state is ever observable),
+//! and in both cases the accounting — metrics counters and the event log
+//! — covers 100% of the requests, feedback included.
+
+use emigre_core::Method;
+use emigre_hin::{GraphView, Hin, NodeId};
+use emigre_serve::{
+    events_to_delta, reference_explain, ExplanationService, FaultPlan, FeedbackError,
+    FeedbackEvent, RequestEvent, ServiceConfig, UpdatePhase, FAULT_PANIC,
+};
+use emigre_testkit::{viable_questions, World, WorldParams, WorldSpec};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+const RATED: &str = "rated";
+
+/// Silences the panic hook for [`FAULT_PANIC`] payloads only.
+fn quiet_fault_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let planned = payload
+                .downcast_ref::<String>()
+                .map(|s| s.contains(FAULT_PANIC))
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.contains(FAULT_PANIC))
+                })
+                .unwrap_or(false);
+            if !planned {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A generated world with at least one viable Why-Not question.
+fn fault_world() -> (World, NodeId, NodeId) {
+    let params = WorldParams {
+        pathologies: false,
+        ..WorldParams::default()
+    };
+    for seed in 0..500u64 {
+        let world = WorldSpec::sample_seeded(seed, &params).build();
+        if let Some(&(user, wni)) = viable_questions(&world, 1).first() {
+            return (world, user, wni);
+        }
+    }
+    panic!("no generated world produced a viable question");
+}
+
+/// A feedback batch that adds one fresh `rated` edge without touching the
+/// question's (user, wni) pair, so the question stays valid on the new
+/// epoch. Scans for a (user, item) pair whose edge does not exist yet,
+/// on a different user than the question's.
+fn fresh_edge_batch(world: &World, user: NodeId, wni: NodeId) -> Vec<FeedbackEvent> {
+    let rated = world.graph.registry().find_edge_type(RATED).unwrap();
+    for &u in world.users.iter().filter(|&&u| u != user) {
+        for &i in world.items.iter().filter(|&&i| i != wni) {
+            if !world.graph.has_edge(u, i, rated) {
+                return vec![FeedbackEvent::add(u.0, i.0, RATED, 2.5)];
+            }
+        }
+    }
+    panic!("no absent (user, item) pair in the generated world");
+}
+
+/// The graph `batch` produces when applied on `base` with the paper's
+/// bidirectional preprocessing — the reference for post-publish verdicts.
+fn applied(base: &Hin, batch: &[FeedbackEvent]) -> Hin {
+    events_to_delta(batch, base, true)
+        .expect("batch converts")
+        .apply_to(base)
+        .expect("batch applies")
+}
+
+fn unique_log_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("emigre-update-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}.jsonl",
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Parses the event log and checks it holds exactly one line per id in
+/// `1..=expected`.
+fn read_log(path: &PathBuf, expected: u64) -> Vec<RequestEvent> {
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut events: Vec<RequestEvent> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("event line parses"))
+        .collect();
+    events.sort_by_key(|e| e.request_id);
+    let ids: HashSet<u64> = events.iter().map(|e| e.request_id).collect();
+    assert_eq!(
+        events.len() as u64,
+        expected,
+        "one event line per request: {events:?}"
+    );
+    assert_eq!(ids.len(), events.len(), "request ids are unique in the log");
+    assert!(
+        (1..=expected).all(|id| ids.contains(&id)),
+        "every admitted id is logged: {ids:?}"
+    );
+    events
+}
+
+fn accounting_holds(service: &ExplanationService) {
+    let m = service.metrics();
+    assert_eq!(
+        m.requests_total,
+        m.completed_total + m.rejected_overload,
+        "every admitted read request is accounted exactly once: {m:?}"
+    );
+}
+
+#[test]
+fn mid_apply_panic_discards_the_epoch_and_the_next_update_publishes() {
+    quiet_fault_panics();
+    let (world, user, wni) = fault_world();
+    let log = unique_log_path("apply-panic");
+    let plan = FaultPlan::new();
+    plan.panic_on_update(1, UpdatePhase::Apply); // first publish attempt crashes
+    let service = ExplanationService::start(
+        world.graph.clone(),
+        world.cfg.clone(),
+        ServiceConfig {
+            workers: 1,
+            event_log: Some(log.clone()),
+            faults: Some(plan.handle()),
+            ..ServiceConfig::default()
+        },
+    );
+    let method = Method::RemoveIncremental;
+    let deadline = Duration::from_secs(60);
+    let batch = fresh_edge_batch(&world, user, wni);
+
+    // Request 1: the panicked update. The epoch is discarded whole.
+    let (id1, r1) = service.apply_feedback(&batch);
+    assert_eq!(id1, 1);
+    assert_eq!(r1.unwrap_err(), FeedbackError::UpdatePanicked);
+    assert_eq!(plan.triggered(), 1);
+    let m = service.metrics();
+    assert_eq!(m.graph_epoch, 0, "a panicked update never bumps the epoch");
+    assert_eq!(m.epochs_published, 0);
+    assert_eq!(m.update_panics, 1);
+    assert_eq!(m.feedback_rejected, 1);
+
+    // Request 2: readers still see the pristine seed epoch.
+    let (_, r2) = service.explain_request(user, wni, method, deadline);
+    let resp = r2.expect("reads survive a crashed updater");
+    assert_eq!(resp.epoch, 0);
+    let seed_reference =
+        reference_explain(&world.graph, &world.cfg, user, wni, method).expect("question is valid");
+    assert_eq!(resp.outcome, seed_reference);
+
+    // Request 3: the retried update publishes the *same* epoch number —
+    // a discarded attempt does not burn one.
+    let (_, r3) = service.apply_feedback(&batch);
+    let out = r3.expect("the update path recovered after the panic");
+    assert_eq!(out.epoch, 1);
+    assert_eq!(out.edges_changed, 2, "one logical edge, mirrored");
+
+    // Request 4: post-publish verdicts match the reference on the new graph.
+    let (_, r4) = service.explain_request(user, wni, method, deadline);
+    let resp = r4.expect("question stays valid on the new epoch");
+    assert_eq!(resp.epoch, 1);
+    let next_reference = reference_explain(&applied(&world.graph, &batch), &world.cfg, user, wni, method)
+        .expect("question is valid on the new epoch");
+    assert_eq!(resp.outcome, next_reference);
+
+    let m = service.metrics();
+    assert_eq!(m.graph_epoch, 1);
+    assert_eq!(m.epochs_published, 1);
+    assert_eq!(m.update_panics, 1);
+    assert_eq!(m.feedback_requests, 2);
+    assert_eq!(m.feedback_events_applied, 1);
+    accounting_holds(&service);
+
+    service.shutdown();
+    let events = read_log(&log, 4);
+    assert_eq!(events[0].endpoint, "feedback");
+    assert_eq!(events[0].outcome, "update_panic");
+    assert_eq!(events[0].epoch, Some(0), "the failed update leaves epoch 0 current");
+    assert_eq!(events[2].outcome, "applied");
+    assert_eq!(events[2].epoch, Some(1));
+    assert_eq!(events[3].epoch, Some(1), "the read pinned the new epoch");
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn mid_publish_stall_never_exposes_a_half_published_epoch() {
+    quiet_fault_panics();
+    let (world, user, wni) = fault_world();
+    let plan = FaultPlan::new();
+    let release = plan.block_update(1, UpdatePhase::Publish);
+    let service = Arc::new(ExplanationService::start(
+        world.graph.clone(),
+        world.cfg.clone(),
+        ServiceConfig {
+            workers: 2,
+            faults: Some(plan.handle()),
+            ..ServiceConfig::default()
+        },
+    ));
+    let method = Method::RemoveIncremental;
+    let deadline = Duration::from_secs(60);
+    let batch = fresh_edge_batch(&world, user, wni);
+    let seed_reference =
+        reference_explain(&world.graph, &world.cfg, user, wni, method).expect("question is valid");
+
+    // The updater parks with epoch 1 fully built but unpublished.
+    let updater = {
+        let service = Arc::clone(&service);
+        let batch = batch.clone();
+        std::thread::spawn(move || service.apply_feedback(&batch))
+    };
+    let wait = Instant::now();
+    while plan.triggered() < 1 {
+        assert!(
+            wait.elapsed() < Duration::from_secs(10),
+            "the update never reached the publish fault point"
+        );
+        std::thread::yield_now();
+    }
+
+    // While the publish is stalled, every read pins epoch 0 and answers
+    // exactly the seed-graph reference: the built-but-unpublished epoch
+    // is invisible.
+    for _ in 0..3 {
+        let (_, r) = service.explain_request(user, wni, method, deadline);
+        let resp = r.expect("reads proceed during a stalled publish");
+        assert_eq!(resp.epoch, 0, "no half-published epoch is observable");
+        assert_eq!(resp.outcome, seed_reference);
+    }
+    assert_eq!(service.metrics().graph_epoch, 0);
+    assert_eq!(service.metrics().epochs_published, 0);
+
+    // Release the stall: the updater finishes and the epoch flips for
+    // subsequent reads, whose verdicts now match the updated reference.
+    drop(release);
+    let (_, result) = updater.join().unwrap();
+    let out = result.expect("the stalled update completes after release");
+    assert_eq!(out.epoch, 1);
+
+    let (_, r) = service.explain_request(user, wni, method, deadline);
+    let resp = r.expect("question stays valid on the new epoch");
+    assert_eq!(resp.epoch, 1);
+    let next_reference = reference_explain(&applied(&world.graph, &batch), &world.cfg, user, wni, method)
+        .expect("question is valid on the new epoch");
+    assert_eq!(resp.outcome, next_reference);
+
+    let m = service.metrics();
+    assert_eq!(m.graph_epoch, 1);
+    assert_eq!(m.epochs_published, 1);
+    assert_eq!(m.update_panics, 0);
+    assert_eq!(m.feedback_rejected, 0);
+    accounting_holds(&service);
+    service.shutdown();
+}
+
+#[test]
+fn publish_phase_panic_discards_a_fully_built_epoch() {
+    quiet_fault_panics();
+    let (world, user, wni) = fault_world();
+    let plan = FaultPlan::new();
+    plan.panic_on_update(1, UpdatePhase::Publish); // crash *after* the build
+    let service = ExplanationService::start(
+        world.graph.clone(),
+        world.cfg.clone(),
+        ServiceConfig {
+            workers: 1,
+            faults: Some(plan.handle()),
+            ..ServiceConfig::default()
+        },
+    );
+    let method = Method::RemoveIncremental;
+    let batch = fresh_edge_batch(&world, user, wni);
+
+    let (_, r1) = service.apply_feedback(&batch);
+    assert_eq!(r1.unwrap_err(), FeedbackError::UpdatePanicked);
+    let m = service.metrics();
+    assert_eq!(
+        m.graph_epoch, 0,
+        "an epoch that panicked at publish is discarded whole"
+    );
+    assert_eq!(m.update_panics, 1);
+
+    // The discarded epoch left no trace: the seed verdict still holds,
+    // and the retry publishes cleanly as epoch 1.
+    let (_, r2) = service.explain_request(user, wni, method, Duration::from_secs(60));
+    let resp = r2.expect("reads survive the publish crash");
+    assert_eq!(resp.epoch, 0);
+    assert_eq!(
+        resp.outcome,
+        reference_explain(&world.graph, &world.cfg, user, wni, method).unwrap()
+    );
+
+    let (_, r3) = service.apply_feedback(&batch);
+    assert_eq!(r3.expect("retry publishes").epoch, 1);
+    accounting_holds(&service);
+    service.shutdown();
+}

@@ -33,6 +33,7 @@ usage:
   emigre serve --graph FILE [--port P] [--workers N] [--parallelism N]
                [--queue N] [--deadline-ms N]      HTTP explanation service
                [--event-log FILE]                 JSON-lines request event log
+               [--feedback-log FILE]              replay edge updates before serving
                [--trace-cap N]                    replayable /trace/<id> store size
   emigre dot --graph FILE                         Graphviz to stdout
 methods: add_Incremental add_Powerset add_ex remove_Incremental
@@ -293,6 +294,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 sc.intra_request_parallelism = p.parse().map_err(|_| "bad --parallelism")?;
             }
             let service = Arc::new(ExplanationService::start(g, cfg, sc));
+            // Log-replay ingestion: one JSON feedback event per line,
+            // applied as epoch-publishing batches before the listener
+            // opens — a restart replays to the same epoch the log ends at.
+            if let Some(p) = flag(args, "--feedback-log")? {
+                let text = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("reading --feedback-log {p}: {e}"))?;
+                let mut replayed = 0u64;
+                for (i, line) in text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()) {
+                    let event: emigre::serve::FeedbackEvent = serde_json::from_str(line)
+                        .map_err(|e| format!("--feedback-log line {}: {e}", i + 1))?;
+                    let (_, result) = service.apply_feedback(std::slice::from_ref(&event));
+                    result.map_err(|e| format!("--feedback-log line {}: {e}", i + 1))?;
+                    replayed += 1;
+                }
+                println!(
+                    "emigre-serve replayed {replayed} feedback event(s), graph at epoch {}",
+                    service.metrics().graph_epoch
+                );
+            }
             let server = HttpServer::bind(service, &format!("127.0.0.1:{port}"))
                 .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
             let addr = server
