@@ -22,9 +22,22 @@
 //! per-stage (queue/context/search/test) percentiles; writes
 //! `BENCH_serve.json`.
 //!
+//! **Open-loop mode** (`--arrival-rate` / `--arrival-sweep`): after the
+//! main closed-loop measurement, a fresh server is spawned and driven at
+//! fixed offered rates — requests are *pipelined* onto each connection
+//! at their scheduled arrival instants regardless of when earlier
+//! answers come back, and latency is measured from the scheduled
+//! arrival (so a sender that falls behind still charges the queueing
+//! delay — no coordinated omission). Rejections (429/503/504) are
+//! counted per point, not treated as divergences; every accepted answer
+//! is still verified field-by-field. The resulting saturation curve
+//! (offered QPS vs p50/p99 + rejection rate) lands in `open_loop` in
+//! the JSON report.
+//!
 //! ```text
 //! loadgen --smoke                       # CI: one verified pass + clean shutdown
 //! loadgen --duration-secs 10 --threads 4 --items 300
+//! loadgen --duration-secs 6 --arrival-sweep 50,100,200,400
 //! ```
 //!
 //! The server binary is found next to the running executable
@@ -443,13 +456,17 @@ struct DeferredRead {
     body: String,
 }
 
+/// Per-reader output of the mixed run: explain latencies, recommend
+/// latencies, and the reads deferred for epoch-pinned verification.
+type MixedReaderOutput = (Vec<u64>, Vec<u64>, Vec<DeferredRead>);
+
 /// Closed-loop reader that records responses instead of verifying inline.
 fn mixed_reader(
     addr: String,
     plan: Arc<Vec<PlannedRequest>>,
     cursor: Arc<AtomicUsize>,
     stop: Arc<AtomicBool>,
-) -> Result<(Vec<u64>, Vec<u64>, Vec<DeferredRead>), String> {
+) -> Result<MixedReaderOutput, String> {
     let mut client = HttpClient::connect(&addr)?;
     let (mut explain_us, mut recommend_us) = (Vec::new(), Vec::new());
     let mut reads = Vec::new();
@@ -543,10 +560,7 @@ fn verify_deferred_reads(
             ..req.clone()
         };
         if let Err(d) = verify_response(&pinned, read.status, &read.body) {
-            divergences.push(format!(
-                "{} {} on epoch {epoch} -> {d}",
-                req.path, req.body
-            ));
+            divergences.push(format!("{} {} on epoch {epoch} -> {d}", req.path, req.body));
         }
     }
     Ok(())
@@ -618,6 +632,296 @@ impl HttpClient {
 }
 
 // ---------------------------------------------------------------------------
+// Open-loop mode: fixed arrival rate, pipelined sends, saturation curve.
+// ---------------------------------------------------------------------------
+
+/// One point on the saturation curve: what happened when the service was
+/// offered `offered_qps` for `window_secs`.
+#[derive(Serialize, Clone)]
+struct OpenLoopPoint {
+    offered_qps: f64,
+    window_secs: f64,
+    /// Requests actually written to the wire within the window.
+    sent: u64,
+    /// Answers that were accepted and verified against the reference.
+    completed: u64,
+    /// 429/503/504 answers — load shed by admission or deadline policy.
+    rejected: u64,
+    rejection_rate: f64,
+    /// Completed answers over the full window-plus-drain wall clock.
+    achieved_qps: f64,
+    /// Latency from the *scheduled arrival* of each accepted request, so
+    /// sender lag past saturation shows up as queueing delay rather than
+    /// silently shrinking the sample (no coordinated omission).
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// In-order response reader for a pipelined connection: responses are
+/// `Content-Length`-framed and arrive in request order; bytes past one
+/// frame are retained as the start of the next.
+struct RespReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RespReader {
+    fn next_response(&mut self) -> Result<(u16, String), String> {
+        let mut chunk = [0u8; 16384];
+        loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+                let status: u16 = head
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("bad status line: {head:?}"))?;
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (name, value) = l.split_once(':')?;
+                        name.trim()
+                            .eq_ignore_ascii_case("content-length")
+                            .then(|| value.trim().parse().ok())?
+                    })
+                    .unwrap_or(0);
+                let body_start = pos + 4;
+                while self.buf.len() < body_start + content_length {
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => return Err("server closed connection mid-body".to_owned()),
+                        Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                        Err(e) => return Err(format!("recv body: {e}")),
+                    }
+                }
+                let body =
+                    String::from_utf8_lossy(&self.buf[body_start..body_start + content_length])
+                        .into_owned();
+                self.buf.drain(..body_start + content_length);
+                return Ok((status, body));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed connection mid-response".to_owned()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct OpenConnOutput {
+    latencies_us: Vec<u64>,
+    sent: u64,
+    completed: u64,
+    rejected: u64,
+    divergences: Vec<String>,
+}
+
+/// One open-loop connection: a writer half pushes request `i` onto the
+/// wire at its scheduled instant `t0 + i/rate` (arrivals are striped
+/// across connections, `i ≡ conn_idx mod conns`) without waiting for
+/// earlier answers — the event front end's pipelining absorbs the
+/// overlap. The reader half drains in-order responses and stamps each
+/// against its scheduled arrival.
+fn open_loop_conn(
+    addr: String,
+    plan: Arc<Vec<PlannedRequest>>,
+    rate: f64,
+    window: Duration,
+    conn_idx: usize,
+    conns: usize,
+    t0: Instant,
+) -> Result<OpenConnOutput, String> {
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let write_half = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Instant)>();
+    let plan_w = Arc::clone(&plan);
+    let writer = std::thread::spawn(move || -> Result<u64, String> {
+        let mut stream = write_half;
+        let mut sent = 0u64;
+        let mut i = conn_idx;
+        loop {
+            let offset = Duration::from_secs_f64(i as f64 / rate);
+            if offset >= window {
+                return Ok(sent);
+            }
+            let sched = t0 + offset;
+            let now = Instant::now();
+            if sched > now {
+                std::thread::sleep(sched - now);
+            }
+            let req = &plan_w[i % plan_w.len()];
+            let head = format!(
+                "POST {} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                req.path,
+                req.body.len()
+            );
+            stream
+                .write_all(head.as_bytes())
+                .and_then(|_| stream.write_all(req.body.as_bytes()))
+                .map_err(|e| format!("open-loop send: {e}"))?;
+            if tx.send((i % plan_w.len(), sched)).is_err() {
+                return Ok(sent);
+            }
+            sent += 1;
+            i += conns;
+        }
+    });
+    let mut reader = RespReader {
+        stream,
+        buf: Vec::new(),
+    };
+    let mut out = OpenConnOutput::default();
+    while let Ok((plan_idx, sched)) = rx.recv() {
+        let (status, body) = reader.next_response()?;
+        let us = Instant::now().saturating_duration_since(sched).as_micros() as u64;
+        if matches!(status, 429 | 503 | 504) {
+            out.rejected += 1;
+            continue;
+        }
+        let req = &plan[plan_idx];
+        match verify_response(req, status, &body) {
+            Ok(_) => {
+                out.completed += 1;
+                out.latencies_us.push(us);
+            }
+            Err(d) => out
+                .divergences
+                .push(format!("{} {} -> {d}", req.path, req.body)),
+        }
+    }
+    out.sent = writer
+        .join()
+        .map_err(|_| "open-loop writer panicked".to_owned())??;
+    Ok(out)
+}
+
+/// Drives one offered rate for `secs` across `conns` pipelined
+/// connections and aggregates the point.
+fn open_loop_point(
+    addr: &str,
+    plan: &Arc<Vec<PlannedRequest>>,
+    rate: f64,
+    secs: f64,
+    conns: usize,
+) -> Result<(OpenLoopPoint, Vec<String>), String> {
+    let window = Duration::from_secs_f64(secs);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let (addr, plan) = (addr.to_owned(), Arc::clone(plan));
+            std::thread::spawn(move || open_loop_conn(addr, plan, rate, window, c, conns, t0))
+        })
+        .collect();
+    let mut lat = Vec::new();
+    let (mut sent, mut completed, mut rejected) = (0u64, 0u64, 0u64);
+    let mut divergences = Vec::new();
+    for h in handles {
+        let o = h
+            .join()
+            .map_err(|_| "open-loop connection panicked".to_owned())??;
+        lat.extend(o.latencies_us);
+        sent += o.sent;
+        completed += o.completed;
+        rejected += o.rejected;
+        divergences.extend(o.divergences);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let rep = latency_report(lat);
+    Ok((
+        OpenLoopPoint {
+            offered_qps: rate,
+            window_secs: secs,
+            sent,
+            completed,
+            rejected,
+            rejection_rate: if sent > 0 {
+                rejected as f64 / sent as f64
+            } else {
+                0.0
+            },
+            achieved_qps: completed as f64 / elapsed.max(1e-9),
+            p50_us: rep.p50_us,
+            p99_us: rep.p99_us,
+        },
+        divergences,
+    ))
+}
+
+/// The open-loop phase: a *fresh* server (the main run's graph may have
+/// drifted through feedback epochs, and its histograms are already
+/// spent), driven point by point from the lowest offered rate up. The
+/// sweep server runs with a tight deadline so saturation actually sheds
+/// load instead of queueing unboundedly — the rejection column of the
+/// curve is the QoS scheduler's deadline policy at work.
+#[allow(clippy::too_many_arguments)]
+fn run_open_loop(
+    bin: &Path,
+    graph_file: &Path,
+    parallelism: usize,
+    conns: usize,
+    plan: Vec<PlannedRequest>,
+    rates: &[f64],
+    secs: f64,
+    deadline_ms: u64,
+    extra: &[String],
+) -> Result<Vec<OpenLoopPoint>, String> {
+    let event_log = std::env::temp_dir().join(format!(
+        "emigre-loadgen-{}.open.events.jsonl",
+        std::process::id()
+    ));
+    let mut server = spawn_server(bin, graph_file, &event_log, parallelism, deadline_ms, extra)?;
+    eprintln!(
+        "loadgen: open-loop server up at {} (deadline {deadline_ms}ms, {} conn(s))",
+        server.addr,
+        conns.max(1)
+    );
+    let plan = Arc::new(plan);
+    let mut points = Vec::new();
+    let mut divergences = Vec::new();
+    for &rate in rates {
+        if rate <= 0.0 {
+            return Err(format!("bad arrival rate {rate}: must be positive"));
+        }
+        let (point, div) = open_loop_point(&server.addr, &plan, rate, secs, conns.max(1))?;
+        eprintln!(
+            "loadgen: open loop {:>6.0} QPS offered -> {:>6.0} achieved, p50 {}us, p99 {}us, {:.1}% rejected",
+            point.offered_qps,
+            point.achieved_qps,
+            point.p50_us,
+            point.p99_us,
+            100.0 * point.rejection_rate
+        );
+        points.push(point);
+        divergences.extend(div);
+    }
+    let shutdown = HttpClient::connect(&server.addr)
+        .and_then(|mut c| c.request("POST", "/shutdown", ""))
+        .map(|(status, _)| status);
+    let exit = server.child.wait().map_err(|e| format!("wait: {e}"))?;
+    let _ = std::fs::remove_file(&event_log);
+    if shutdown != Ok(200) {
+        return Err(format!("open-loop POST /shutdown failed: {shutdown:?}"));
+    }
+    if !exit.success() {
+        return Err(format!("open-loop server exited with {exit}"));
+    }
+    for d in divergences.iter().take(5) {
+        eprintln!("divergence: {d}");
+    }
+    if !divergences.is_empty() {
+        return Err(format!(
+            "{} open-loop response(s) diverged from the reference",
+            divergences.len()
+        ));
+    }
+    Ok(points)
+}
+
+// ---------------------------------------------------------------------------
 // Server process management.
 // ---------------------------------------------------------------------------
 
@@ -648,26 +952,41 @@ struct Server {
     addr: String,
 }
 
+/// Extra `emigre serve` flags forwarded verbatim from the loadgen
+/// command line, so A/B runs (scheduler policy, front end, reactor
+/// count) use one harness: everything after a bare `--` goes to the
+/// server, e.g. `loadgen --smoke -- --sched fifo --frontend threaded`.
+fn forwarded_server_args(args: &[String]) -> Vec<String> {
+    match args.iter().position(|a| a == "--") {
+        Some(i) => args[i + 1..].to_vec(),
+        None => Vec::new(),
+    }
+}
+
 fn spawn_server(
     bin: &Path,
     graph_file: &Path,
     event_log: &Path,
     parallelism: usize,
+    deadline_ms: u64,
+    extra: &[String],
 ) -> Result<Server, String> {
+    let mut argv = vec![
+        "serve".to_owned(),
+        "--graph".to_owned(),
+        graph_file.display().to_string(),
+        "--port".to_owned(),
+        "0".to_owned(),
+        "--deadline-ms".to_owned(),
+        deadline_ms.to_string(),
+        "--event-log".to_owned(),
+        event_log.display().to_string(),
+        "--parallelism".to_owned(),
+        parallelism.to_string(),
+    ];
+    argv.extend(extra.iter().cloned());
     let mut child = Command::new(bin)
-        .args([
-            "serve",
-            "--graph",
-            &graph_file.display().to_string(),
-            "--port",
-            "0",
-            "--deadline-ms",
-            "60000",
-            "--event-log",
-            &event_log.display().to_string(),
-            "--parallelism",
-            &parallelism.to_string(),
-        ])
+        .args(argv)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -792,6 +1111,10 @@ struct BenchReport {
     read_p99_under_writes_us: u64,
     stages: StageReport,
     event_log: EventLogReport,
+    /// Saturation curve from the open-loop phase (`--arrival-rate` /
+    /// `--arrival-sweep`): one point per offered rate, empty when the
+    /// phase did not run.
+    open_loop: Vec<OpenLoopPoint>,
     server_metrics: MetricsSnapshot,
 }
 
@@ -917,6 +1240,12 @@ fn replay_traces(
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    let server_args = forwarded_server_args(args);
+    // Loadgen's own flags stop at the `--` separator.
+    let args = match args.iter().position(|a| a == "--") {
+        Some(i) => &args[..i],
+        None => args,
+    };
     let smoke = args.iter().any(|a| a == "--smoke");
     let items: usize = parse_flag(args, "--items", if smoke { 200 } else { 300 })?;
     let threads: usize = parse_flag(args, "--threads", if smoke { 2 } else { 4 })?;
@@ -936,6 +1265,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 .to_owned(),
         );
     }
+    // Open-loop phase: a single offered rate, or a comma-separated sweep.
+    let arrival_rate: f64 = parse_flag(args, "--arrival-rate", 0.0)?;
+    let arrival_secs: f64 = parse_flag(args, "--arrival-secs", 4.0)?;
+    let open_deadline_ms: u64 = parse_flag(args, "--open-deadline-ms", 2000)?;
+    let open_rates: Vec<f64> = match flag(args, "--arrival-sweep") {
+        Some(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --arrival-sweep entry: {tok:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+        None if arrival_rate > 0.0 => vec![arrival_rate],
+        None => Vec::new(),
+    };
     let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
 
     // Build the synthetic world, write it out, and re-parse the written
@@ -973,13 +1318,20 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let bin = server_binary(args)?;
-    let mut server = spawn_server(&bin, &graph_file, &event_log, parallelism)?;
+    let mut server = spawn_server(
+        &bin,
+        &graph_file,
+        &event_log,
+        parallelism,
+        60000,
+        &server_args,
+    )?;
     eprintln!("loadgen: server {} up at {}", bin.display(), server.addr);
 
     let result = if feedback_rate > 0.0 {
         drive_mixed(
             &server.addr,
-            plan,
+            plan.clone(),
             threads,
             parallelism,
             duration_secs,
@@ -992,7 +1344,7 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         drive(
             &server.addr,
-            plan,
+            plan.clone(),
             smoke,
             threads,
             parallelism,
@@ -1009,15 +1361,43 @@ fn run(args: &[String]) -> Result<(), String> {
         .and_then(|mut c| c.request("POST", "/shutdown", ""))
         .map(|(status, _)| status);
     let exit = server.child.wait().map_err(|e| format!("wait: {e}"))?;
-    let _ = std::fs::remove_file(&graph_file);
     if shutdown != Ok(200) {
+        let _ = std::fs::remove_file(&graph_file);
         return Err(format!("POST /shutdown failed: {shutdown:?}"));
     }
     if !exit.success() {
+        let _ = std::fs::remove_file(&graph_file);
         return Err(format!("server exited with {exit}"));
     }
     eprintln!("loadgen: server drained and exited cleanly");
-    let mut report = result?;
+    let mut report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = std::fs::remove_file(&graph_file);
+            return Err(e);
+        }
+    };
+
+    // Open-loop saturation sweep on a fresh server (the main run's graph
+    // may have drifted through feedback epochs, so the plan's reference
+    // answers only hold on a clean spawn).
+    let open_loop = if open_rates.is_empty() {
+        Ok(Vec::new())
+    } else {
+        run_open_loop(
+            &bin,
+            &graph_file,
+            parallelism,
+            threads,
+            plan,
+            &open_rates,
+            arrival_secs,
+            open_deadline_ms,
+            &server_args,
+        )
+    };
+    let _ = std::fs::remove_file(&graph_file);
+    report.open_loop = open_loop?;
 
     // Structured event log: one JSON line per request — feedback
     // included, it draws ids from the same sequence — zero lost events.
@@ -1046,11 +1426,7 @@ fn run(args: &[String]) -> Result<(), String> {
 /// valid request id, the line count must equal the number of requests
 /// the workers issued (fewer means events were dropped), and in mixed
 /// runs exactly `feedback` of them must be feedback lines.
-fn verify_event_log(
-    path: &Path,
-    requests: u64,
-    feedback: u64,
-) -> Result<EventLogReport, String> {
+fn verify_event_log(path: &Path, requests: u64, feedback: u64) -> Result<EventLogReport, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let mut lines = 0u64;
@@ -1146,17 +1522,19 @@ fn drive(
     }
     let requests = (explain_us.len() + recommend_us.len()) as u64;
 
+    // Server-side view, snapshotted right at the end of the load window —
+    // before trace replay, which can outlast the server's keep-alive and
+    // get the idle probe connection reaped.
+    let (_, metrics_json) = probe.request("GET", "/metrics", "")?;
+    let server_metrics: MetricsSnapshot =
+        serde_json::from_str(&metrics_json).map_err(|e| format!("parsing /metrics: {e}"))?;
+
     let verdicts_replayed = if smoke {
         eprintln!("loadgen: replaying {} served trace(s)", traces.len());
         replay_traces(graph, cfg, &plan, &traces, &mut divergences)
     } else {
         0
     };
-
-    // Server-side view, fetched before shutdown.
-    let (_, metrics_json) = probe.request("GET", "/metrics", "")?;
-    let server_metrics: MetricsSnapshot =
-        serde_json::from_str(&metrics_json).map_err(|e| format!("parsing /metrics: {e}"))?;
 
     let report = BenchReport {
         smoke,
@@ -1184,6 +1562,7 @@ fn drive(
             check_parallel: stage_quantiles(&server_metrics.stage_check_parallel),
         },
         event_log: EventLogReport::default(),
+        open_loop: Vec::new(),
         server_metrics,
     };
 
@@ -1257,7 +1636,16 @@ fn drive_mixed(
         );
         let bidirectional = cfg.bidirectional_actions;
         std::thread::spawn(move || {
-            feedback_writer(addr, graph, users, items, avoid, feedback_rate, bidirectional, stop)
+            feedback_writer(
+                addr,
+                graph,
+                users,
+                items,
+                avoid,
+                feedback_rate,
+                bidirectional,
+                stop,
+            )
         })
     };
     let readers: Vec<_> = (0..threads.max(1))
@@ -1278,9 +1666,7 @@ fn drive_mixed(
     let mut recommend_us = Vec::new();
     let mut reads = Vec::new();
     for h in readers {
-        let (e, r, d) = h
-            .join()
-            .map_err(|_| "reader panicked".to_owned())??;
+        let (e, r, d) = h.join().map_err(|_| "reader panicked".to_owned())??;
         explain_us.extend(e);
         recommend_us.extend(r);
         reads.extend(d);
@@ -1289,13 +1675,11 @@ fn drive_mixed(
     let elapsed = t0.elapsed().as_secs_f64();
 
     let mut divergences = writer_out.divergences;
-    eprintln!(
-        "loadgen: verifying {} read(s) against {} published epoch(s)",
-        reads.len(),
-        writer_out.applied.len()
-    );
-    verify_deferred_reads(graph, cfg, &plan, &writer_out.applied, &reads, &mut divergences)?;
 
+    // Snapshot the server-side view right at the end of the load window:
+    // deferred-read verification below replays every published epoch and can
+    // outlast the server's keep-alive, which would get the idle probe
+    // connection reaped before a late /metrics fetch.
     let (_, metrics_json) = probe.request("GET", "/metrics", "")?;
     let server_metrics: MetricsSnapshot =
         serde_json::from_str(&metrics_json).map_err(|e| format!("parsing /metrics: {e}"))?;
@@ -1307,6 +1691,20 @@ fn drive_mixed(
         ));
     }
     let events_applied = server_metrics.feedback_events_applied;
+
+    eprintln!(
+        "loadgen: verifying {} read(s) against {} published epoch(s)",
+        reads.len(),
+        writer_out.applied.len()
+    );
+    verify_deferred_reads(
+        graph,
+        cfg,
+        &plan,
+        &writer_out.applied,
+        &reads,
+        &mut divergences,
+    )?;
 
     let requests = (explain_us.len() + recommend_us.len()) as u64;
     let explain = latency_report(explain_us);
@@ -1337,6 +1735,7 @@ fn drive_mixed(
             check_parallel: stage_quantiles(&server_metrics.stage_check_parallel),
         },
         event_log: EventLogReport::default(),
+        open_loop: Vec::new(),
         server_metrics,
     };
 

@@ -134,8 +134,8 @@ impl TransitionCsr {
         let mut fwd_dsts: Vec<u32> = Vec::with_capacity(self.fwd_dsts.len());
         let mut fwd_probs: Vec<f64> = Vec::with_capacity(self.fwd_probs.len());
         let mut row: Vec<(NodeId, f64)> = Vec::new();
-        for u in 0..n {
-            if is_touched[u] {
+        for (u, &rebuild) in is_touched.iter().enumerate() {
+            if rebuild {
                 transition_row_into(view, self.model, NodeId(u as u32), &mut row);
                 for &(v, p) in &row {
                     fwd_dsts.push(v.0);

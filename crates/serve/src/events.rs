@@ -50,6 +50,10 @@ pub struct RequestEvent {
     pub stages: StageLatencies,
     pub session_cache_hit: Option<bool>,
     pub column_cache_hit: Option<bool>,
+    /// The scheduler's expected service cost at admission (µs) — what the
+    /// SJF policy sorted this job by. `None` for feedback and for events
+    /// emitted before the scheduler saw the request.
+    pub expected_cost_us: Option<u64>,
     /// PPR/CHECK op deltas attributable to this request alone.
     pub ops: CounterSnapshot,
     /// The graph epoch the request was pinned to (read paths) or
@@ -224,6 +228,7 @@ mod tests {
             },
             session_cache_hit: Some(true),
             column_cache_hit: Some(false),
+            expected_cost_us: Some(200_000),
             ops: CounterSnapshot::default(),
             epoch: Some(0),
         }

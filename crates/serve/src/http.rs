@@ -29,7 +29,8 @@
 //! worker panicked — the previous epoch stays current either way).
 
 use crate::live::{FeedbackError, FeedbackEvent};
-use crate::metrics::prometheus_text;
+use crate::metrics::{prometheus_text, FrontendStats};
+use crate::parse::{HttpRequest, ParseError, RequestParser};
 use crate::service::{ExplanationService, ServeError};
 use emigre_core::{Explanation, Method};
 use emigre_obs::StageLatencies;
@@ -39,6 +40,75 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which connection layer multiplexes the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendMode {
+    /// Readiness-driven reactor pool ([`crate::eventloop`]): all
+    /// connections on a few threads, keep-alive, pipelining, write
+    /// backpressure, idle reaping. The default on unix.
+    EventLoop,
+    /// One thread per connection (the pre-reactor design). The fallback
+    /// on non-unix targets and an escape hatch via `--frontend threaded`.
+    Threaded,
+}
+
+impl FrontendMode {
+    pub fn parse(s: &str) -> Option<FrontendMode> {
+        match s {
+            "eventloop" | "event-loop" => Some(FrontendMode::EventLoop),
+            "threaded" => Some(FrontendMode::Threaded),
+            _ => None,
+        }
+    }
+
+    fn default_for_target() -> FrontendMode {
+        if cfg!(unix) {
+            FrontendMode::EventLoop
+        } else {
+            FrontendMode::Threaded
+        }
+    }
+}
+
+/// Front-end knobs (`emigre serve` flags map onto these).
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    pub mode: FrontendMode,
+    /// Reactor threads in event-loop mode (connections are sharded
+    /// across them round-robin; reactor 0 also owns the listener).
+    pub reactor_threads: usize,
+    /// How long an idle keep-alive connection may sit before the server
+    /// closes it. `Duration::ZERO` disables keep-alive entirely (every
+    /// response carries `Connection: close`).
+    pub keep_alive: Duration,
+    /// Threads in the handler pool that run `route()` (which blocks on
+    /// the service). `0` = auto: service workers + queue capacity,
+    /// capped — enough that every admissible request reaches the QoS
+    /// queue immediately, so scheduling happens there and not in a
+    /// FIFO dispatch channel.
+    pub handler_threads: usize,
+    /// Per-connection write-buffer cap; a slower reader than writer gets
+    /// its socket read interest parked until the buffer drains.
+    pub write_backpressure: usize,
+    /// Max requests a single connection may have in flight at once
+    /// (pipelining depth); further pipelined requests wait in the
+    /// connection's parser buffer.
+    pub pipeline_depth: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            mode: FrontendMode::default_for_target(),
+            reactor_threads: 1,
+            keep_alive: Duration::from_secs(30),
+            handler_threads: 0,
+            write_backpressure: 256 * 1024,
+            pipeline_depth: 32,
+        }
+    }
+}
 
 /// Resolves a paper method label (`add_Powerset`, `remove_Incremental`,
 /// ...) to its [`Method`].
@@ -150,16 +220,28 @@ pub struct HttpServer {
     service: Arc<ExplanationService>,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
+    config: HttpConfig,
 }
 
 impl HttpServer {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with the
+    /// default front-end configuration.
     pub fn bind(service: Arc<ExplanationService>, addr: &str) -> io::Result<Self> {
+        Self::bind_with(service, addr, HttpConfig::default())
+    }
+
+    /// Binds `addr` with an explicit front-end configuration.
+    pub fn bind_with(
+        service: Arc<ExplanationService>,
+        addr: &str,
+        config: HttpConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(HttpServer {
             service,
             listener,
             shutdown: Arc::new(AtomicBool::new(false)),
+            config,
         })
     }
 
@@ -178,16 +260,38 @@ impl HttpServer {
     /// underlying service drains every admitted request before this
     /// returns — a SIGTERM-style graceful stop.
     pub fn run(self) -> io::Result<()> {
+        #[cfg(unix)]
+        if self.config.mode == FrontendMode::EventLoop {
+            let HttpServer {
+                service,
+                listener,
+                shutdown,
+                config,
+            } = self;
+            let result = crate::eventloop::run(listener, Arc::clone(&service), shutdown, config);
+            service.shutdown();
+            return result;
+        }
+        self.run_threaded()
+    }
+
+    /// The thread-per-connection loop (fallback mode).
+    fn run_threaded(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let stats = self.service.frontend_stats();
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false)?;
+                    stats.on_accept();
                     let service = Arc::clone(&self.service);
                     let shutdown = Arc::clone(&self.shutdown);
+                    let stats = Arc::clone(&stats);
+                    let keep_alive = self.config.keep_alive;
                     conns.push(std::thread::spawn(move || {
-                        handle_connection(stream, service, shutdown);
+                        handle_connection(stream, service, shutdown, &stats, keep_alive);
+                        stats.on_close();
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -207,21 +311,6 @@ impl HttpServer {
     }
 }
 
-struct HttpRequest {
-    method: String,
-    path: String,
-    keep_alive: bool,
-    body: Vec<u8>,
-}
-
-enum ReadOutcome {
-    Request(HttpRequest),
-    /// Peer closed (or sent garbage framing) — drop the connection.
-    Closed,
-    /// Nothing arrived within the read timeout; poll the shutdown flag.
-    Idle,
-}
-
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -229,118 +318,100 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-/// Reads one request; `Idle` only when no byte of it has arrived yet.
-fn read_request(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<ReadOutcome> {
-    const MAX_HEAD: usize = 64 * 1024;
-    const MAX_BODY: usize = 1024 * 1024;
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD {
-            return Ok(ReadOutcome::Closed);
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(ReadOutcome::Closed),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if is_timeout(&e) => {
-                if buf.is_empty() {
-                    return Ok(ReadOutcome::Idle);
-                }
-                // Mid-request: keep waiting unless the server is draining.
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(ReadOutcome::Closed);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    };
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Ok(ReadOutcome::Closed);
-    };
-    let mut content_length = 0usize;
-    let mut keep_alive = true; // HTTP/1.1 default
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        if name == "content-length" {
-            content_length = value.parse().unwrap_or(0);
-        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
-            keep_alive = false;
-        }
-    }
-    if content_length > MAX_BODY {
-        return Ok(ReadOutcome::Closed);
-    }
-    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(ReadOutcome::Closed),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) if is_timeout(&e) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(ReadOutcome::Closed);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    body.truncate(content_length);
-    Ok(ReadOutcome::Request(HttpRequest {
-        method: method.to_owned(),
-        path: path.to_owned(),
-        keep_alive,
-        body,
-    }))
+enum ReadOutcome {
+    Request(HttpRequest),
+    /// Peer closed, or the connection idled past the keep-alive budget.
+    Closed,
+    /// Framing violation: answer 400/431, then close.
+    Malformed(ParseError),
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Reads until the parser yields one request. Blocking-socket variant of
+/// the event loop's feed-and-drain; the 250ms read timeout doubles as
+/// the shutdown-flag poll and the idle clock.
+fn read_request(
+    stream: &mut TcpStream,
+    parser: &mut RequestParser,
+    shutdown: &AtomicBool,
+    keep_alive: Duration,
+) -> io::Result<ReadOutcome> {
+    let mut chunk = [0u8; 4096];
+    let mut idle = Duration::ZERO;
+    loop {
+        match parser.next_request() {
+            Ok(Some(req)) => return Ok(ReadOutcome::Request(req)),
+            Ok(None) => {}
+            Err(e) => return Ok(ReadOutcome::Malformed(e)),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(n) => parser.feed(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Closed);
+                }
+                if !parser.mid_request() {
+                    // Between requests: enforce the idle budget.
+                    idle += Duration::from_millis(250);
+                    if !keep_alive.is_zero() && idle >= keep_alive {
+                        return Ok(ReadOutcome::Closed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     service: Arc<ExplanationService>,
     shutdown: Arc<AtomicBool>,
+    stats: &FrontendStats,
+    keep_alive: Duration,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut parser = RequestParser::new();
+    let mut served = 0u64;
     loop {
-        match read_request(&mut stream, &shutdown) {
+        match read_request(&mut stream, &mut parser, &shutdown, keep_alive) {
             Ok(ReadOutcome::Request(req)) => {
-                let keep_alive = req.keep_alive;
+                if served > 0 {
+                    stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                }
+                served += 1;
+                let keep = req.keep_alive && !keep_alive.is_zero();
                 let (status, content_type, body) = route(&service, &shutdown, &req);
-                if write_response(&mut stream, status, content_type, &body, keep_alive).is_err()
-                    || !keep_alive
+                if write_response(&mut stream, status, content_type, &body, keep).is_err() || !keep
                 {
                     return;
                 }
             }
-            Ok(ReadOutcome::Closed) | Err(_) => return,
-            Ok(ReadOutcome::Idle) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
+            Ok(ReadOutcome::Malformed(e)) => {
+                // Answer the framing violation before closing — never
+                // drop the connection silently.
+                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let (status, body) = parse_error_response(&e);
+                let _ = write_response(&mut stream, status, JSON, &body, false);
+                return;
             }
+            Ok(ReadOutcome::Closed) | Err(_) => return,
         }
     }
 }
 
-const JSON: &str = "application/json";
+/// The JSON error answer for a framing violation (shared by both front
+/// ends): status 400 (malformed) or 431 (oversized head).
+pub(crate) fn parse_error_response(e: &ParseError) -> (u16, String) {
+    (e.status(), json_error(e.label(), e.detail()))
+}
+
+pub(crate) const JSON: &str = "application/json";
 /// Prometheus text exposition content type (format version 0.0.4).
 const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
 
-fn json_error(error: &str, detail: impl Into<String>) -> String {
+pub(crate) fn json_error(error: &str, detail: impl Into<String>) -> String {
     json_error_id(error, detail, None)
 }
 
@@ -368,7 +439,7 @@ fn serve_error_response(e: ServeError, request_id: Option<u64>) -> (u16, &'stati
     )
 }
 
-fn route(
+pub(crate) fn route(
     service: &ExplanationService,
     shutdown: &AtomicBool,
     req: &HttpRequest,
@@ -546,7 +617,11 @@ fn handle_feedback(service: &ExplanationService, body: &[u8]) -> (u16, &'static 
                 FeedbackError::UpdatePanicked => "update_panic",
                 _ => "feedback_rejected",
             };
-            (status, JSON, json_error_id(label, e.to_string(), Some(request_id)))
+            (
+                status,
+                JSON,
+                json_error_id(label, e.to_string(), Some(request_id)),
+            )
         }
     }
 }
@@ -593,11 +668,33 @@ fn status_reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
     }
+}
+
+/// Serializes one complete response (head + body) into a byte buffer.
+/// The event loop appends this to a connection's write buffer; the
+/// threaded path writes it straight to the socket.
+pub(crate) fn render_response(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 fn write_response(
@@ -607,13 +704,6 @@ fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-        status_reason(status),
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&render_response(status, content_type, body, keep_alive))?;
     stream.flush()
 }

@@ -25,21 +25,33 @@
 //! check.
 
 pub mod cache;
+#[cfg(unix)]
+pub mod eventloop;
 pub mod events;
 pub mod fault;
 pub mod http;
 pub mod live;
 pub mod metrics;
+pub mod parse;
+pub mod sched;
 pub mod service;
 
 pub use cache::{CacheStats, EpochCache, LruCache};
 pub use events::{EventLogStats, EventLogger, RequestEvent};
 pub use fault::{FaultHandle, FaultHooks, FaultPlan, FaultRelease, UpdatePhase, FAULT_PANIC};
-pub use http::{method_from_label, HttpServer};
+pub use http::{method_from_label, FrontendMode, HttpConfig, HttpServer};
 pub use live::{
     events_to_delta, FeedbackError, FeedbackEvent, FeedbackOutcome, GraphEpoch, LiveGraph,
 };
-pub use metrics::{prometheus_text, MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
+pub use metrics::{
+    prometheus_text, FrontendSnapshot, FrontendStats, MetricsSnapshot, ServeMetrics, ServiceOwned,
+    WindowsSnapshot,
+};
+pub use parse::{HttpRequest, ParseError, RequestParser};
+pub use sched::{
+    AdmissionQueue, AdmitError, CostClassSnapshot, JobClass, JobMeta, SchedConfig, SchedPolicy,
+    SchedSnapshot,
+};
 pub use service::{
     recommend_from_push, reference_explain, reference_recommend, ExplainOutcome, ExplainResponse,
     ExplanationService, RecommendOutcome, RecommendResponse, ServeError, ServiceConfig,

@@ -262,7 +262,9 @@ impl LiveGraph {
             if let Some(f) = faults {
                 f.on_update(next_epoch, UpdatePhase::Apply);
             }
-            let graph = delta.apply_to(&base.graph).map_err(FeedbackError::Invalid)?;
+            let graph = delta
+                .apply_to(&base.graph)
+                .map_err(FeedbackError::Invalid)?;
             let kernel = base.kernel.rebuild_rows(&graph, &delta.touched_sources());
             Ok((graph, kernel))
         }));

@@ -15,11 +15,66 @@
 
 use crate::cache::CacheStats;
 use crate::events::EventLogStats;
+use crate::sched::SchedSnapshot;
 use emigre_obs::{
     CounterSnapshot, HistogramSnapshot, LatencyHistogram, PromText, StageLatencies, WindowStats,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Connection-layer counters, shared between the front end (either the
+/// event loop or the threaded fallback) and `/metrics`. All relaxed
+/// atomics; one instance per service.
+#[derive(Default)]
+pub struct FrontendStats {
+    /// Connections currently open (gauge: accept increments, close
+    /// decrements).
+    pub connections_active: AtomicU64,
+    pub connections_accepted: AtomicU64,
+    /// Requests served on an already-used connection — the keep-alive
+    /// payoff the old one-thread-per-connection loop never measured.
+    pub keepalive_reuses: AtomicU64,
+    /// Requests answered 400/431 for framing violations (then closed).
+    pub parse_errors: AtomicU64,
+    /// Reactor threads multiplexing the sockets (0 in threaded mode).
+    pub reactor_threads: AtomicU64,
+}
+
+impl FrontendStats {
+    pub fn on_accept(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_close(&self) {
+        // Saturating: a double-close accounting bug must not wrap the gauge.
+        let _ = self
+            .connections_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    pub fn snapshot(&self) -> FrontendSnapshot {
+        FrontendSnapshot {
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_accepted_total: self.connections_accepted.load(Ordering::Relaxed),
+            keepalive_reuses_total: self.keepalive_reuses.load(Ordering::Relaxed),
+            parse_errors_total: self.parse_errors.load(Ordering::Relaxed),
+            reactor_threads: self.reactor_threads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`FrontendStats`] for `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrontendSnapshot {
+    pub connections_active: u64,
+    pub connections_accepted_total: u64,
+    pub keepalive_reuses_total: u64,
+    pub parse_errors_total: u64,
+    pub reactor_threads: u64,
+}
 
 /// Live serving metrics; one instance per service, shared by all workers.
 #[derive(Default)]
@@ -58,6 +113,10 @@ pub struct ServeMetrics {
     pub recommend_latency: LatencyHistogram,
     /// Admission → dequeue wait, every admitted job.
     pub queue_wait: LatencyHistogram,
+    /// Admission → dequeue wait, explain jobs only.
+    pub queue_wait_explain: LatencyHistogram,
+    /// Admission → dequeue wait, recommend jobs only.
+    pub queue_wait_recommend: LatencyHistogram,
     /// Stage attribution across explain jobs: context/artefact assembly.
     pub stage_context: LatencyHistogram,
     /// Stage attribution: search-space construction + candidate ranking.
@@ -115,6 +174,8 @@ impl ServeMetrics {
             explain_latency: self.explain_latency.snapshot(),
             recommend_latency: self.recommend_latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
+            queue_wait_explain: self.queue_wait_explain.snapshot(),
+            queue_wait_recommend: self.queue_wait_recommend.snapshot(),
             stage_context: self.stage_context.snapshot(),
             stage_search: self.stage_search.snapshot(),
             stage_test: self.stage_test.snapshot(),
@@ -122,6 +183,8 @@ impl ServeMetrics {
             ops: owned.ops,
             events: owned.events,
             windows: owned.windows,
+            frontend: owned.frontend,
+            sched: owned.sched,
         }
     }
 }
@@ -151,6 +214,10 @@ pub struct ServiceOwned {
     pub ops: CounterSnapshot,
     pub events: EventLogStats,
     pub windows: WindowsSnapshot,
+    /// Connection-layer counters (live in [`FrontendStats`]).
+    pub frontend: FrontendSnapshot,
+    /// Admission-scheduler state (lives in the `AdmissionQueue`).
+    pub sched: SchedSnapshot,
 }
 
 /// Sliding-window SLO aggregates per endpoint, two horizons each.
@@ -202,6 +269,10 @@ pub struct MetricsSnapshot {
     pub explain_latency: HistogramSnapshot,
     pub recommend_latency: HistogramSnapshot,
     pub queue_wait: HistogramSnapshot,
+    /// Queue wait split by endpoint: the scheduler's effect is visible
+    /// here (SJF pulls the recommend wait far below the explain wait).
+    pub queue_wait_explain: HistogramSnapshot,
+    pub queue_wait_recommend: HistogramSnapshot,
     pub stage_context: HistogramSnapshot,
     pub stage_search: HistogramSnapshot,
     pub stage_test: HistogramSnapshot,
@@ -210,6 +281,11 @@ pub struct MetricsSnapshot {
     pub ops: CounterSnapshot,
     pub events: EventLogStats,
     pub windows: WindowsSnapshot,
+    /// Connection-layer counters from the front end.
+    pub frontend: FrontendSnapshot,
+    /// Admission-scheduler policy, reorder count, quota rejections, and
+    /// per-class expected costs.
+    pub sched: SchedSnapshot,
 }
 
 fn window_samples(p: &mut PromText, endpoint: &str, window: &str, w: &WindowStats) {
@@ -355,6 +431,82 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         "Jobs admitted, not yet dequeued",
     );
     p.sample_u64("emigre_queue_depth", &[], s.queue_depth);
+
+    p.header(
+        "emigre_connections_active",
+        "gauge",
+        "Open client connections",
+    );
+    p.sample_u64(
+        "emigre_connections_active",
+        &[],
+        s.frontend.connections_active,
+    );
+    p.header(
+        "emigre_connections_accepted_total",
+        "counter",
+        "Client connections accepted since start",
+    );
+    p.sample_u64(
+        "emigre_connections_accepted_total",
+        &[],
+        s.frontend.connections_accepted_total,
+    );
+    p.header(
+        "emigre_keepalive_reuses_total",
+        "counter",
+        "Requests served on an already-used (kept-alive) connection",
+    );
+    p.sample_u64(
+        "emigre_keepalive_reuses_total",
+        &[],
+        s.frontend.keepalive_reuses_total,
+    );
+    p.header(
+        "emigre_frontend_parse_errors_total",
+        "counter",
+        "Requests answered 400/431 for HTTP framing violations",
+    );
+    p.sample_u64(
+        "emigre_frontend_parse_errors_total",
+        &[],
+        s.frontend.parse_errors_total,
+    );
+    p.header(
+        "emigre_reactor_threads",
+        "gauge",
+        "Reactor threads multiplexing sockets (0 in threaded mode)",
+    );
+    p.sample_u64("emigre_reactor_threads", &[], s.frontend.reactor_threads);
+
+    p.header(
+        "emigre_sched_reordered_total",
+        "counter",
+        "Dispatches where the scheduler jumped an earlier arrival",
+    );
+    p.sample_u64("emigre_sched_reordered_total", &[], s.sched.reordered_total);
+    p.header(
+        "emigre_sched_rejected_user_quota_total",
+        "counter",
+        "Admissions rejected by the per-user share cap (also in rejected overload)",
+    );
+    p.sample_u64(
+        "emigre_sched_rejected_user_quota_total",
+        &[],
+        s.sched.rejected_user_quota,
+    );
+    p.header(
+        "emigre_sched_expected_cost_us",
+        "gauge",
+        "Cost-model expected service time per job class",
+    );
+    for c in &s.sched.classes {
+        p.sample_u64(
+            "emigre_sched_expected_cost_us",
+            &[("class", c.class.as_str())],
+            c.expected_us,
+        );
+    }
     p.header(
         "emigre_workers",
         "gauge",
@@ -449,6 +601,8 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
     );
     for (stage, h) in [
         ("queue", &s.queue_wait),
+        ("queue_explain", &s.queue_wait_explain),
+        ("queue_recommend", &s.queue_wait_recommend),
         ("context", &s.stage_context),
         ("search", &s.stage_search),
         ("test", &s.stage_test),
@@ -494,6 +648,8 @@ mod tests {
         m.explain_latency.record_us(1234);
         m.recommend_latency.record_us(56);
         m.queue_wait.record_us(7);
+        m.queue_wait_explain.record_us(9);
+        m.queue_wait_recommend.record_us(3);
         m.record_stages(&StageLatencies {
             queue_us: 7,
             context_us: 400,
@@ -559,6 +715,23 @@ mod tests {
             uptime_secs: 9,
             graph_epoch: 7,
             session_stale_invalidations: 1,
+            frontend: FrontendSnapshot {
+                connections_active: 3,
+                connections_accepted_total: 11,
+                keepalive_reuses_total: 6,
+                parse_errors_total: 1,
+                reactor_threads: 2,
+            },
+            sched: SchedSnapshot {
+                policy: "sjf".to_owned(),
+                reordered_total: 4,
+                rejected_user_quota: 2,
+                classes: vec![crate::sched::CostClassSnapshot {
+                    class: "recommend".to_owned(),
+                    observed: 5,
+                    expected_us: 1800,
+                }],
+            },
             ..ServiceOwned::default()
         });
         let text = prometheus_text(&s);
@@ -570,6 +743,17 @@ mod tests {
         assert!(text.contains("emigre_cache_stale_invalidations_total{cache=\"session\"} 1"));
         assert!(text.contains("emigre_stage_latency_us_bucket{stage=\"test\""));
         assert!(text.contains("le=\"+Inf\""));
+        // The observability satellite: connection + scheduler families.
+        assert!(text.contains("emigre_connections_active 3"));
+        assert!(text.contains("emigre_connections_accepted_total 11"));
+        assert!(text.contains("emigre_keepalive_reuses_total 6"));
+        assert!(text.contains("emigre_frontend_parse_errors_total 1"));
+        assert!(text.contains("emigre_reactor_threads 2"));
+        assert!(text.contains("emigre_sched_reordered_total 4"));
+        assert!(text.contains("emigre_sched_rejected_user_quota_total 2"));
+        assert!(text.contains("emigre_sched_expected_cost_us{class=\"recommend\"} 1800"));
+        assert!(text.contains("emigre_stage_latency_us_bucket{stage=\"queue_explain\""));
+        assert!(text.contains("emigre_stage_latency_us_bucket{stage=\"queue_recommend\""));
     }
 
     #[test]

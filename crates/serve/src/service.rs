@@ -4,13 +4,13 @@
 //! ## Architecture
 //!
 //! ```text
-//!  callers ──try_send──▶ bounded queue ──recv──▶ N workers
-//!     ▲                      │                      │
-//!     │   Overloaded when    │                      ├─ pinned GraphEpoch (graph + kernel)
-//!     └── full: admission    │                      ├─ session cache (user → UserArtifacts)
-//!         control, never     │                      ├─ column cache  (WNI → PPR(·,WNI))
-//!         unbounded queueing │                      ├─ per-worker PushWorkspace
-//!                            │                      └─ per-request ObsHandle (spans + trace)
+//!  callers ──try_push──▶ AdmissionQueue ──pop──▶ N workers
+//!     ▲                      │ (QoS policy:          │
+//!     │   Overloaded when    │  fifo/deadline/sjf    ├─ pinned GraphEpoch (graph + kernel)
+//!     └── full or over the   │  + per-user fairness, ├─ session cache (user → UserArtifacts)
+//!         per-user share:    │  see crate::sched)    ├─ column cache  (WNI → PPR(·,WNI))
+//!         admission control, │                       ├─ per-worker PushWorkspace
+//!         never unbounded    │                       └─ per-request ObsHandle (spans + trace)
 //!                            └─ jobs carry a deadline; expired jobs are
 //!                               dropped when dequeued (DeadlineExceeded)
 //!
@@ -59,11 +59,11 @@
 //!
 //! ## Shutdown
 //!
-//! [`ExplanationService::shutdown`] drops the queue's only `Sender` and
-//! joins the workers. The channel keeps delivering queued messages after
-//! disconnection, so every admitted request is answered — drain, not
-//! abort. New submissions fail with [`ServeError::ShuttingDown`]. The
-//! event log is flushed after the workers drain.
+//! [`ExplanationService::shutdown`] closes the admission queue and joins
+//! the workers. The queue keeps delivering admitted jobs after close, so
+//! every admitted request is answered — drain, not abort. New
+//! submissions fail with [`ServeError::ShuttingDown`]. The event log is
+//! flushed after the workers drain.
 
 use crate::cache::{EpochCache, LruCache};
 use crate::events::{EventLogger, RequestEvent};
@@ -71,8 +71,9 @@ use crate::fault::FaultHandle;
 use crate::live::{
     events_to_delta, FeedbackError, FeedbackEvent, FeedbackOutcome, GraphEpoch, LiveGraph,
 };
-use crate::metrics::{MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crate::metrics::{FrontendStats, MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
+use crate::sched::{AdmissionQueue, AdmitError, JobClass, JobMeta, SchedConfig};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use emigre_core::{
     EmigreConfig, ExplainContext, ExplainFailure, Explainer, Explanation, Method, QuestionError,
     UserArtifacts, WhyNotQuestion,
@@ -122,6 +123,9 @@ pub struct ServiceConfig {
     /// workers are few and per-request latency matters more than
     /// throughput. `0` lets the engine auto-detect.
     pub intra_request_parallelism: usize,
+    /// Admission-scheduler policy, per-user share cap, and fairness
+    /// quantum — see [`crate::sched`].
+    pub sched: SchedConfig,
 }
 
 impl Default for ServiceConfig {
@@ -139,6 +143,7 @@ impl Default for ServiceConfig {
             event_log_capacity: 4096,
             faults: None,
             intra_request_parallelism: 1,
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -234,15 +239,14 @@ enum Work {
     },
 }
 
-struct Job {
-    request_id: u64,
-    admitted_at: Instant,
-    work: Work,
-    deadline: Instant,
-}
-
 /// State shared between the front-end handle and every worker.
 struct Shared {
+    /// QoS-aware admission queue (policy, fairness, cost model) between
+    /// `submit` and the workers — see [`crate::sched`].
+    queue: AdmissionQueue<Work>,
+    /// Connection-layer counters, updated by whichever front end serves
+    /// this service (zero when driven directly, e.g. in tests).
+    frontend: Arc<FrontendStats>,
     live: LiveGraph,
     cfg: EmigreConfig,
     sessions: Mutex<EpochCache<u32, Arc<UserArtifacts>>>,
@@ -272,9 +276,6 @@ impl Shared {
 /// request methods take `&self`.
 pub struct ExplanationService {
     shared: Arc<Shared>,
-    /// `None` once shutdown started. Dropping the sender disconnects the
-    /// queue; workers drain what is left and exit.
-    tx: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     default_deadline: Duration,
 }
@@ -290,6 +291,8 @@ impl ExplanationService {
         assert!(sc.workers >= 1, "service needs at least one worker");
         let kernel = Arc::new(TransitionCsr::build(&graph, cfg.rec.ppr.transition));
         let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(sc.queue_capacity, sc.sched.clone()),
+            frontend: Arc::new(FrontendStats::default()),
             live: LiveGraph::new(Arc::new(graph), kernel),
             cfg,
             sessions: Mutex::new(EpochCache::new(sc.session_capacity)),
@@ -305,20 +308,17 @@ impl ExplanationService {
             workers: sc.workers,
             faults: sc.faults.clone(),
         });
-        let (tx, rx) = bounded::<Job>(sc.queue_capacity);
         let workers = (0..sc.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let rx = rx.clone();
                 std::thread::Builder::new()
                     .name(format!("emigre-serve-{i}"))
-                    .spawn(move || worker_loop(shared, rx))
+                    .spawn(move || worker_loop(shared))
                     .expect("spawning service worker")
             })
             .collect();
         ExplanationService {
             shared,
-            tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
             default_deadline: sc.default_deadline,
         }
@@ -361,17 +361,24 @@ impl ExplanationService {
     ) -> (u64, Result<ExplainResponse, ServeError>) {
         let request_id = self.shared.next_id();
         let (reply, rx) = bounded(1);
-        let submitted = self.submit(Job {
-            request_id,
-            admitted_at: Instant::now(),
-            work: Work::Explain {
+        let class = JobClass::Explain(method);
+        let expected_cost_us = self.shared.queue.expected_cost_us(class);
+        let submitted = self.submit(
+            Work::Explain {
                 user,
                 wni,
                 method,
                 reply,
             },
-            deadline: Instant::now() + deadline,
-        });
+            JobMeta {
+                request_id,
+                user: user.0,
+                class,
+                admitted_at: Instant::now(),
+                deadline: Instant::now() + deadline,
+                expected_cost_us,
+            },
+        );
         let result = match submitted {
             Ok(()) => match rx.recv() {
                 Ok(r) => r,
@@ -387,6 +394,7 @@ impl ExplanationService {
                     user: user.0,
                     wni: Some(wni.0),
                     method: Some(method.label().to_owned()),
+                    expected_cost_us: Some(expected_cost_us),
                     ..RequestEvent::default()
                 });
                 Err(e)
@@ -419,12 +427,18 @@ impl ExplanationService {
     ) -> (u64, Result<RecommendResponse, ServeError>) {
         let request_id = self.shared.next_id();
         let (reply, rx) = bounded(1);
-        let submitted = self.submit(Job {
-            request_id,
-            admitted_at: Instant::now(),
-            work: Work::Recommend { user, k, reply },
-            deadline: Instant::now() + deadline,
-        });
+        let expected_cost_us = self.shared.queue.expected_cost_us(JobClass::Recommend);
+        let submitted = self.submit(
+            Work::Recommend { user, k, reply },
+            JobMeta {
+                request_id,
+                user: user.0,
+                class: JobClass::Recommend,
+                admitted_at: Instant::now(),
+                deadline: Instant::now() + deadline,
+                expected_cost_us,
+            },
+        );
         let result = match submitted {
             Ok(()) => match rx.recv() {
                 Ok(r) => r,
@@ -437,6 +451,7 @@ impl ExplanationService {
                     endpoint: "recommend".to_owned(),
                     outcome: e.outcome().to_owned(),
                     user: user.0,
+                    expected_cost_us: Some(expected_cost_us),
                     ..RequestEvent::default()
                 });
                 Err(e)
@@ -446,19 +461,19 @@ impl ExplanationService {
     }
 
     /// Admission control: non-blocking enqueue or immediate rejection.
-    fn submit(&self, job: Job) -> Result<(), ServeError> {
+    /// User-quota rejections surface as `Overloaded` to the caller and
+    /// count in `rejected_overload` (keeping the accounting invariant
+    /// `requests_total == completed_total + rejected_overload`); the
+    /// quota-specific count is in the scheduler snapshot.
+    fn submit(&self, work: Work, meta: JobMeta) -> Result<(), ServeError> {
         ServeMetrics::bump(&self.shared.metrics.requests_total);
-        let guard = self.tx.lock();
-        let Some(tx) = guard.as_ref() else {
-            return Err(ServeError::ShuttingDown);
-        };
-        match tx.try_send(job) {
+        match self.shared.queue.try_push(work, meta) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => {
+            Err(AdmitError::Overloaded) | Err(AdmitError::UserQuota) => {
                 ServeMetrics::bump(&self.shared.metrics.rejected_overload);
                 Err(ServeError::Overloaded)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(AdmitError::Closed) => Err(ServeError::ShuttingDown),
         }
     }
 
@@ -485,12 +500,7 @@ impl ExplanationService {
             (g.stats(), g.stale_invalidations())
         };
         let owned = ServiceOwned {
-            queue_depth: self
-                .tx
-                .lock()
-                .as_ref()
-                .map(|tx| tx.len() as u64)
-                .unwrap_or(0),
+            queue_depth: self.shared.queue.len() as u64,
             workers: self.shared.workers as u64,
             uptime_secs: self.shared.started.elapsed().as_secs(),
             session_cache,
@@ -508,8 +518,24 @@ impl ExplanationService {
                 recommend_10s: self.shared.recommend_window.stats(10),
                 recommend_60s: self.shared.recommend_window.stats(60),
             },
+            frontend: self.shared.frontend.snapshot(),
+            sched: self.shared.queue.snapshot(),
         };
         self.shared.metrics.snapshot(owned)
+    }
+
+    /// The connection-layer counters the HTTP front end updates; exposed
+    /// so either front end (event loop or threaded) can share one
+    /// instance with `/metrics`.
+    pub fn frontend_stats(&self) -> Arc<FrontendStats> {
+        Arc::clone(&self.shared.frontend)
+    }
+
+    /// Recently dispatched request ids in scheduler order, oldest first
+    /// (bounded). Deterministic observability for scheduling tests.
+    #[doc(hidden)]
+    pub fn dispatch_order_for_test(&self) -> Vec<u64> {
+        self.shared.queue.dispatch_order()
     }
 
     /// The deadline applied when a caller does not pass one.
@@ -520,6 +546,11 @@ impl ExplanationService {
     /// Worker threads serving the queue.
     pub fn workers(&self) -> usize {
         self.shared.workers
+    }
+
+    /// Admission-queue capacity (jobs beyond this are rejected 429).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
     }
 
     /// Time since [`ExplanationService::start`].
@@ -537,21 +568,22 @@ impl ExplanationService {
         // drops the sender and their recv() sees the disconnect.
         let (release_tx, release_rx) = bounded::<()>(1);
         let (started_tx, started_rx) = bounded::<()>(n);
-        {
-            let guard = self.tx.lock();
-            let tx = guard.as_ref().expect("service is running");
-            for _ in 0..n {
-                let sent = tx.send(Job {
+        for _ in 0..n {
+            let sent = self.shared.queue.push_privileged(
+                Work::Stall {
+                    started: started_tx.clone(),
+                    release: release_rx.clone(),
+                },
+                JobMeta {
                     request_id: 0,
+                    user: 0,
+                    class: JobClass::Recommend,
                     admitted_at: Instant::now(),
-                    work: Work::Stall {
-                        started: started_tx.clone(),
-                        release: release_rx.clone(),
-                    },
                     deadline: Instant::now() + Duration::from_secs(3600),
-                });
-                assert!(sent.is_ok(), "queueing stall job");
-            }
+                    expected_cost_us: 0,
+                },
+            );
+            assert!(sent.is_ok(), "queueing stall job");
         }
         for _ in 0..n {
             started_rx.recv().expect("worker reached stall point");
@@ -565,8 +597,9 @@ impl ExplanationService {
     /// already-admitted job, joins them, then flushes the event log.
     /// Idempotent.
     pub fn shutdown(&self) {
-        let tx = self.tx.lock().take();
-        drop(tx); // last Sender: disconnects the queue after it drains
+        // Close the queue: submits fail with ShuttingDown, workers drain
+        // every already-admitted job then see None.
+        self.shared.queue.close();
         let workers = std::mem::take(&mut *self.workers.lock());
         for w in workers {
             let _ = w.join();
@@ -694,20 +727,19 @@ impl Drop for ExplanationService {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
+fn worker_loop(shared: Arc<Shared>) {
     // One workspace per worker, recycled across every question. Sized lazily
     // by load_base/clear, so starting at the graph size just pre-warms it.
     // (Feedback never changes the node count, only edges.)
     let mut ws = PushWorkspace::new(shared.live.pin().graph.num_nodes());
-    // recv drains queued jobs even after the sender disconnects: graceful
-    // shutdown answers everything that was admitted.
-    while let Ok(job) = rx.recv() {
-        let Job {
+    // pop drains queued jobs even after close(): graceful shutdown answers
+    // everything that was admitted.
+    while let Some((work, meta)) = shared.queue.pop() {
+        let JobMeta {
             request_id,
             admitted_at,
-            work,
-            deadline,
-        } = job;
+            ..
+        } = meta;
         match work {
             Work::Stall { started, release } => {
                 let _ = started.send(());
@@ -727,16 +759,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
                 reply,
             } => {
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    explain_job(
-                        &shared,
-                        request_id,
-                        admitted_at,
-                        deadline,
-                        user,
-                        wni,
-                        method,
-                        &mut ws,
-                    )
+                    explain_job(&shared, &meta, user, wni, method, &mut ws)
                 }));
                 match run {
                     Ok((result, stages, epoch)) => {
@@ -764,7 +787,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
             }
             Work::Recommend { user, k, reply } => {
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    recommend_job(&shared, request_id, admitted_at, deadline, user, k)
+                    recommend_job(&shared, &meta, user, k)
                 }));
                 match run {
                     Ok((result, stages, epoch)) => {
@@ -796,17 +819,15 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
 /// compute, metrics, window, trace store, event emission. Runs inside the
 /// worker's `catch_unwind`; everything it records is already durable when
 /// it returns, so the caller only has to deliver the reply.
-#[allow(clippy::too_many_arguments)]
 fn explain_job(
     shared: &Shared,
-    request_id: u64,
-    admitted_at: Instant,
-    deadline: Instant,
+    meta: &JobMeta,
     user: NodeId,
     wni: NodeId,
     method: Method,
     ws: &mut PushWorkspace,
 ) -> (Result<ExplainOutcome, ServeError>, StageLatencies, u64) {
+    let request_id = meta.request_id;
     if let Some(f) = &shared.faults {
         f.on_dequeue(request_id, "explain");
     }
@@ -817,9 +838,10 @@ fn explain_job(
     // `start` is taken after the fault hook so an injected delay counts as
     // processing time and can expire the job it hit, like any slow worker.
     let start = Instant::now();
-    let queue_us = start.duration_since(admitted_at).as_micros() as u64;
-    let expired = start >= deadline;
+    let queue_us = start.duration_since(meta.admitted_at).as_micros() as u64;
+    let expired = start >= meta.deadline;
     shared.metrics.queue_wait.record_us(queue_us);
+    shared.metrics.queue_wait_explain.record_us(queue_us);
     let mut stages = StageLatencies {
         queue_us,
         ..StageLatencies::default()
@@ -831,6 +853,7 @@ fn explain_job(
         wni: Some(wni.0),
         method: Some(method.label().to_owned()),
         epoch: Some(snap.epoch),
+        expected_cost_us: Some(meta.expected_cost_us),
         ..RequestEvent::default()
     };
     let result = if expired {
@@ -887,6 +910,13 @@ fn explain_job(
     shared.metrics.record_stages(&stages);
     shared.metrics.explain_latency.record(total);
     shared.explain_window.record(stages.total_us, is_error);
+    if !expired {
+        // Feed the cost model with real service time (queue wait
+        // excluded). Expired jobs cost ~nothing and would poison it.
+        shared
+            .queue
+            .observe_cost(meta.class, total.as_micros() as u64);
+    }
     event.stages = stages;
     shared.events.emit(&event);
     // Count completion before replying: once a caller has its answer, the
@@ -898,20 +928,20 @@ fn explain_job(
 /// The full recommend path of one dequeued job; see [`explain_job`].
 fn recommend_job(
     shared: &Shared,
-    request_id: u64,
-    admitted_at: Instant,
-    deadline: Instant,
+    meta: &JobMeta,
     user: NodeId,
     k: usize,
 ) -> (Result<RecommendOutcome, ServeError>, StageLatencies, u64) {
+    let request_id = meta.request_id;
     if let Some(f) = &shared.faults {
         f.on_dequeue(request_id, "recommend");
     }
     let snap = shared.live.pin();
     let start = Instant::now();
-    let queue_us = start.duration_since(admitted_at).as_micros() as u64;
-    let expired = start >= deadline;
+    let queue_us = start.duration_since(meta.admitted_at).as_micros() as u64;
+    let expired = start >= meta.deadline;
     shared.metrics.queue_wait.record_us(queue_us);
+    shared.metrics.queue_wait_recommend.record_us(queue_us);
     let mut stages = StageLatencies {
         queue_us,
         ..StageLatencies::default()
@@ -921,6 +951,7 @@ fn recommend_job(
         endpoint: "recommend".to_owned(),
         user: user.0,
         epoch: Some(snap.epoch),
+        expected_cost_us: Some(meta.expected_cost_us),
         ..RequestEvent::default()
     };
     let result = if expired {
@@ -958,6 +989,11 @@ fn recommend_job(
     stages.total_us = queue_us + total.as_micros() as u64;
     shared.metrics.recommend_latency.record(total);
     shared.recommend_window.record(stages.total_us, is_error);
+    if !expired {
+        shared
+            .queue
+            .observe_cost(meta.class, total.as_micros() as u64);
+    }
     event.stages = stages;
     shared.events.emit(&event);
     ServeMetrics::bump(&shared.metrics.completed_total);

@@ -50,7 +50,7 @@ fn pick_question(
 ) -> (NodeId, NodeId) {
     for &user in users {
         if let Ok(rec) = reference_recommend(graph, cfg, user, 5) {
-            if let Some(&(wni, _)) = rec.iter().skip(1).next() {
+            if let Some(&(wni, _)) = rec.get(1) {
                 return (user, wni);
             }
         }
@@ -100,7 +100,10 @@ fn feedback_bumps_the_epoch_and_stales_the_caches() {
     let (_, r2) = service.explain_request(user, wni, method, deadline);
     assert_eq!(r2.unwrap().outcome, first.outcome);
     let warm = service.metrics();
-    assert!(warm.session_cache.hits >= 1, "session cache warmed: {warm:?}");
+    assert!(
+        warm.session_cache.hits >= 1,
+        "session cache warmed: {warm:?}"
+    );
     assert_eq!(warm.session_stale_invalidations, 0);
     assert_eq!(warm.graph_epoch, 0);
 
@@ -142,8 +145,13 @@ fn feedback_bumps_the_epoch_and_stales_the_caches() {
     );
 
     // Recommend follows the same pinning rules.
-    let rec = service.recommend(user, 5).expect("recommend works on epoch 1");
-    assert_eq!(rec, reference_recommend(&next_graph, &cfg, user, 5).unwrap());
+    let rec = service
+        .recommend(user, 5)
+        .expect("recommend works on epoch 1");
+    assert_eq!(
+        rec,
+        reference_recommend(&next_graph, &cfg, user, 5).unwrap()
+    );
     service.shutdown();
 }
 
@@ -157,10 +165,7 @@ fn rejected_feedback_leaves_the_epoch_untouched() {
         "no-such-edge-type",
         1.0,
     )]);
-    assert!(matches!(
-        r.unwrap_err(),
-        FeedbackError::UnknownEdgeType(_)
-    ));
+    assert!(matches!(r.unwrap_err(), FeedbackError::UnknownEdgeType(_)));
     let m = service.metrics();
     assert_eq!(m.graph_epoch, 0);
     assert_eq!(m.epochs_published, 0);
@@ -218,7 +223,10 @@ fn http_feedback_end_to_end_threads_the_epoch_through_responses() {
     // Epoch 0 read.
     let r = http(&addr, "POST", "/explain", Some(&explain_body));
     assert_eq!(status_of(&r), 200, "{r}");
-    assert!(r.contains("\"epoch\":0"), "pre-update reads pin epoch 0: {r}");
+    assert!(
+        r.contains("\"epoch\":0"),
+        "pre-update reads pin epoch 0: {r}"
+    );
 
     // Publish epoch 1 over HTTP.
     let feedback_body = format!(
@@ -234,7 +242,10 @@ fn http_feedback_end_to_end_threads_the_epoch_through_responses() {
     // Post-update read pins the new epoch.
     let r = http(&addr, "POST", "/explain", Some(&explain_body));
     assert_eq!(status_of(&r), 200, "{r}");
-    assert!(r.contains("\"epoch\":1"), "post-update reads pin epoch 1: {r}");
+    assert!(
+        r.contains("\"epoch\":1"),
+        "post-update reads pin epoch 1: {r}"
+    );
 
     // A bad batch is rejected wholesale; the epoch stays.
     let r = http(

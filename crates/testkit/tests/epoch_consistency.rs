@@ -139,7 +139,10 @@ fn interleaved_run(
     quiet_fault_panics();
     let (world, questions) = consistency_world(4);
     let cfg = world.cfg.clone();
-    assert!(cfg.bidirectional_actions, "world uses mirrored preprocessing");
+    assert!(
+        cfg.bidirectional_actions,
+        "world uses mirrored preprocessing"
+    );
 
     let plan = FaultPlan::new();
     if inject_faults {
@@ -215,8 +218,7 @@ fn interleaved_run(
             for _ in 0..explains_per_thread {
                 let (user, wni) = questions[rng.gen_range(0..questions.len())];
                 let method = methods[rng.gen_range(0..methods.len())];
-                let (_, r) =
-                    service.explain_request(user, wni, method, Duration::from_secs(120));
+                let (_, r) = service.explain_request(user, wni, method, Duration::from_secs(120));
                 results.push((user, wni, method, r));
             }
             results

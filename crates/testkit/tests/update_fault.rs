@@ -179,8 +179,14 @@ fn mid_apply_panic_discards_the_epoch_and_the_next_update_publishes() {
     let (_, r4) = service.explain_request(user, wni, method, deadline);
     let resp = r4.expect("question stays valid on the new epoch");
     assert_eq!(resp.epoch, 1);
-    let next_reference = reference_explain(&applied(&world.graph, &batch), &world.cfg, user, wni, method)
-        .expect("question is valid on the new epoch");
+    let next_reference = reference_explain(
+        &applied(&world.graph, &batch),
+        &world.cfg,
+        user,
+        wni,
+        method,
+    )
+    .expect("question is valid on the new epoch");
     assert_eq!(resp.outcome, next_reference);
 
     let m = service.metrics();
@@ -195,7 +201,11 @@ fn mid_apply_panic_discards_the_epoch_and_the_next_update_publishes() {
     let events = read_log(&log, 4);
     assert_eq!(events[0].endpoint, "feedback");
     assert_eq!(events[0].outcome, "update_panic");
-    assert_eq!(events[0].epoch, Some(0), "the failed update leaves epoch 0 current");
+    assert_eq!(
+        events[0].epoch,
+        Some(0),
+        "the failed update leaves epoch 0 current"
+    );
     assert_eq!(events[2].outcome, "applied");
     assert_eq!(events[2].epoch, Some(1));
     assert_eq!(events[3].epoch, Some(1), "the read pinned the new epoch");
@@ -260,8 +270,14 @@ fn mid_publish_stall_never_exposes_a_half_published_epoch() {
     let (_, r) = service.explain_request(user, wni, method, deadline);
     let resp = r.expect("question stays valid on the new epoch");
     assert_eq!(resp.epoch, 1);
-    let next_reference = reference_explain(&applied(&world.graph, &batch), &world.cfg, user, wni, method)
-        .expect("question is valid on the new epoch");
+    let next_reference = reference_explain(
+        &applied(&world.graph, &batch),
+        &world.cfg,
+        user,
+        wni,
+        method,
+    )
+    .expect("question is valid on the new epoch");
     assert_eq!(resp.outcome, next_reference);
 
     let m = service.metrics();

@@ -35,6 +35,11 @@ usage:
                [--event-log FILE]                 JSON-lines request event log
                [--feedback-log FILE]              replay edge updates before serving
                [--trace-cap N]                    replayable /trace/<id> store size
+               [--frontend eventloop|threaded]    connection layer (default eventloop)
+               [--reactor-threads N]              event-loop reactor pool size
+               [--keep-alive-secs N]              idle connection budget (0 = close)
+               [--sched fifo|deadline|sjf]        admission scheduling policy (default deadline)
+               [--user-share F]                   per-user queue share in (0, 1]
   emigre dot --graph FILE                         Graphviz to stdout
 methods: add_Incremental add_Powerset add_ex remove_Incremental
          remove_Powerset remove_ex remove_ex_direct remove_brute
@@ -293,6 +298,32 @@ fn run(args: &[String]) -> Result<(), String> {
                 // the `parallelism` knob on EmigreConfig.
                 sc.intra_request_parallelism = p.parse().map_err(|_| "bad --parallelism")?;
             }
+            if let Some(p) = flag(args, "--sched")? {
+                sc.sched.policy = emigre::serve::SchedPolicy::parse(&p)
+                    .ok_or("--sched must be fifo, deadline, or sjf")?;
+            }
+            if let Some(s) = flag(args, "--user-share")? {
+                sc.sched.user_share = s.parse().map_err(|_| "bad --user-share")?;
+                if !(0.0..=1.0).contains(&sc.sched.user_share) || sc.sched.user_share == 0.0 {
+                    return Err("--user-share must be in (0, 1]".to_owned());
+                }
+            }
+            let mut hc = emigre::serve::HttpConfig::default();
+            if let Some(f) = flag(args, "--frontend")? {
+                hc.mode = emigre::serve::FrontendMode::parse(&f)
+                    .ok_or("--frontend must be eventloop or threaded")?;
+            }
+            if let Some(r) = flag(args, "--reactor-threads")? {
+                hc.reactor_threads = r.parse().map_err(|_| "bad --reactor-threads")?;
+                if hc.reactor_threads == 0 {
+                    return Err("--reactor-threads must be at least 1".to_owned());
+                }
+            }
+            if let Some(k) = flag(args, "--keep-alive-secs")? {
+                // 0 disables keep-alive: every response closes.
+                let secs: u64 = k.parse().map_err(|_| "bad --keep-alive-secs")?;
+                hc.keep_alive = Duration::from_secs(secs);
+            }
             let service = Arc::new(ExplanationService::start(g, cfg, sc));
             // Log-replay ingestion: one JSON feedback event per line,
             // applied as epoch-publishing batches before the listener
@@ -301,7 +332,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 let text = std::fs::read_to_string(&p)
                     .map_err(|e| format!("reading --feedback-log {p}: {e}"))?;
                 let mut replayed = 0u64;
-                for (i, line) in text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()) {
+                for (i, line) in text
+                    .lines()
+                    .enumerate()
+                    .filter(|(_, l)| !l.trim().is_empty())
+                {
                     let event: emigre::serve::FeedbackEvent = serde_json::from_str(line)
                         .map_err(|e| format!("--feedback-log line {}: {e}", i + 1))?;
                     let (_, result) = service.apply_feedback(std::slice::from_ref(&event));
@@ -313,7 +348,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     service.metrics().graph_epoch
                 );
             }
-            let server = HttpServer::bind(service, &format!("127.0.0.1:{port}"))
+            let server = HttpServer::bind_with(service, &format!("127.0.0.1:{port}"), hc)
                 .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
             let addr = server
                 .local_addr()
