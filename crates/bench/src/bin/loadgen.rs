@@ -1115,6 +1115,12 @@ struct BenchReport {
     /// `--arrival-sweep`): one point per offered rate, empty when the
     /// phase did not run.
     open_loop: Vec<OpenLoopPoint>,
+    /// Server-side heap high-water mark over the run (tracking
+    /// allocator; 0 when the server binary was built without
+    /// `heap-track`).
+    heap_peak_bytes: u64,
+    /// Structural footprint of the server's graph + CSR kernel.
+    graph_bytes: u64,
     server_metrics: MetricsSnapshot,
 }
 
@@ -1563,6 +1569,8 @@ fn drive(
         },
         event_log: EventLogReport::default(),
         open_loop: Vec::new(),
+        heap_peak_bytes: server_metrics.heap_peak_bytes,
+        graph_bytes: server_metrics.graph_bytes,
         server_metrics,
     };
 
@@ -1736,6 +1744,8 @@ fn drive_mixed(
         },
         event_log: EventLogReport::default(),
         open_loop: Vec::new(),
+        heap_peak_bytes: server_metrics.heap_peak_bytes,
+        graph_bytes: server_metrics.graph_bytes,
         server_metrics,
     };
 

@@ -26,6 +26,13 @@ use emigre_rec::RecList;
 use serde::Serialize;
 use std::time::Instant;
 
+/// The tracking allocator under test for `--max-alloc-overhead-pct`:
+/// installed only in `heap-track` builds, so the default bench binary
+/// keeps the system allocator untouched.
+#[cfg(feature = "heap-track")]
+#[global_allocator]
+static ALLOC: emigre_obs::TrackingAlloc = emigre_obs::TrackingAlloc::system();
+
 /// Median wall-clock microseconds per call: `samples` timed samples of
 /// `inner` back-to-back calls each, after `warmup` untimed calls.
 fn measure_us(inner: usize, mut f: impl FnMut()) -> f64 {
@@ -228,13 +235,18 @@ fn first_addition(g: &Hin, cfg: &emigre_core::EmigreConfig, user: NodeId, wni: N
 }
 
 fn main() {
-    // `ppr_flat_bench [out.json] [--smoke] [--max-obs-overhead-pct P]`
+    // `ppr_flat_bench [out.json] [--smoke] [--max-obs-overhead-pct P]
+    //  [--max-alloc-overhead-pct P]`
     // --smoke limits the sweep to the small graph (CI-friendly);
     // --max-obs-overhead-pct makes the run fail when the obs-enabled CHECK
-    // is more than P percent slower than the uninstrumented one.
+    // is more than P percent slower than the uninstrumented one;
+    // --max-alloc-overhead-pct does the same for the tracking allocator
+    // (accounting on vs passed through, same binary — requires the
+    // `heap-track` feature so the allocator is actually installed).
     let mut out_path = "BENCH_ppr.json".to_string();
     let mut smoke = false;
     let mut max_obs_overhead_pct: Option<f64> = None;
+    let mut max_alloc_overhead_pct: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -243,12 +255,25 @@ fn main() {
                 let v = args.next().expect("--max-obs-overhead-pct needs a value");
                 max_obs_overhead_pct = Some(v.parse().expect("numeric overhead percentage"));
             }
+            "--max-alloc-overhead-pct" => {
+                let v = args.next().expect("--max-alloc-overhead-pct needs a value");
+                max_alloc_overhead_pct = Some(v.parse().expect("numeric overhead percentage"));
+            }
             other => out_path = other.to_string(),
         }
+    }
+    if max_alloc_overhead_pct.is_some() && cfg!(not(feature = "heap-track")) {
+        eprintln!(
+            "--max-alloc-overhead-pct needs the tracking allocator installed; \
+             rebuild with --features heap-track"
+        );
+        std::process::exit(1);
     }
     let epsilon = 1e-7;
     let mut entries = Vec::new();
     let mut worst_obs_overhead_pct = f64::NEG_INFINITY;
+    #[cfg(feature = "heap-track")]
+    let mut worst_alloc_overhead_pct = f64::NEG_INFINITY;
 
     let sizes: &[usize] = if smoke { &[1_000] } else { &[1_000, 3_000] };
     for &items in sizes {
@@ -388,6 +413,38 @@ fn main() {
             chk_add_obs,
             Some(delta_add),
         ));
+
+        // Allocation-tracker cost: the uninstrumented CHECK with the
+        // tracking allocator's accounting paused (one relaxed load per
+        // alloc) vs counting. Same binary, same heap layout — the only
+        // variable is the per-allocation bookkeeping the gate prices.
+        #[cfg(feature = "heap-track")]
+        {
+            emigre_obs::set_tracking(false);
+            let chk_rm_paused = measure_us(4, || {
+                std::hint::black_box(tester.test(&remove));
+            });
+            emigre_obs::set_tracking(true);
+            let scope = emigre_obs::AllocScope::start();
+            std::hint::black_box(tester.test(&remove));
+            let bytes_per_check = scope.bytes();
+            let chk_rm_tracked = measure_us(4, || {
+                std::hint::black_box(tester.test(&remove));
+            });
+            let alloc_overhead_pct = (chk_rm_tracked / chk_rm_paused - 1.0) * 100.0;
+            worst_alloc_overhead_pct = worst_alloc_overhead_pct.max(alloc_overhead_pct);
+            entries.push(entry(
+                "check_remove_alloc_tracked",
+                items,
+                n,
+                chk_rm_paused,
+                chk_rm_tracked,
+            ));
+            println!(
+                "{:>26} {} heap bytes allocated per tracked CHECK",
+                "", bytes_per_check
+            );
+        }
     }
 
     let report = Report {
@@ -408,6 +465,19 @@ fn main() {
         if worst_obs_overhead_pct > limit {
             eprintln!("obs overhead {worst_obs_overhead_pct:.2}% exceeds limit {limit:.2}%");
             std::process::exit(1);
+        }
+    }
+    #[cfg(feature = "heap-track")]
+    {
+        println!("worst alloc-tracking CHECK overhead: {worst_alloc_overhead_pct:+.2}%");
+        if let Some(limit) = max_alloc_overhead_pct {
+            if worst_alloc_overhead_pct > limit {
+                eprintln!(
+                    "alloc-tracking overhead {worst_alloc_overhead_pct:.2}% \
+                     exceeds limit {limit:.2}%"
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

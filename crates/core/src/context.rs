@@ -14,7 +14,7 @@
 use crate::config::EmigreConfig;
 use crate::question::{QuestionError, WhyNotQuestion};
 use emigre_hin::{GraphDelta, GraphView, NodeId, NodeTypeId};
-use emigre_obs::{ObsHandle, Op};
+use emigre_obs::{HeapSize, ObsHandle, Op};
 use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, RowCache, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use std::cell::RefCell;
@@ -40,6 +40,15 @@ pub struct CandidateIndex {
     interacted: Vec<bool>,
     /// `(node, prior)` pairs recording bitset writes of the active delta.
     overrides: Vec<(u32, bool)>,
+}
+
+/// Exact: three flat buffers at capacity.
+impl HeapSize for CandidateIndex {
+    fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<NodeId>()
+            + self.interacted.capacity()
+            + self.overrides.capacity() * std::mem::size_of::<(u32, bool)>()
+    }
 }
 
 impl CandidateIndex {
@@ -140,6 +149,20 @@ pub struct UserArtifacts {
     pub ppr_to_rec: Arc<ReversePush>,
     /// Override-free candidate index, cloned into each context.
     pub cand_base: CandidateIndex,
+}
+
+/// Counts the artefacts this user *uniquely owns*: the two dense push
+/// states, the recommendation list, and the candidate index. The `kernel`
+/// is deliberately excluded — it is the graph-wide transition CSR shared
+/// by every user and charged to its owner (the live `GraphEpoch`), so
+/// summing cached `UserArtifacts` never double counts it.
+impl HeapSize for UserArtifacts {
+    fn heap_bytes(&self) -> usize {
+        self.user_push.heap_bytes()
+            + self.ppr_to_rec.heap_bytes()
+            + self.rec_list.heap_bytes()
+            + self.cand_base.heap_bytes()
+    }
 }
 
 impl UserArtifacts {

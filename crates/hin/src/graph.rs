@@ -265,6 +265,24 @@ impl Hin {
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
         (0..self.nodes.len() as u32).map(NodeId)
     }
+
+    /// Heap bytes owned by the graph: the node arena, both adjacency
+    /// buffers of every node, label strings, and the type registry.
+    /// Counts buffer *capacities* (what the structure asked the allocator
+    /// for), excluding `size_of::<Hin>()` itself. This is the structural
+    /// footprint behind the server's `emigre_graph_bytes` gauge.
+    pub fn heap_bytes(&self) -> usize {
+        let nodes = self.nodes.capacity() * std::mem::size_of::<NodeData>();
+        let per_node: usize = self
+            .nodes
+            .iter()
+            .map(|d| {
+                (d.out.capacity() + d.inc.capacity()) * std::mem::size_of::<EdgeRecord>()
+                    + d.label.as_ref().map_or(0, |l| l.capacity())
+            })
+            .sum();
+        nodes + per_node + self.registry.heap_bytes()
+    }
 }
 
 impl GraphView for Hin {

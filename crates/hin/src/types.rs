@@ -147,6 +147,15 @@ impl TypeRegistry {
             .map(|p| EdgeTypeId(p as u16))
     }
 
+    /// Heap bytes owned by the registry's interned name tables.
+    pub fn heap_bytes(&self) -> usize {
+        let table = |v: &Vec<String>| {
+            v.capacity() * std::mem::size_of::<String>()
+                + v.iter().map(|s| s.capacity()).sum::<usize>()
+        };
+        table(&self.node_types) + table(&self.edge_types)
+    }
+
     /// Human-readable name of a node type.
     pub fn node_type_name(&self, id: NodeTypeId) -> &str {
         &self.node_types[id.index()]

@@ -1,0 +1,111 @@
+//! Structural heap-footprint audits.
+//!
+//! [`HeapSize`] reports the bytes a value *owns on the heap* — buffer
+//! capacities, not lengths, and not the shallow `size_of` of the value
+//! itself. It is a structural model, deliberately simpler than malloc
+//! reality: allocator headers, size-class rounding, and fragmentation are
+//! invisible here (the tracking allocator in [`crate::alloc`] sees
+//! those). The two views bracket the truth: `HeapSize` is the bytes the
+//! data structure asked for, `heap_stats` is what the process holds.
+//!
+//! Shared ownership convention: `Arc`-shared values are counted **once,
+//! at the structure designated as their owner** (e.g. the graph kernel is
+//! charged to the live `GraphEpoch`, not to every cached `UserArtifacts`
+//! that also holds an `Arc` to it). Implementations document which shared
+//! fields they skip, so summing the per-subsystem gauges never double
+//! counts.
+
+/// Bytes owned on the heap by `self`, excluding `size_of::<Self>()`.
+pub trait HeapSize {
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Heap bytes of a `Vec`'s buffer: capacity × element size, plus the
+/// elements' own heap bytes. For plain-old-data element types the second
+/// term is zero and the result is exact.
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_bytes)
+    }
+}
+
+impl<T: HeapSize + ?Sized> HeapSize for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(&**self) + (**self).heap_bytes()
+    }
+}
+
+/// Plain-old-data scalars own nothing on the heap.
+macro_rules! pod_heap_size {
+    ($($t:ty),* $(,)?) => {
+        $(impl HeapSize for $t {
+            fn heap_bytes(&self) -> usize { 0 }
+        })*
+    };
+}
+
+pod_heap_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+macro_rules! tuple_heap_size {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: HeapSize),+> HeapSize for ($($name,)+) {
+            fn heap_bytes(&self) -> usize {
+                0 $(+ self.$idx.heap_bytes())+
+            }
+        }
+    };
+}
+
+tuple_heap_size!(A: 0);
+tuple_heap_size!(A: 0, B: 1);
+tuple_heap_size!(A: 0, B: 1, C: 2);
+tuple_heap_size!(A: 0, B: 1, C: 2, D: 3);
+tuple_heap_size!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_vec_is_capacity_times_elem() {
+        let mut v: Vec<u64> = Vec::with_capacity(10);
+        v.extend([1, 2, 3]);
+        assert_eq!(v.heap_bytes(), 10 * 8);
+    }
+
+    #[test]
+    fn nested_vec_counts_inner_buffers() {
+        let v: Vec<Vec<u32>> = vec![Vec::with_capacity(4), Vec::with_capacity(8)];
+        let expected = v.capacity() * std::mem::size_of::<Vec<u32>>() + 4 * 4 + 8 * 4;
+        assert_eq!(v.heap_bytes(), expected);
+    }
+
+    #[test]
+    fn string_and_option() {
+        let s = String::with_capacity(32);
+        assert_eq!(s.heap_bytes(), 32);
+        let some: Option<String> = Some(s);
+        assert_eq!(some.heap_bytes(), 32);
+        let none: Option<String> = None;
+        assert_eq!(none.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn tuples_sum_their_fields() {
+        let t = (1u32, Vec::<f64>::with_capacity(3), String::with_capacity(5));
+        assert_eq!(t.heap_bytes(), 3 * 8 + 5);
+    }
+}

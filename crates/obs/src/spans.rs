@@ -15,6 +15,14 @@ struct SpanNode {
     parent: Option<usize>,
     start_us: u64,
     duration_us: Option<u64>,
+    /// Thread-cumulative allocated bytes when the span opened (see
+    /// `crate::alloc::thread_allocated_bytes`; constant 0 without a
+    /// tracking allocator installed).
+    start_alloc_bytes: u64,
+    /// Bytes the *recording thread* allocated while the span was open;
+    /// stamped at close. Work fanned out to other threads is charged to
+    /// those threads, not here.
+    alloc_bytes: Option<u64>,
 }
 
 /// Arena-backed span recorder. One per enabled `ObsHandle`; callers reach
@@ -43,6 +51,8 @@ impl SpanRecorder {
             parent: self.open.last().copied(),
             start_us: self.origin.elapsed().as_micros() as u64,
             duration_us: None,
+            start_alloc_bytes: crate::alloc::thread_allocated_bytes(),
+            alloc_bytes: None,
         });
         self.open.push(idx);
         idx
@@ -54,8 +64,10 @@ impl SpanRecorder {
     /// stack.
     pub fn close(&mut self, idx: usize) {
         let now = self.origin.elapsed().as_micros() as u64;
+        let alloc_now = crate::alloc::thread_allocated_bytes();
         if let Some(node) = self.nodes.get_mut(idx) {
             node.duration_us = Some(now.saturating_sub(node.start_us));
+            node.alloc_bytes = Some(alloc_now.saturating_sub(node.start_alloc_bytes));
         }
         self.open.retain(|&i| i != idx);
     }
@@ -65,6 +77,7 @@ impl SpanRecorder {
     /// at export time.
     pub fn export(&self) -> Vec<SpanExport> {
         let now = self.origin.elapsed().as_micros() as u64;
+        let alloc_now = crate::alloc::thread_allocated_bytes();
         let mut exports: Vec<SpanExport> = self
             .nodes
             .iter()
@@ -72,6 +85,9 @@ impl SpanRecorder {
                 name: n.name.clone(),
                 start_us: n.start_us,
                 duration_us: n.duration_us.unwrap_or_else(|| now - n.start_us),
+                alloc_bytes: n
+                    .alloc_bytes
+                    .unwrap_or_else(|| alloc_now.saturating_sub(n.start_alloc_bytes)),
                 children: Vec::new(),
             })
             .collect();
@@ -79,15 +95,7 @@ impl SpanRecorder {
         // assembled (its own children already attached) when moved.
         let mut roots = Vec::new();
         for i in (0..self.nodes.len()).rev() {
-            let node = std::mem::replace(
-                &mut exports[i],
-                SpanExport {
-                    name: String::new(),
-                    start_us: 0,
-                    duration_us: 0,
-                    children: Vec::new(),
-                },
-            );
+            let node = std::mem::take(&mut exports[i]);
             match self.nodes[i].parent {
                 Some(p) => exports[p].children.insert(0, node),
                 None => roots.insert(0, node),
@@ -114,6 +122,9 @@ pub struct SpanExport {
     pub name: String,
     pub start_us: u64,
     pub duration_us: u64,
+    /// Bytes allocated by the recording thread while the span was open
+    /// (0 unless a tracking allocator is installed — see `crate::alloc`).
+    pub alloc_bytes: u64,
     pub children: Vec<SpanExport>,
 }
 
@@ -176,6 +187,23 @@ mod tests {
         assert!(i.duration_us >= 1000, "inner should span the sleep");
         assert!(o.duration_us >= i.duration_us);
         assert!(i.start_us >= o.start_us);
+    }
+
+    #[cfg(feature = "heap-track")]
+    #[test]
+    fn spans_capture_alloc_bytes() {
+        let _serial = crate::alloc::TEST_SERIAL.lock();
+        let mut r = SpanRecorder::new();
+        let s = r.open("context_build");
+        let v = vec![0u8; 1 << 16];
+        std::hint::black_box(&v);
+        r.close(s);
+        let roots = r.export();
+        assert!(
+            roots[0].alloc_bytes >= 1 << 16,
+            "span saw {} bytes",
+            roots[0].alloc_bytes
+        );
     }
 
     #[test]

@@ -42,6 +42,21 @@ pub struct StageLatencies {
     pub check_parallel_us: u64,
     /// End-to-end duration including queue wait and unattributed time.
     pub total_us: u64,
+    /// Bytes allocated during `context_build` spans (recording thread
+    /// only; 0 unless a tracking allocator is installed — see
+    /// `crate::alloc`). Same attribution walk as the `_us` fields.
+    pub context_alloc_bytes: u64,
+    /// Bytes allocated during `search_space` + `candidate_ranking` spans.
+    pub search_alloc_bytes: u64,
+    /// Bytes allocated during `test_loop` spans.
+    pub test_alloc_bytes: u64,
+    /// Bytes allocated inside `check_parallel` spans, as recorded by the
+    /// thread that opened them. CHECKs executed *on pool threads* are
+    /// charged to those threads, so this is a lower bound under fan-out.
+    pub check_parallel_alloc_bytes: u64,
+    /// Bytes the request allocated end to end, stamped by the service
+    /// from an `AllocScope` around the whole handler (like `total_us`).
+    pub total_alloc_bytes: u64,
 }
 
 impl StageLatencies {
@@ -68,16 +83,28 @@ impl StageLatencies {
 fn walk(nodes: &[SpanExport], acc: &mut StageLatencies) {
     for n in nodes {
         match n.name.as_str() {
-            "context_build" => acc.context_us += n.duration_us,
-            "search_space" | "candidate_ranking" => acc.search_us += n.duration_us,
+            "context_build" => {
+                acc.context_us += n.duration_us;
+                acc.context_alloc_bytes += n.alloc_bytes;
+            }
+            "search_space" | "candidate_ranking" => {
+                acc.search_us += n.duration_us;
+                acc.search_alloc_bytes += n.alloc_bytes;
+            }
             "test_loop" => {
                 acc.test_us += n.duration_us;
+                acc.test_alloc_bytes += n.alloc_bytes;
                 // Children of a matched span are absorbed into its stage —
                 // except the parallel fan-out marker, which is collected
                 // into its dedicated sub-stage counter.
-                acc.check_parallel_us += sum_named(&n.children, "check_parallel");
+                let (us, bytes) = sum_named(&n.children, "check_parallel");
+                acc.check_parallel_us += us;
+                acc.check_parallel_alloc_bytes += bytes;
             }
-            "check_parallel" => acc.check_parallel_us += n.duration_us,
+            "check_parallel" => {
+                acc.check_parallel_us += n.duration_us;
+                acc.check_parallel_alloc_bytes += n.alloc_bytes;
+            }
             // Transparent wrapper (question / method-label / batch_setup):
             // attribute its children individually.
             _ => walk(&n.children, acc),
@@ -85,17 +112,21 @@ fn walk(nodes: &[SpanExport], acc: &mut StageLatencies) {
     }
 }
 
-/// Total duration of spans named `name` anywhere in the forest.
-fn sum_named(nodes: &[SpanExport], name: &str) -> u64 {
-    let mut total = 0;
+/// Total `(duration_us, alloc_bytes)` of spans named `name` anywhere in
+/// the forest.
+fn sum_named(nodes: &[SpanExport], name: &str) -> (u64, u64) {
+    let (mut us, mut bytes) = (0, 0);
     for n in nodes {
         if n.name == name {
-            total += n.duration_us;
+            us += n.duration_us;
+            bytes += n.alloc_bytes;
         } else {
-            total += sum_named(&n.children, name);
+            let (cu, cb) = sum_named(&n.children, name);
+            us += cu;
+            bytes += cb;
         }
     }
-    total
+    (us, bytes)
 }
 
 #[cfg(test)]
@@ -105,9 +136,9 @@ mod tests {
     fn span(name: &str, duration_us: u64, children: Vec<SpanExport>) -> SpanExport {
         SpanExport {
             name: name.to_string(),
-            start_us: 0,
             duration_us,
             children,
+            ..SpanExport::default()
         }
     }
 
@@ -161,6 +192,7 @@ mod tests {
             test_us: 40,
             check_parallel_us: 25, // sub-stage of test_us: never subtracted
             total_us: 150,
+            ..StageLatencies::default()
         };
         assert_eq!(s.unattributed_us(), 50);
         let skewed = StageLatencies { total_us: 50, ..s };
@@ -200,11 +232,42 @@ mod tests {
             test_us: 4,
             check_parallel_us: 2,
             total_us: 11,
+            context_alloc_bytes: 100,
+            search_alloc_bytes: 200,
+            test_alloc_bytes: 300,
+            check_parallel_alloc_bytes: 50,
+            total_alloc_bytes: 700,
         };
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("check_parallel_us"));
+        assert!(json.contains("total_alloc_bytes"));
         let back: StageLatencies = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn alloc_bytes_follow_the_same_attribution_walk() {
+        let mut ctx = span("context_build", 100, Vec::new());
+        ctx.alloc_bytes = 4096;
+        let mut ss = span("search_space", 300, Vec::new());
+        ss.alloc_bytes = 512;
+        let mut cp = span("check_parallel", 200, Vec::new());
+        cp.alloc_bytes = 64;
+        let mut tl = span("test_loop", 500, vec![cp]);
+        tl.alloc_bytes = 1024;
+        let tree = vec![ctx, span("remove_Powerset", 900, vec![ss, tl])];
+        let s = StageLatencies::from_spans(&tree);
+        assert_eq!(s.context_alloc_bytes, 4096);
+        assert_eq!(s.search_alloc_bytes, 512);
+        // The test_loop span's own bytes include its children (the delta
+        // covers the whole open window); check_parallel is additionally
+        // broken out as a sub-stage, exactly like the _us fields.
+        assert_eq!(s.test_alloc_bytes, 1024);
+        assert_eq!(s.check_parallel_alloc_bytes, 64);
+        assert_eq!(
+            s.total_alloc_bytes, 0,
+            "stamped by the service, not the walk"
+        );
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub struct ForwardPush {
     pub drained: f64,
 }
 
+/// Exact: two dense f64 arrays at capacity.
+impl emigre_obs::HeapSize for ForwardPush {
+    fn heap_bytes(&self) -> usize {
+        self.estimates.heap_bytes() + self.residuals.heap_bytes()
+    }
+}
+
 impl ForwardPush {
     /// Runs FLP from `seed` to convergence.
     pub fn compute<G: GraphView>(g: &G, cfg: &PprConfig, seed: NodeId) -> Self {

@@ -36,6 +36,13 @@ pub struct ReversePush {
     pub drained: f64,
 }
 
+/// Exact: two dense f64 arrays at capacity.
+impl emigre_obs::HeapSize for ReversePush {
+    fn heap_bytes(&self) -> usize {
+        self.estimates.heap_bytes() + self.residuals.heap_bytes()
+    }
+}
+
 impl ReversePush {
     /// Runs RLP towards `target` to convergence.
     pub fn compute<G: GraphView>(g: &G, cfg: &PprConfig, target: NodeId) -> Self {

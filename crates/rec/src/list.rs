@@ -11,6 +11,13 @@ pub struct RecList {
     entries: Vec<(NodeId, f64)>,
 }
 
+/// Exact: one flat `(node, score)` buffer at capacity.
+impl emigre_obs::HeapSize for RecList {
+    fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(NodeId, f64)>()
+    }
+}
+
 impl RecList {
     /// Builds a list by selecting the top `k` of `candidates` under the
     /// dense `scores` vector.

@@ -116,6 +116,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             evictions: self.evictions,
         }
     }
+
+    /// Borrowing iterator over the cached values, in no particular
+    /// order; recency is untouched. Powers the byte-footprint gauges
+    /// (`emigre_cache_bytes`), which must observe values without
+    /// perturbing LRU state.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|e| &e.value)
+    }
 }
 
 /// Point-in-time cache accounting, serialisable for `/metrics`.
@@ -219,6 +227,12 @@ impl<K: Eq + Hash + Clone, V: Clone> EpochCache<K, V> {
             misses: self.misses,
             ..self.inner.stats()
         }
+    }
+
+    /// Borrowing iterator over the cached values (epoch stamps
+    /// stripped), recency untouched — see [`LruCache::values`].
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.inner.values().map(|(_, v)| v)
     }
 }
 

@@ -54,6 +54,10 @@ pub struct RequestEvent {
     /// SJF policy sorted this job by. `None` for feedback and for events
     /// emitted before the scheduler saw the request.
     pub expected_cost_us: Option<u64>,
+    /// Whether this request was admitted into the slowest-N forensics
+    /// ring for its endpoint (and is therefore visible at
+    /// `GET /debug/slow` until evicted by a slower one).
+    pub slow: bool,
     /// PPR/CHECK op deltas attributable to this request alone.
     pub ops: CounterSnapshot,
     /// The graph epoch the request was pinned to (read paths) or
@@ -225,10 +229,12 @@ mod tests {
                 test_us: 20,
                 check_parallel_us: 0,
                 total_us: 100,
+                ..StageLatencies::default()
             },
             session_cache_hit: Some(true),
             column_cache_hit: Some(false),
             expected_cost_us: Some(200_000),
+            slow: true,
             ops: CounterSnapshot::default(),
             epoch: Some(0),
         }

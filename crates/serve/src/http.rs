@@ -13,9 +13,10 @@
 //! | `POST /explain`    | `{"user":N,"why_not":N,"method":"...","deadline_ms":N}`     |
 //! | `POST /recommend`  | `{"user":N,"k":N,"deadline_ms":N}`                          |
 //! | `POST /feedback`   | `{"events":[{"op":"add","src":N,"dst":N,"etype":"..."}]}`   |
-//! | `GET  /healthz`    | — (build/version info, worker count, uptime)                |
+//! | `GET  /healthz`    | — (build/version info, worker count, uptime, heap/graph bytes) |
 //! | `GET  /metrics`    | — (JSON; `?format=prometheus` for text exposition)          |
 //! | `GET  /trace/<id>` | — (replayable `ExplainTrace` of a recent request)           |
+//! | `GET  /debug/slow` | — (slowest-N requests per endpoint, with traces)            |
 //! | `POST /shutdown`   | — (SIGTERM equivalent: drain in-flight requests, then exit) |
 //!
 //! `method`, `k`, and `deadline_ms` are optional. Service rejections map
@@ -170,6 +171,12 @@ struct HealthBody {
     git_hash: String,
     workers: u64,
     uptime_secs: u64,
+    /// Live heap bytes (tracking allocator; 0 unless installed).
+    heap_live_bytes: u64,
+    /// High-water heap mark (tracking allocator; 0 unless installed).
+    heap_peak_bytes: u64,
+    /// Structural footprint of the current epoch's graph + CSR kernel.
+    graph_bytes: u64,
 }
 
 #[derive(Serialize)]
@@ -450,20 +457,26 @@ pub(crate) fn route(
         None => (req.path.as_str(), ""),
     };
     match (req.method.as_str(), path) {
-        ("GET", "/healthz") => (
-            200,
-            JSON,
-            serde_json::to_string(&HealthBody {
-                status: "ok".to_owned(),
-                version: env!("CARGO_PKG_VERSION").to_owned(),
-                git_hash: option_env!("EMIGRE_GIT_HASH")
-                    .unwrap_or("unknown")
-                    .to_owned(),
-                workers: service.workers() as u64,
-                uptime_secs: service.uptime().as_secs(),
-            })
-            .unwrap(),
-        ),
+        ("GET", "/healthz") => {
+            let heap = emigre_obs::heap_stats();
+            (
+                200,
+                JSON,
+                serde_json::to_string(&HealthBody {
+                    status: "ok".to_owned(),
+                    version: env!("CARGO_PKG_VERSION").to_owned(),
+                    git_hash: option_env!("EMIGRE_GIT_HASH")
+                        .unwrap_or("unknown")
+                        .to_owned(),
+                    workers: service.workers() as u64,
+                    uptime_secs: service.uptime().as_secs(),
+                    heap_live_bytes: heap.live_bytes,
+                    heap_peak_bytes: heap.peak_bytes,
+                    graph_bytes: service.graph_bytes(),
+                })
+                .unwrap(),
+            )
+        }
         ("GET", "/metrics") => {
             let snap = service.metrics();
             if query.split('&').any(|kv| kv == "format=prometheus") {
@@ -475,6 +488,10 @@ pub(crate) fn route(
             }
         }
         ("GET", p) if p.starts_with("/trace/") => handle_trace(service, &p["/trace/".len()..]),
+        ("GET", "/debug/slow") => match serde_json::to_string(&service.debug_slow()) {
+            Ok(body) => (200, JSON, body),
+            Err(e) => (500, JSON, json_error("internal", e.to_string())),
+        },
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
             (
@@ -489,7 +506,7 @@ pub(crate) fn route(
         ("POST", "/explain") => handle_explain(service, &req.body),
         ("POST", "/recommend") => handle_recommend(service, &req.body),
         ("POST", "/feedback") => handle_feedback(service, &req.body),
-        ("POST", "/healthz" | "/metrics")
+        ("POST", "/healthz" | "/metrics" | "/debug/slow")
         | ("GET", "/explain" | "/recommend" | "/feedback" | "/shutdown") => (
             405,
             JSON,

@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod parse;
 pub mod sched;
 pub mod service;
+pub mod slow;
 
 pub use cache::{CacheStats, EpochCache, LruCache};
 pub use events::{EventLogStats, EventLogger, RequestEvent};
@@ -57,3 +58,4 @@ pub use service::{
     ExplanationService, RecommendOutcome, RecommendResponse, ServeError, ServiceConfig,
     WorkerStallGuard,
 };
+pub use slow::{SlowEntry, SlowRing, SlowSnapshot};

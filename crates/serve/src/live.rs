@@ -66,6 +66,18 @@ pub struct GraphEpoch {
     pub kernel: Arc<TransitionCsr>,
 }
 
+impl GraphEpoch {
+    /// Structural heap footprint of this epoch: adjacency graph plus the
+    /// flat transition kernel. The epoch is the designated *owner* of
+    /// both shared structures in the `HeapSize` accounting convention —
+    /// `UserArtifacts` and the caches deliberately exclude their `Arc`s
+    /// to the kernel, so `graph_bytes + cache_bytes` never double counts.
+    pub fn graph_bytes(&self) -> u64 {
+        use emigre_obs::HeapSize;
+        (self.graph.heap_bytes() + self.kernel.heap_bytes()) as u64
+    }
+}
+
 /// One edge add/remove event on the wire (`POST /feedback`, log replay).
 ///
 /// `src`/`dst` are node ids in the served graph; `etype` is an edge-type

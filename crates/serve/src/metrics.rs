@@ -171,6 +171,11 @@ impl ServeMetrics {
             uptime_secs: owned.uptime_secs,
             session_cache: owned.session_cache,
             column_cache: owned.column_cache,
+            heap_live_bytes: owned.heap_live_bytes,
+            heap_peak_bytes: owned.heap_peak_bytes,
+            graph_bytes: owned.graph_bytes,
+            session_cache_bytes: owned.session_cache_bytes,
+            column_cache_bytes: owned.column_cache_bytes,
             explain_latency: self.explain_latency.snapshot(),
             recommend_latency: self.recommend_latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
@@ -211,6 +216,18 @@ pub struct ServiceOwned {
     pub column_stale_invalidations: u64,
     pub session_cache: CacheStats,
     pub column_cache: CacheStats,
+    /// Live heap bytes from the tracking allocator (0 unless installed).
+    pub heap_live_bytes: u64,
+    /// High-water heap mark from the tracking allocator (0 unless
+    /// installed).
+    pub heap_peak_bytes: u64,
+    /// Structural footprint of the current epoch's graph + CSR kernel.
+    pub graph_bytes: u64,
+    /// Summed heap bytes of the cached per-user artefacts (kernel
+    /// excluded — charged to `graph_bytes`).
+    pub session_cache_bytes: u64,
+    /// Summed heap bytes of the cached reverse-push columns.
+    pub column_cache_bytes: u64,
     pub ops: CounterSnapshot,
     pub events: EventLogStats,
     pub windows: WindowsSnapshot,
@@ -266,6 +283,16 @@ pub struct MetricsSnapshot {
     pub uptime_secs: u64,
     pub session_cache: CacheStats,
     pub column_cache: CacheStats,
+    /// Live heap bytes (tracking allocator; 0 unless installed).
+    pub heap_live_bytes: u64,
+    /// High-water heap mark (tracking allocator; 0 unless installed).
+    pub heap_peak_bytes: u64,
+    /// Structural footprint of the current epoch's graph + CSR kernel.
+    pub graph_bytes: u64,
+    /// Summed heap bytes of cached per-user artefacts (kernel excluded).
+    pub session_cache_bytes: u64,
+    /// Summed heap bytes of cached reverse-push columns.
+    pub column_cache_bytes: u64,
     pub explain_latency: HistogramSnapshot,
     pub recommend_latency: HistogramSnapshot,
     pub queue_wait: HistogramSnapshot,
@@ -520,6 +547,36 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
     );
     p.sample_u64("emigre_uptime_seconds", &[], s.uptime_secs);
 
+    p.header(
+        "emigre_heap_live_bytes",
+        "gauge",
+        "Live heap bytes per the tracking allocator (0 unless installed)",
+    );
+    p.sample_u64("emigre_heap_live_bytes", &[], s.heap_live_bytes);
+    p.header(
+        "emigre_heap_peak_bytes",
+        "gauge",
+        "High-water heap mark per the tracking allocator (0 unless installed)",
+    );
+    p.sample_u64("emigre_heap_peak_bytes", &[], s.heap_peak_bytes);
+    p.header(
+        "emigre_graph_bytes",
+        "gauge",
+        "Structural footprint of the current epoch's graph + CSR kernel",
+    );
+    p.sample_u64("emigre_graph_bytes", &[], s.graph_bytes);
+    p.header(
+        "emigre_cache_bytes",
+        "gauge",
+        "Summed heap bytes of cached values per cache",
+    );
+    for (name, v) in [
+        ("session", s.session_cache_bytes),
+        ("column", s.column_cache_bytes),
+    ] {
+        p.sample_u64("emigre_cache_bytes", &[("cache", name)], v);
+    }
+
     p.header("emigre_cache_entries", "gauge", "Live entries per cache");
     p.header("emigre_cache_hits_total", "counter", "Cache hits per cache");
     p.header(
@@ -657,6 +714,7 @@ mod tests {
             test_us: 500,
             check_parallel_us: 150,
             total_us: 1234,
+            ..StageLatencies::default()
         });
         m
     }
@@ -715,6 +773,11 @@ mod tests {
             uptime_secs: 9,
             graph_epoch: 7,
             session_stale_invalidations: 1,
+            heap_live_bytes: 4096,
+            heap_peak_bytes: 8192,
+            graph_bytes: 1 << 20,
+            session_cache_bytes: 2048,
+            column_cache_bytes: 512,
             frontend: FrontendSnapshot {
                 connections_active: 3,
                 connections_accepted_total: 11,
@@ -754,6 +817,12 @@ mod tests {
         assert!(text.contains("emigre_sched_expected_cost_us{class=\"recommend\"} 1800"));
         assert!(text.contains("emigre_stage_latency_us_bucket{stage=\"queue_explain\""));
         assert!(text.contains("emigre_stage_latency_us_bucket{stage=\"queue_recommend\""));
+        // The resource-observability gauges.
+        assert!(text.contains("emigre_heap_live_bytes 4096"));
+        assert!(text.contains("emigre_heap_peak_bytes 8192"));
+        assert!(text.contains("emigre_graph_bytes 1048576"));
+        assert!(text.contains("emigre_cache_bytes{cache=\"session\"} 2048"));
+        assert!(text.contains("emigre_cache_bytes{cache=\"column\"} 512"));
     }
 
     #[test]

@@ -73,13 +73,14 @@ use crate::live::{
 };
 use crate::metrics::{FrontendStats, MetricsSnapshot, ServeMetrics, ServiceOwned, WindowsSnapshot};
 use crate::sched::{AdmissionQueue, AdmitError, JobClass, JobMeta, SchedConfig};
+use crate::slow::{SlowEntry, SlowRing, SlowSnapshot};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use emigre_core::{
     EmigreConfig, ExplainContext, ExplainFailure, Explainer, Explanation, Method, QuestionError,
     UserArtifacts, WhyNotQuestion,
 };
 use emigre_hin::{GraphView, Hin, NodeId};
-use emigre_obs::{ExplainTrace, ObsHandle, Op, StageLatencies};
+use emigre_obs::{AllocScope, ExplainTrace, HeapSize, ObsHandle, Op, StageLatencies};
 use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use parking_lot::Mutex;
@@ -126,6 +127,9 @@ pub struct ServiceConfig {
     /// Admission-scheduler policy, per-user share cap, and fairness
     /// quantum — see [`crate::sched`].
     pub sched: SchedConfig,
+    /// Slowest-N requests retained per endpoint for after-the-fact
+    /// forensics (`GET /debug/slow`) — see [`crate::slow`].
+    pub slow_ring_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -144,6 +148,7 @@ impl Default for ServiceConfig {
             faults: None,
             intra_request_parallelism: 1,
             sched: SchedConfig::default(),
+            slow_ring_capacity: 8,
         }
     }
 }
@@ -257,6 +262,9 @@ struct Shared {
     obs: ObsHandle,
     /// Replayable traces of recent explain requests, keyed by request id.
     traces: Mutex<LruCache<u64, Arc<ExplainTrace>>>,
+    /// Slowest-N forensics rings, one per endpoint — see [`crate::slow`].
+    slow_explain: Mutex<SlowRing>,
+    slow_recommend: Mutex<SlowRing>,
     events: EventLogger,
     explain_window: emigre_obs::SlidingWindow,
     recommend_window: emigre_obs::SlidingWindow,
@@ -300,6 +308,8 @@ impl ExplanationService {
             metrics: ServeMetrics::default(),
             obs: ObsHandle::counters_only(),
             traces: Mutex::new(LruCache::new(sc.trace_capacity)),
+            slow_explain: Mutex::new(SlowRing::new(sc.slow_ring_capacity)),
+            slow_recommend: Mutex::new(SlowRing::new(sc.slow_ring_capacity)),
             events: EventLogger::from_config(sc.event_log.clone(), sc.event_log_capacity),
             explain_window: emigre_obs::SlidingWindow::new(),
             recommend_window: emigre_obs::SlidingWindow::new(),
@@ -483,6 +493,17 @@ impl ExplanationService {
         self.shared.traces.lock().get(&request_id)
     }
 
+    /// The slowest-N requests per endpoint, slowest first, with full
+    /// stage latencies, allocation deltas, and (for explains) the
+    /// replayable trace. Served at `GET /debug/slow`.
+    pub fn debug_slow(&self) -> SlowSnapshot {
+        // Same hoisted-guard rule as `metrics`: lock each ring exactly
+        // once, before the struct literal.
+        let explain = self.shared.slow_explain.lock().snapshot();
+        let recommend = self.shared.slow_recommend.lock().snapshot();
+        SlowSnapshot { explain, recommend }
+    }
+
     /// Current metrics, including queue depth, cache stats, sliding
     /// windows, event-log stats, and the PPR op counters aggregated
     /// across all served requests.
@@ -491,14 +512,17 @@ impl ExplanationService {
         // guard temporaries inside the literal would all live to the end
         // of the statement, and a second `.lock()` of the same (non-
         // reentrant) mutex there would self-deadlock.
-        let (session_cache, session_stale_invalidations) = {
+        let (session_cache, session_stale_invalidations, session_cache_bytes) = {
             let g = self.shared.sessions.lock();
-            (g.stats(), g.stale_invalidations())
+            let bytes: usize = g.values().map(|v| v.heap_bytes()).sum();
+            (g.stats(), g.stale_invalidations(), bytes as u64)
         };
-        let (column_cache, column_stale_invalidations) = {
+        let (column_cache, column_stale_invalidations, column_cache_bytes) = {
             let g = self.shared.columns.lock();
-            (g.stats(), g.stale_invalidations())
+            let bytes: usize = g.values().map(|v| v.heap_bytes()).sum();
+            (g.stats(), g.stale_invalidations(), bytes as u64)
         };
+        let heap = emigre_obs::heap_stats();
         let owned = ServiceOwned {
             queue_depth: self.shared.queue.len() as u64,
             workers: self.shared.workers as u64,
@@ -512,6 +536,11 @@ impl ExplanationService {
             update_panics: self.shared.live.update_panics(),
             session_stale_invalidations,
             column_stale_invalidations,
+            heap_live_bytes: heap.live_bytes,
+            heap_peak_bytes: heap.peak_bytes,
+            graph_bytes: self.shared.live.pin().graph_bytes(),
+            session_cache_bytes,
+            column_cache_bytes,
             windows: WindowsSnapshot {
                 explain_10s: self.shared.explain_window.stats(10),
                 explain_60s: self.shared.explain_window.stats(60),
@@ -522,6 +551,13 @@ impl ExplanationService {
             sched: self.shared.queue.snapshot(),
         };
         self.shared.metrics.snapshot(owned)
+    }
+
+    /// Structural footprint of the currently published epoch's graph +
+    /// CSR kernel, per the [`HeapSize`] audits. Exact (capacities, not
+    /// lengths), independent of the tracking allocator.
+    pub fn graph_bytes(&self) -> u64 {
+        self.shared.live.pin().graph_bytes()
     }
 
     /// The connection-layer counters the HTTP front end updates; exposed
@@ -838,6 +874,10 @@ fn explain_job(
     // `start` is taken after the fault hook so an injected delay counts as
     // processing time and can expire the job it hit, like any slow worker.
     let start = Instant::now();
+    // Per-request allocation delta (this worker thread's allocations
+    // while the job runs); zero unless the binary installed the
+    // tracking allocator.
+    let alloc_scope = AllocScope::start();
     let queue_us = start.duration_since(meta.admitted_at).as_micros() as u64;
     let expired = start >= meta.deadline;
     shared.metrics.queue_wait.record_us(queue_us);
@@ -856,6 +896,9 @@ fn explain_job(
         expected_cost_us: Some(meta.expected_cost_us),
         ..RequestEvent::default()
     };
+    // Kept aside so a slow-ring admission can deep-clone the trace
+    // without re-locking the trace store.
+    let mut slow_trace: Option<Arc<ExplainTrace>> = None;
     let result = if expired {
         ServeMetrics::bump(&shared.metrics.rejected_deadline);
         Err(ServeError::DeadlineExceeded)
@@ -876,7 +919,9 @@ fn explain_job(
             } else {
                 Some(trace.mode.clone())
             };
-            shared.traces.lock().insert(request_id, Arc::new(trace));
+            let trace = Arc::new(trace);
+            slow_trace = Some(Arc::clone(&trace));
+            shared.traces.lock().insert(request_id, trace);
         }
         match r {
             Ok((outcome, session_hit, column_hit)) => {
@@ -907,6 +952,7 @@ fn explain_job(
     }
     let total = start.elapsed();
     stages.total_us = queue_us + total.as_micros() as u64;
+    stages.total_alloc_bytes = alloc_scope.bytes();
     shared.metrics.record_stages(&stages);
     shared.metrics.explain_latency.record(total);
     shared.explain_window.record(stages.total_us, is_error);
@@ -917,6 +963,26 @@ fn explain_job(
             .queue
             .observe_cost(meta.class, total.as_micros() as u64);
     }
+    event.slow = {
+        // `admits` first so the common fast request never deep-clones
+        // its trace; both calls run under one lock acquisition.
+        let mut ring = shared.slow_explain.lock();
+        ring.admits(stages.total_us)
+            && ring.offer(SlowEntry {
+                request_id,
+                endpoint: "explain".to_owned(),
+                outcome: event.outcome.clone(),
+                user: user.0,
+                wni: Some(wni.0),
+                method: Some(method.label().to_owned()),
+                mode: event.mode.clone(),
+                total_us: stages.total_us,
+                stages,
+                epoch: snap.epoch,
+                expected_cost_us: Some(meta.expected_cost_us),
+                trace: slow_trace.as_deref().cloned(),
+            })
+    };
     event.stages = stages;
     shared.events.emit(&event);
     // Count completion before replying: once a caller has its answer, the
@@ -938,6 +1004,7 @@ fn recommend_job(
     }
     let snap = shared.live.pin();
     let start = Instant::now();
+    let alloc_scope = AllocScope::start();
     let queue_us = start.duration_since(meta.admitted_at).as_micros() as u64;
     let expired = start >= meta.deadline;
     shared.metrics.queue_wait.record_us(queue_us);
@@ -987,6 +1054,7 @@ fn recommend_job(
     }
     let total = start.elapsed();
     stages.total_us = queue_us + total.as_micros() as u64;
+    stages.total_alloc_bytes = alloc_scope.bytes();
     shared.metrics.recommend_latency.record(total);
     shared.recommend_window.record(stages.total_us, is_error);
     if !expired {
@@ -994,6 +1062,24 @@ fn recommend_job(
             .queue
             .observe_cost(meta.class, total.as_micros() as u64);
     }
+    event.slow = {
+        let mut ring = shared.slow_recommend.lock();
+        ring.admits(stages.total_us)
+            && ring.offer(SlowEntry {
+                request_id,
+                endpoint: "recommend".to_owned(),
+                outcome: event.outcome.clone(),
+                user: user.0,
+                wni: None,
+                method: None,
+                mode: None,
+                total_us: stages.total_us,
+                stages,
+                epoch: snap.epoch,
+                expected_cost_us: Some(meta.expected_cost_us),
+                trace: None,
+            })
+    };
     event.stages = stages;
     shared.events.emit(&event);
     ServeMetrics::bump(&shared.metrics.completed_total);

@@ -24,6 +24,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Heap accounting for every subcommand (most visibly `serve`): installed
+/// only when built with `--features heap-track`, so default builds keep
+/// the unwrapped system allocator.
+#[cfg(feature = "heap-track")]
+#[global_allocator]
+static ALLOC: emigre::obs::TrackingAlloc = emigre::obs::TrackingAlloc::system();
+
 const USAGE: &str = "\
 usage:
   emigre demo [--out FILE]                        write the paper's running example graph
@@ -40,6 +47,7 @@ usage:
                [--keep-alive-secs N]              idle connection budget (0 = close)
                [--sched fifo|deadline|sjf]        admission scheduling policy (default deadline)
                [--user-share F]                   per-user queue share in (0, 1]
+               [--slow-ring N]                    slowest-N /debug/slow entries per endpoint
   emigre dot --graph FILE                         Graphviz to stdout
 methods: add_Incremental add_Powerset add_ex remove_Incremental
          remove_Powerset remove_ex remove_ex_direct remove_brute
@@ -306,6 +314,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 sc.sched.user_share = s.parse().map_err(|_| "bad --user-share")?;
                 if !(0.0..=1.0).contains(&sc.sched.user_share) || sc.sched.user_share == 0.0 {
                     return Err("--user-share must be in (0, 1]".to_owned());
+                }
+            }
+            if let Some(s) = flag(args, "--slow-ring")? {
+                sc.slow_ring_capacity = s.parse().map_err(|_| "bad --slow-ring")?;
+                if sc.slow_ring_capacity == 0 {
+                    return Err("--slow-ring must be at least 1".to_owned());
                 }
             }
             let mut hc = emigre::serve::HttpConfig::default();
