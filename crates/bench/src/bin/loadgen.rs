@@ -1081,6 +1081,19 @@ struct EventLogReport {
     verified: bool,
 }
 
+/// Binary-snapshot fast-start probe: the serving graph written as a
+/// checksummed snapshot, then opened (mmap where available) and restored
+/// to a `Hin` — the `emigre serve --graph-snapshot` startup path, timed.
+#[derive(Serialize, Default)]
+struct SnapshotReport {
+    /// Wall-clock ms for `Snapshot::open` + full `Hin` restore.
+    load_ms: f64,
+    /// Bytes of the snapshot image on disk.
+    image_bytes: u64,
+    /// Whether the image was memory-mapped (vs read into a buffer).
+    mapped: bool,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
@@ -1121,6 +1134,8 @@ struct BenchReport {
     heap_peak_bytes: u64,
     /// Structural footprint of the server's graph + CSR kernel.
     graph_bytes: u64,
+    /// Snapshot fast-start probe (see [`SnapshotReport`]).
+    snapshot: SnapshotReport,
     server_metrics: MetricsSnapshot,
 }
 
@@ -1405,6 +1420,36 @@ fn run(args: &[String]) -> Result<(), String> {
     let _ = std::fs::remove_file(&graph_file);
     report.open_loop = open_loop?;
 
+    // Snapshot fast-start probe: the same graph the server just served,
+    // through the `serve --graph-snapshot` startup path — write, open
+    // (mmap where the platform allows), restore, and time it.
+    report.snapshot = {
+        let snap_file =
+            std::env::temp_dir().join(format!("emigre-loadgen-{}.snap", std::process::id()));
+        emigre_hin::write_snapshot(&graph, &snap_file)
+            .map_err(|e| format!("writing snapshot: {e}"))?;
+        let t0 = std::time::Instant::now();
+        let snap = emigre_hin::Snapshot::open(&snap_file)
+            .map_err(|e| format!("opening snapshot: {e}"))?;
+        let restored = snap.to_hin();
+        let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let _ = std::fs::remove_file(&snap_file);
+        if restored.num_nodes() != graph.num_nodes() || restored.num_edges() != graph.num_edges()
+        {
+            return Err("snapshot restore diverged from the served graph".to_owned());
+        }
+        eprintln!(
+            "loadgen: snapshot fast-start — {} bytes, {} restore in {load_ms:.2} ms",
+            snap.image_bytes(),
+            if snap.is_mapped() { "mmap" } else { "read" }
+        );
+        SnapshotReport {
+            load_ms,
+            image_bytes: snap.image_bytes() as u64,
+            mapped: snap.is_mapped(),
+        }
+    };
+
     // Structured event log: one JSON line per request — feedback
     // included, it draws ids from the same sequence — zero lost events.
     report.event_log = verify_event_log(
@@ -1571,6 +1616,7 @@ fn drive(
         open_loop: Vec::new(),
         heap_peak_bytes: server_metrics.heap_peak_bytes,
         graph_bytes: server_metrics.graph_bytes,
+        snapshot: SnapshotReport::default(),
         server_metrics,
     };
 
@@ -1746,6 +1792,7 @@ fn drive_mixed(
         open_loop: Vec::new(),
         heap_peak_bytes: server_metrics.heap_peak_bytes,
         graph_bytes: server_metrics.graph_bytes,
+        snapshot: SnapshotReport::default(),
         server_metrics,
     };
 

@@ -19,9 +19,12 @@ use emigre_bench::world;
 use emigre_core::explanation::actions_to_delta;
 use emigre_core::tester::{score_floor, PreCheck, Tester};
 use emigre_core::{Action, ExplainContext};
+use emigre_data::{ScaleGen, ScaleSpec};
 use emigre_hin::{EdgeKey, GraphView, Hin, NodeId};
-use emigre_obs::{CounterSnapshot, ObsHandle};
-use emigre_ppr::{ForwardPush, ReversePush, TransitionCsr};
+use emigre_obs::{CounterSnapshot, HeapSize, ObsHandle};
+use emigre_ppr::{
+    CsrRows, ForwardPush, PprConfig, Prob, ReversePush, TransitionCsr, TransitionModel,
+};
 use emigre_rec::RecList;
 use serde::Serialize;
 use std::time::Instant;
@@ -156,6 +159,15 @@ struct Entry {
     /// single-core host this is ≈ 1/threads by construction — the sweep
     /// then documents pool overhead, not speedup.
     parallel_efficiency: Option<f64>,
+    /// Heap bytes held by the resident kernel (structural [`HeapSize`]
+    /// audit) — the `--scale` sweep entries only.
+    resident_bytes: Option<u64>,
+    /// Wall-clock milliseconds of the streaming generator + CSR build —
+    /// the `--scale` sweep's `scale_build` entries only.
+    build_ms: Option<f64>,
+    /// Peak heap bytes above the pre-build baseline during the streaming
+    /// build. Requires the `heap-track` allocator; None otherwise.
+    build_peak_bytes: Option<u64>,
 }
 
 #[derive(Serialize)]
@@ -188,6 +200,9 @@ fn entry_with_counters(
         counters,
         threads: None,
         parallel_efficiency: None,
+        resident_bytes: None,
+        build_ms: None,
+        build_peak_bytes: None,
     };
     println!(
         "{:>26} items={:<5} baseline {:>10.2} µs   flat {:>10.2} µs   speedup {:>5.2}x",
@@ -234,9 +249,114 @@ fn first_addition(g: &Hin, cfg: &emigre_core::EmigreConfig, user: NodeId, wni: N
     unreachable!("graph has non-interacted items")
 }
 
+/// Best-of-`times` wall-clock milliseconds — the 1M-node leg cannot afford
+/// the 15-sample median discipline of [`measure_us`], so the scale sweep
+/// trades sample count for graph size explicitly.
+fn timed_ms(times: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..times {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Parses a `--scale` size token: `10k`, `100k`, `1m`, or a plain count.
+fn parse_scale(tok: &str) -> usize {
+    match tok {
+        "10k" => 10_000,
+        "100k" => 100_000,
+        "1m" => 1_000_000,
+        other => other
+            .parse()
+            .unwrap_or_else(|_| panic!("--scale expects 10k, 100k, 1m, or a node count, got {other:?}")),
+    }
+}
+
+/// The per-CHECK-cost-vs-graph-size curve: streaming power-law graph at
+/// `total` nodes, compact f32 kernel built without materialising a `Hin`,
+/// forward/reverse push and a one-row-patched CHECK push timed against it.
+///
+/// At 1M nodes this is generator + build + a single timed run of each
+/// operation; the smaller legs take the best of five. Build peak memory is
+/// recorded when the `heap-track` allocator is installed, demonstrating the
+/// streaming build stays bounded below full `Hin` materialisation.
+fn scale_sweep(total: usize, entries: &mut Vec<Entry>) {
+    let spec = ScaleSpec::with_total_nodes(total, 0x5CA1E);
+    let items = spec.num_items;
+    let gen = ScaleGen::new(spec);
+    let times = if total >= 1_000_000 { 1 } else { 5 };
+    let model = TransitionModel::RecWalk { beta: 0.5 };
+
+    #[cfg(feature = "heap-track")]
+    let live_before = {
+        emigre_obs::reset_peak();
+        emigre_obs::heap_stats().live_bytes
+    };
+    let t0 = Instant::now();
+    let kernel = gen.build_compact::<f32>(model, 65_536);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    #[cfg(feature = "heap-track")]
+    let build_peak = Some(emigre_obs::heap_stats().peak_bytes.saturating_sub(live_before));
+    #[cfg(not(feature = "heap-track"))]
+    let build_peak: Option<u64> = None;
+    let resident = kernel.heap_bytes() as u64;
+
+    let build_us = build_ms * 1e3;
+    let mut e = entry("scale_build", items, total, build_us, build_us);
+    e.resident_bytes = Some(resident);
+    e.build_ms = Some(build_ms);
+    e.build_peak_bytes = build_peak;
+    println!(
+        "{:>26} resident {} bytes, build peak {:?} bytes",
+        "", resident, build_peak
+    );
+    entries.push(e);
+
+    // ε = 1e-6 across all sizes so the curve is an apples-to-apples scan of
+    // graph size alone (the main sweep's 1e-7 regime would dominate the 1M
+    // leg's wall-clock with sweep count, not size effects).
+    let cfg = PprConfig::default()
+        .with_transition(model)
+        .with_epsilon(1e-6);
+    let seed = NodeId(0); // users occupy ids 0..num_users; user 0 always has edges
+    let fwd_ms = timed_ms(times, || {
+        std::hint::black_box(ForwardPush::compute_kernel(&kernel, &cfg, seed));
+    });
+    entries.push(entry("scale_forward_push", items, total, fwd_ms * 1e3, fwd_ms * 1e3));
+
+    let target = NodeId((total - items) as u32); // head item of the popularity Zipf
+    let rev_ms = timed_ms(times, || {
+        std::hint::black_box(ReversePush::compute_kernel(&kernel, &cfg, target));
+    });
+    entries.push(entry("scale_reverse_push", items, total, rev_ms * 1e3, rev_ms * 1e3));
+
+    // One CHECK-shaped push: drop the seed's first out-edge, renormalise
+    // the rest of the row by 1/(1−p), and run the push over the patched
+    // kernel. baseline = the unpatched push above, so `speedup` reads as
+    // the patch-overlay overhead factor (≈ 1).
+    let (dsts, probs) = kernel.forward_row(seed);
+    assert!(dsts.len() >= 2, "scale seed user needs at least two edges");
+    let dropped = probs[0].to_f64();
+    let renorm = 1.0 / (1.0 - dropped);
+    let new_dsts: Vec<u32> = dsts[1..].to_vec();
+    let new_probs: Vec<f32> = probs[1..]
+        .iter()
+        .map(|p| <f32 as Prob>::from_f64(p.to_f64() * renorm))
+        .collect();
+    let check_ms = timed_ms(times, || {
+        let patched = kernel.patched_rows(vec![(seed.0, new_dsts.clone(), new_probs.clone())]);
+        std::hint::black_box(ForwardPush::compute_kernel(&patched, &cfg, seed));
+    });
+    let mut e = entry("scale_check", items, total, fwd_ms * 1e3, check_ms * 1e3);
+    e.resident_bytes = Some(resident);
+    entries.push(e);
+}
+
 fn main() {
-    // `ppr_flat_bench [out.json] [--smoke] [--max-obs-overhead-pct P]
-    //  [--max-alloc-overhead-pct P]`
+    // `ppr_flat_bench [out.json] [--smoke] [--scale 10k,100k,1m]
+    //  [--max-obs-overhead-pct P] [--max-alloc-overhead-pct P]`
     // --smoke limits the sweep to the small graph (CI-friendly);
     // --max-obs-overhead-pct makes the run fail when the obs-enabled CHECK
     // is more than P percent slower than the uninstrumented one;
@@ -245,12 +365,17 @@ fn main() {
     // `heap-track` feature so the allocator is actually installed).
     let mut out_path = "BENCH_ppr.json".to_string();
     let mut smoke = false;
+    let mut scales: Option<Vec<usize>> = None;
     let mut max_obs_overhead_pct: Option<f64> = None;
     let mut max_alloc_overhead_pct: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value (e.g. 10k,100k,1m)");
+                scales = Some(v.split(',').map(parse_scale).collect());
+            }
             "--max-obs-overhead-pct" => {
                 let v = args.next().expect("--max-obs-overhead-pct needs a value");
                 max_obs_overhead_pct = Some(v.parse().expect("numeric overhead percentage"));
@@ -275,7 +400,16 @@ fn main() {
     #[cfg(feature = "heap-track")]
     let mut worst_alloc_overhead_pct = f64::NEG_INFINITY;
 
-    let sizes: &[usize] = if smoke { &[1_000] } else { &[1_000, 3_000] };
+    // An explicit `--scale` runs only the scale sweep (the CI smoke path);
+    // the default full run appends the whole 10k → 1M curve after the
+    // microbenchmark sweep.
+    let sizes: &[usize] = if scales.is_some() {
+        &[]
+    } else if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 3_000]
+    };
     for &items in sizes {
         let w = world(items, epsilon);
         let g = &w.hin.graph;
@@ -447,11 +581,22 @@ fn main() {
         }
     }
 
+    let scale_sizes: Vec<usize> = match &scales {
+        Some(s) => s.clone(),
+        None if smoke => vec![],
+        None => vec![10_000, 100_000, 1_000_000],
+    };
+    for &total in &scale_sizes {
+        scale_sweep(total, &mut entries);
+    }
+
     let report = Report {
         description: "Generic-view vs flat-kernel PPR push and CHECK on the synthetic \
                       Amazon graph (median of 15 samples, release build). baseline = \
                       pre-flat-kernel implementation, flat = TransitionCsr/PushWorkspace \
-                      path. See EXPERIMENTS.md for methodology."
+                      path. scale_* entries: streaming power-law graphs at 10k–1M nodes, \
+                      compact f32 kernel, ε = 1e-6, best-of-5 (single run at 1M). See \
+                      EXPERIMENTS.md for methodology."
             .to_string(),
         epsilon,
         samples: 15,

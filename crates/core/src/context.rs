@@ -15,7 +15,7 @@ use crate::config::EmigreConfig;
 use crate::question::{QuestionError, WhyNotQuestion};
 use emigre_hin::{GraphDelta, GraphView, NodeId, NodeTypeId};
 use emigre_obs::{HeapSize, ObsHandle, Op};
-use emigre_ppr::{ForwardPush, PushWorkspace, ReversePush, RowCache, TransitionCsr};
+use emigre_ppr::{CsrRows, ForwardPush, PushWorkspace, ReversePush, RowCache, TransitionCsr};
 use emigre_rec::{PprRecommender, RecList, Recommender};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -134,11 +134,15 @@ pub(crate) struct CheckState {
 /// recommendation list, the `PPR(·, rec)` column, and the candidate index.
 /// The artefacts are `Arc`-shared so assembling a context from them is
 /// `O(1)` — no `O(n)`/`O(E)` clones per question.
-#[derive(Clone)]
-pub struct UserArtifacts {
+///
+/// Generic over the kernel layout `K` ([`CsrRows`]): the reference
+/// [`TransitionCsr`] by default, or the compact struct-of-arrays
+/// [`emigre_ppr::CompactCsr`] for large graphs. Every push below runs
+/// through the trait, so the choice is purely a memory/precision trade.
+pub struct UserArtifacts<K = TransitionCsr> {
     pub user: NodeId,
     /// Flat transition rows of the base graph.
-    pub kernel: Arc<TransitionCsr>,
+    pub kernel: Arc<K>,
     /// Forward-push state personalised on the user.
     pub user_push: Arc<ForwardPush>,
     /// The current top-1 recommendation.
@@ -156,7 +160,7 @@ pub struct UserArtifacts {
 /// is deliberately excluded — it is the graph-wide transition CSR shared
 /// by every user and charged to its owner (the live `GraphEpoch`), so
 /// summing cached `UserArtifacts` never double counts it.
-impl HeapSize for UserArtifacts {
+impl<K> HeapSize for UserArtifacts<K> {
     fn heap_bytes(&self) -> usize {
         self.user_push.heap_bytes()
             + self.ppr_to_rec.heap_bytes()
@@ -165,7 +169,22 @@ impl HeapSize for UserArtifacts {
     }
 }
 
-impl UserArtifacts {
+/// Manual so the bound stays `K`-free: the kernel is behind an `Arc`.
+impl<K> Clone for UserArtifacts<K> {
+    fn clone(&self) -> Self {
+        UserArtifacts {
+            user: self.user,
+            kernel: Arc::clone(&self.kernel),
+            user_push: Arc::clone(&self.user_push),
+            rec: self.rec,
+            rec_list: self.rec_list.clone(),
+            ppr_to_rec: Arc::clone(&self.ppr_to_rec),
+            cand_base: self.cand_base.clone(),
+        }
+    }
+}
+
+impl<K: CsrRows> UserArtifacts<K> {
     /// Computes the user-shared artefacts: one forward push, the
     /// recommendation list (or `InvalidUser` if it is empty), one reverse
     /// push on `rec`, and the candidate index. The caller supplies the
@@ -173,7 +192,7 @@ impl UserArtifacts {
     pub fn build<G: GraphView>(
         graph: &G,
         cfg: &EmigreConfig,
-        kernel: Arc<TransitionCsr>,
+        kernel: Arc<K>,
         user: NodeId,
         obs: &ObsHandle,
     ) -> Result<Self, QuestionError> {
@@ -212,7 +231,11 @@ impl UserArtifacts {
 
 /// Pre-computed state shared by every explanation algorithm for one
 /// `(user, WNI)` question.
-pub struct ExplainContext<'g, G: GraphView> {
+///
+/// Generic over the kernel layout `K` like [`UserArtifacts`]; the default
+/// keeps every existing call site on the reference [`TransitionCsr`].
+/// Build over a different layout with [`ExplainContext::build_with_kernel`].
+pub struct ExplainContext<'g, G: GraphView, K = TransitionCsr> {
     pub graph: &'g G,
     pub cfg: EmigreConfig,
     pub user: NodeId,
@@ -232,7 +255,7 @@ pub struct ExplainContext<'g, G: GraphView> {
     pub ppr_to_wni: Arc<ReversePush>,
     /// Flat transition rows of the base graph, shared by every push in
     /// this context; counterfactual CHECKs patch the touched rows on top.
-    pub kernel: Arc<TransitionCsr>,
+    pub kernel: Arc<K>,
     /// Reusable CHECK scratch (push workspace + candidate index).
     pub(crate) check: RefCell<CheckState>,
     /// Recycled CHECK states for parallel workers: taken before a fan-out,
@@ -285,6 +308,34 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
         let ws = PushWorkspace::new(graph.num_nodes());
         Self::from_artifacts(graph, cfg, &artifacts, wni, Arc::new(ppr_to_wni), ws, obs)
     }
+}
+
+impl<'g, G: GraphView, K: CsrRows> ExplainContext<'g, G, K> {
+    /// [`ExplainContext::build_with_obs`] over a caller-supplied kernel of
+    /// any layout. The `O(E)` kernel sweep is the caller's (so one compact
+    /// kernel can serve many questions); everything else — validation, the
+    /// user artefacts, the `PPR(·, wni)` column — is computed here exactly
+    /// as in the default build.
+    pub fn build_with_kernel(
+        graph: &'g G,
+        cfg: EmigreConfig,
+        kernel: Arc<K>,
+        user: NodeId,
+        wni: NodeId,
+        obs: ObsHandle,
+    ) -> Result<Self, QuestionError> {
+        let _span = obs.span("context_build");
+        cfg.validate();
+        WhyNotQuestion::validate(graph, &cfg, user, wni, None)?;
+        let artifacts = UserArtifacts::build(graph, &cfg, kernel, user, &obs)?;
+
+        let ppr_to_wni = ReversePush::compute_kernel(&*artifacts.kernel, &cfg.rec.ppr, wni);
+        obs.count(Op::ReversePushes, ppr_to_wni.pushes as u64);
+        obs.add_mass(ppr_to_wni.drained);
+
+        let ws = PushWorkspace::new(graph.num_nodes());
+        Self::from_artifacts(graph, cfg, &artifacts, wni, Arc::new(ppr_to_wni), ws, obs)
+    }
 
     /// Assembles a context from a user's shared artefacts, the
     /// WNI-specific `PPR(·, wni)` column, and a recycled workspace.
@@ -298,7 +349,7 @@ impl<'g, G: GraphView> ExplainContext<'g, G> {
     pub fn from_artifacts(
         graph: &'g G,
         cfg: EmigreConfig,
-        artifacts: &UserArtifacts,
+        artifacts: &UserArtifacts<K>,
         wni: NodeId,
         ppr_to_wni: Arc<ReversePush>,
         mut ws: PushWorkspace,

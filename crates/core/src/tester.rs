@@ -26,7 +26,7 @@ use crate::explanation::{actions_to_delta, actions_to_trace, Action};
 use crate::parallel::{speculative_scan, Consumed, ScanControl};
 use emigre_hin::{GraphDelta, GraphView, NodeId};
 use emigre_obs::Op;
-use emigre_ppr::{RowKey, TransitionCsr, TransitionKernel};
+use emigre_ppr::{CsrRows, RowKey, TransitionCsr};
 use emigre_rec::RecList;
 use std::cell::Cell;
 
@@ -41,16 +41,16 @@ pub fn score_floor(cfg: &crate::config::EmigreConfig) -> f64 {
 /// [`ExplainContext`]'s interior-mutable cells so worker threads can share
 /// one copy (`G: GraphView` implies `Sync`).
 #[derive(Clone, Copy)]
-pub(crate) struct CheckShared<'a, G: GraphView> {
+pub(crate) struct CheckShared<'a, G: GraphView, K = TransitionCsr> {
     graph: &'a G,
     cfg: &'a EmigreConfig,
-    kernel: &'a TransitionCsr,
+    kernel: &'a K,
     user: NodeId,
     wni: NodeId,
 }
 
-impl<'a, G: GraphView> CheckShared<'a, G> {
-    pub(crate) fn of(ctx: &'a ExplainContext<'_, G>) -> Self {
+impl<'a, G: GraphView, K: CsrRows> CheckShared<'a, G, K> {
+    pub(crate) fn of(ctx: &'a ExplainContext<'_, G, K>) -> Self {
         CheckShared {
             graph: ctx.graph,
             cfg: &ctx.cfg,
@@ -135,8 +135,8 @@ impl DeltaSignatures {
 /// state's [`emigre_ppr::RowCache`] when an earlier CHECK already built
 /// them — and is rolled back through an undo log. No push-state clone, no
 /// per-call `O(n)` vectors, no full residual scans.
-pub(crate) fn run_check<G: GraphView>(
-    shared: &CheckShared<'_, G>,
+pub(crate) fn run_check<G: GraphView, K: CsrRows>(
+    shared: &CheckShared<'_, G, K>,
     state: &mut CheckState,
     actions: &[Action],
 ) -> CheckOutcome {
@@ -250,13 +250,17 @@ pub struct FirstPass {
 }
 
 /// Verifies candidate action sets for one Why-Not question.
-pub struct Tester<'c, 'g, G: GraphView> {
-    ctx: &'c ExplainContext<'g, G>,
+///
+/// Generic over the kernel layout `K` ([`CsrRows`]) like the context it
+/// borrows, so verdicts can be cross-checked between the reference
+/// [`TransitionCsr`] and the compact layouts.
+pub struct Tester<'c, 'g, G: GraphView, K = TransitionCsr> {
+    ctx: &'c ExplainContext<'g, G, K>,
     checks: Cell<usize>,
 }
 
-impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
-    pub fn new(ctx: &'c ExplainContext<'g, G>) -> Self {
+impl<'c, 'g, G: GraphView, K: CsrRows> Tester<'c, 'g, G, K> {
+    pub fn new(ctx: &'c ExplainContext<'g, G, K>) -> Self {
         Tester {
             ctx,
             checks: Cell::new(0),
@@ -319,7 +323,10 @@ impl<'c, 'g, G: GraphView> Tester<'c, 'g, G> {
         &self,
         sets: &[Vec<Action>],
         mut pre: impl FnMut(usize) -> PreCheck,
-    ) -> FirstPass {
+    ) -> FirstPass
+    where
+        K: Sync,
+    {
         let threads = self.ctx.cfg.effective_parallelism().min(sets.len());
         if threads < 2 {
             for (i, actions) in sets.iter().enumerate() {

@@ -28,4 +28,4 @@ pub mod synth;
 
 pub use embed::Embedder;
 pub use pipeline::{AmazonHin, PreprocessConfig};
-pub use synth::{SynthConfig, SynthDataset};
+pub use synth::{ScaleGen, ScaleSpec, SynthConfig, SynthDataset};

@@ -321,6 +321,215 @@ impl SynthDataset {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Million-node scale substrate: a streaming power-law bipartite generator.
+
+/// Configuration of the streaming scale generator ([`ScaleGen`]).
+///
+/// Unlike [`SynthConfig`] — which materialises a full review dataset with
+/// text, categories and stars — this generator produces only the rated
+/// bipartite user↔item structure, but does so as a *stream*: edges are
+/// emitted user by user from per-user RNG streams, so a graph with
+/// millions of nodes and tens of millions of edges can be consumed (into
+/// a compact CSR, a file, a sketch) without ever materialising adjacency
+/// for more than one chunk of users.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleSpec {
+    pub num_users: usize,
+    pub num_items: usize,
+    /// Every user gets at least this many interactions.
+    pub base_degree: usize,
+    /// Hard cap on a user's interactions (keeps single rows bounded).
+    pub max_degree: usize,
+    /// Zipf exponent of the *extra*-degree distribution: small exponents
+    /// mean heavier-tailed users. Must not be exactly 1 (the continuous
+    /// inverse CDF has a removable pole there; use 0.999… if needed).
+    pub degree_exponent: f64,
+    /// Zipf exponent of item popularity (rank = item index).
+    pub popularity_exponent: f64,
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// A preset holding the user:item ratio at 1:9 — the shape of the
+    /// paper's Table 4 — at any total node count. Used by the bench
+    /// `--scale {10k,100k,1m}` sweep.
+    pub fn with_total_nodes(total: usize, seed: u64) -> Self {
+        let num_users = (total / 10).max(1);
+        ScaleSpec {
+            num_users,
+            num_items: (total - num_users).max(2),
+            base_degree: 4,
+            max_degree: 256,
+            degree_exponent: 1.7,
+            popularity_exponent: 0.9,
+            seed,
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_users + self.num_items
+    }
+
+    pub fn validate(&self) {
+        assert!(self.num_users > 0 && self.num_items > 1);
+        assert!(self.base_degree >= 1);
+        assert!(self.base_degree <= self.max_degree);
+        assert!(self.max_degree < self.num_items);
+        assert!(self.degree_exponent > 0.0 && (self.degree_exponent - 1.0).abs() > 1e-6);
+        assert!(self.popularity_exponent > 0.0 && (self.popularity_exponent - 1.0).abs() > 1e-6);
+        assert!(
+            self.num_users as u64 <= u32::MAX as u64 && self.num_items as u64 <= u32::MAX as u64,
+            "node ids must fit u32"
+        );
+    }
+}
+
+/// SplitMix64: the standard 64-bit mix used to derive independent
+/// per-user seeds from `(seed, user)`. Per-user streams are the point:
+/// user `u`'s edges depend only on `(seed, u)`, never on generation
+/// order or chunk size, which is what makes chunked emission
+/// byte-identical at any chunk granularity.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Continuous bounded Zipf via inverse-CDF: returns a value in `[1, n]`
+/// with density ∝ `x^(-s)`, `s ≠ 1`, in O(1) with no `O(n)` tables —
+/// the property that keeps generator memory independent of graph size.
+fn zipf_sample<R: Rng>(rng: &mut R, n: f64, s: f64) -> f64 {
+    let one_minus_s = 1.0 - s;
+    let v: f64 = rng.gen_range(0.0..1.0);
+    (1.0 + v * (n.powf(one_minus_s) - 1.0)).powf(1.0 / one_minus_s)
+}
+
+/// The streaming power-law generator. Node ids: users are `0..U`, items
+/// are `U..U+I`; every emitted edge is `(user, item, weight)` with the
+/// item id ascending within each user — exactly the order the §6.1
+/// bidirectional preprocessing would insert them, so a mirrored stream
+/// build reproduces the materialised graph bit for bit.
+pub struct ScaleGen {
+    spec: ScaleSpec,
+}
+
+impl ScaleGen {
+    pub fn new(spec: ScaleSpec) -> Self {
+        spec.validate();
+        ScaleGen { spec }
+    }
+
+    pub fn spec(&self) -> &ScaleSpec {
+        &self.spec
+    }
+
+    /// First item node id (`== num_users`).
+    pub fn item_base(&self) -> u32 {
+        self.spec.num_users as u32
+    }
+
+    /// Generates user `u`'s interactions into `out` as
+    /// `(item_node_id, weight)` pairs, ascending by item, deduplicated.
+    /// Deterministic in `(spec.seed, u)` alone.
+    pub fn user_edges(&self, user: u32, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        let s = &self.spec;
+        let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(s.seed ^ (user as u64).rotate_left(17)));
+        let extra_span = (s.max_degree - s.base_degree) as f64 + 1.0;
+        let extra = zipf_sample(&mut rng, extra_span, s.degree_exponent) as usize - 1;
+        let degree = (s.base_degree + extra).min(s.max_degree);
+        for _ in 0..degree {
+            let rank = zipf_sample(&mut rng, s.num_items as f64, s.popularity_exponent);
+            let item = (rank as usize - 1).min(s.num_items - 1) as u32;
+            let stars = rng.gen_range(1..=5) as f64;
+            out.push((self.item_base() + item, stars));
+        }
+        // Ascending by item; duplicates keep the first draw so the result
+        // is still a pure function of the user's RNG stream.
+        out.sort_by_key(|&(item, _)| item);
+        out.dedup_by_key(|&mut (item, _)| item);
+    }
+
+    /// Streams every edge to `emit`, processing users in chunks of
+    /// `chunk_users` (≥ 1). Peak generator memory is `O(chunk_users ·
+    /// max_degree)` — the reused chunk buffer — independent of the graph
+    /// size. The emitted sequence is identical for every chunk size.
+    pub fn for_each_edge<F: FnMut(u32, u32, f64)>(&self, chunk_users: usize, mut emit: F) {
+        assert!(chunk_users >= 1);
+        let mut chunk: Vec<(u32, u32, f64)> = Vec::new();
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        let mut user = 0u32;
+        while (user as usize) < self.spec.num_users {
+            chunk.clear();
+            let end = (user as usize).saturating_add(chunk_users).min(self.spec.num_users) as u32;
+            while user < end {
+                self.user_edges(user, &mut row);
+                chunk.extend(row.iter().map(|&(item, w)| (user, item, w)));
+                user += 1;
+            }
+            for &(u, i, w) in &chunk {
+                emit(u, i, w);
+            }
+        }
+    }
+
+    /// Total directed edge count of the *bidirectionalised* graph
+    /// (2 × interactions), streamed in `O(1)` memory.
+    pub fn num_directed_edges(&self) -> usize {
+        let mut interactions = 0usize;
+        self.for_each_edge(1024, |_, _, _| interactions += 1);
+        2 * interactions
+    }
+
+    /// Builds the compact CSR directly from the stream — the million-node
+    /// path. Peak memory is the CSR itself plus one chunk buffer; no
+    /// [`Hin`](emigre_hin::Hin) adjacency `Vec`s are ever allocated.
+    pub fn build_compact<P: emigre_ppr::Prob>(
+        &self,
+        model: emigre_ppr::TransitionModel,
+        chunk_users: usize,
+    ) -> emigre_ppr::CompactCsr<P> {
+        emigre_ppr::CompactCsr::from_edge_stream(self.num_nodes(), model, true, |sink| {
+            self.for_each_edge(chunk_users, &mut *sink)
+        })
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.spec.num_nodes()
+    }
+
+    /// Materialises the full mutable graph — `user`/`item` node types, a
+    /// single bidirectional `rated` edge type — for specs small enough to
+    /// hold both adjacency directions in memory (tests, the 10k/100k CI
+    /// legs). Insertion order matches [`ScaleGen::for_each_edge`], so a
+    /// mirrored stream build of the same spec is bit-identical to
+    /// building a kernel over this graph.
+    pub fn materialize_hin(&self) -> emigre_hin::Hin {
+        let mut g = emigre_hin::Hin::new();
+        let user_t = g.registry_mut().node_type("user");
+        let item_t = g.registry_mut().node_type("item");
+        let rated = g.registry_mut().edge_type("rated");
+        for _ in 0..self.spec.num_users {
+            g.add_node(user_t, None);
+        }
+        for _ in 0..self.spec.num_items {
+            g.add_node(item_t, None);
+        }
+        self.for_each_edge(1024, |u, i, w| {
+            g.add_edge_bidirectional(
+                emigre_hin::NodeId(u),
+                emigre_hin::NodeId(i),
+                rated,
+                w,
+            )
+            .expect("generator emits unique, in-range edges");
+        });
+        g
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +630,119 @@ mod tests {
         SynthConfig {
             actions_per_user: (10, 5),
             ..SynthConfig::default()
+        }
+        .validate();
+    }
+
+    fn scale_gen(total: usize) -> ScaleGen {
+        ScaleGen::new(ScaleSpec::with_total_nodes(total, 0xC0FFEE))
+    }
+
+    fn collect_edges(gen: &ScaleGen, chunk: usize) -> Vec<(u32, u32, u64)> {
+        let mut v = Vec::new();
+        gen.for_each_edge(chunk, |u, i, w| v.push((u, i, w.to_bits())));
+        v
+    }
+
+    #[test]
+    fn scale_stream_is_chunk_size_invariant() {
+        let gen = scale_gen(2000);
+        let whole = collect_edges(&gen, usize::MAX);
+        for chunk in [1usize, 7, 1024] {
+            assert_eq!(collect_edges(&gen, chunk), whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn scale_stream_is_seed_deterministic_and_seed_sensitive() {
+        let a = collect_edges(&scale_gen(1000), 64);
+        let b = collect_edges(&scale_gen(1000), 64);
+        assert_eq!(a, b);
+        let other = ScaleGen::new(ScaleSpec::with_total_nodes(1000, 7));
+        assert_ne!(collect_edges(&other, 64), a);
+    }
+
+    #[test]
+    fn scale_edges_are_sorted_unique_and_in_range() {
+        let gen = scale_gen(3000);
+        let spec = gen.spec().clone();
+        let mut last_user = 0u32;
+        let mut last_item = 0u32;
+        gen.for_each_edge(128, |u, i, w| {
+            assert!((u as usize) < spec.num_users);
+            assert!((i as usize) >= spec.num_users && (i as usize) < spec.num_nodes());
+            assert!((1.0..=5.0).contains(&w));
+            if u == last_user {
+                assert!(i > last_item || (last_item == 0 && last_user == 0));
+            } else {
+                assert!(u > last_user, "users must stream in ascending order");
+            }
+            last_user = u;
+            last_item = i;
+        });
+    }
+
+    #[test]
+    fn scale_degrees_respect_bounds() {
+        let gen = scale_gen(2000);
+        let spec = gen.spec().clone();
+        let mut row = Vec::new();
+        for u in 0..spec.num_users as u32 {
+            gen.user_edges(u, &mut row);
+            // Dedup can only shrink below base_degree on pathological
+            // collisions; the cap is hard.
+            assert!(row.len() <= spec.max_degree, "user {u}");
+            assert!(!row.is_empty(), "user {u} generated no edges");
+        }
+    }
+
+    #[test]
+    fn scale_popularity_has_a_zipf_tail() {
+        let gen = scale_gen(20_000);
+        let spec = gen.spec().clone();
+        let mut item_deg = vec![0usize; spec.num_items];
+        let mut total = 0usize;
+        gen.for_each_edge(1024, |_, i, _| {
+            item_deg[i as usize - spec.num_users] += 1;
+            total += 1;
+        });
+        // Head dominance: the top 1% of items by rank carry a share of
+        // the edge mass far beyond uniform (1%), and the deep tail is
+        // populated but sparse.
+        let head: usize = item_deg[..spec.num_items / 100].iter().sum();
+        let head_share = head as f64 / total as f64;
+        assert!(head_share > 0.08, "head share {head_share}");
+        let tail_half: usize = item_deg[spec.num_items / 2..].iter().sum();
+        let tail_share = tail_half as f64 / total as f64;
+        assert!(tail_share < 0.35, "tail share {tail_share}");
+        assert!(tail_half > 0, "the tail must not be empty");
+        // And user degrees are long-tailed too: some user far exceeds the
+        // base degree.
+        let mut row = Vec::new();
+        let max_deg = (0..spec.num_users as u32)
+            .map(|u| {
+                gen.user_edges(u, &mut row);
+                row.len()
+            })
+            .max()
+            .unwrap();
+        assert!(max_deg > 4 * spec.base_degree, "max user degree {max_deg}");
+    }
+
+    #[test]
+    fn scale_materialized_graph_matches_stream_counts() {
+        let gen = scale_gen(1200);
+        let g = gen.materialize_hin();
+        assert_eq!(emigre_hin::GraphView::num_nodes(&g), gen.spec().num_nodes());
+        assert_eq!(emigre_hin::GraphView::num_edges(&g), gen.num_directed_edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn scale_spec_rejects_exponent_one() {
+        ScaleSpec {
+            popularity_exponent: 1.0,
+            ..ScaleSpec::with_total_nodes(1000, 1)
         }
         .validate();
     }

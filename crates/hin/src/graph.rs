@@ -266,6 +266,30 @@ impl Hin {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
+    /// Restores one node verbatim from a snapshot: both adjacency lists in
+    /// their stored order and the *cached* out-weight sum exactly as
+    /// persisted. The incremental sum is part of the graph's observable
+    /// state (a remove can leave a rounding residue a recomputation would
+    /// erase), so reconstruction must bypass the validating mutators.
+    /// Callers append nodes densely in id order.
+    pub(crate) fn restore_node(
+        &mut self,
+        ntype: NodeTypeId,
+        label: Option<String>,
+        out: Vec<EdgeRecord>,
+        inc: Vec<EdgeRecord>,
+        out_weight_sum: f64,
+    ) {
+        self.num_edges += out.len();
+        self.nodes.push(NodeData {
+            ntype,
+            label,
+            out,
+            inc,
+            out_weight_sum,
+        });
+    }
+
     /// Heap bytes owned by the graph: the node arena, both adjacency
     /// buffers of every node, label strings, and the type registry.
     /// Counts buffer *capacities* (what the structure asked the allocator

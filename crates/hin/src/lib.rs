@@ -21,12 +21,15 @@
 //! * [`subgraph`] — k-hop neighbourhood extraction (the paper's
 //!   "Amazon-Lite" construction);
 //! * [`stats`] — per-node-type degree statistics (the paper's Table 4);
-//! * [`io`] — plain-text edge-list serialisation and Graphviz DOT export.
+//! * [`io`] — plain-text edge-list serialisation and Graphviz DOT export;
+//! * [`snapshot`] — versioned, checksummed binary snapshots that load via
+//!   `mmap` as a zero-copy [`GraphView`] (the serving fast-start path).
 
 pub mod csr;
 pub mod delta;
 pub mod graph;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
 pub mod types;
@@ -35,6 +38,7 @@ pub mod view;
 pub use csr::CsrGraph;
 pub use delta::{DeltaView, GraphDelta};
 pub use graph::{EdgeRecord, Hin, HinError};
+pub use snapshot::{snapshot_to_bytes, write_snapshot, Snapshot, SnapshotError};
 pub use stats::{DegreeStats, NodeTypeStats};
 pub use types::{EdgeKey, EdgeTypeId, NodeId, NodeTypeId, TypeRegistry};
 pub use view::GraphView;

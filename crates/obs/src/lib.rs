@@ -37,7 +37,7 @@ mod stages;
 mod trace;
 mod window;
 
-pub use alloc::{heap_stats, set_tracking, AllocScope, HeapStats, TrackingAlloc};
+pub use alloc::{heap_stats, reset_peak, set_tracking, AllocScope, HeapStats, TrackingAlloc};
 pub use counters::{CounterSnapshot, Op, OpCounters};
 pub use handle::{ObsHandle, SpanGuard};
 pub use heapsize::HeapSize;

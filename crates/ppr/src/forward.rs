@@ -16,7 +16,7 @@
 //! negative mass is sound and the same loop handles both signs.
 
 use crate::config::PprConfig;
-use crate::kernel::TransitionKernel;
+use crate::kernel::{CsrRows, Prob};
 use emigre_hin::{GraphView, NodeId};
 use std::collections::VecDeque;
 
@@ -100,7 +100,7 @@ impl ForwardPush {
 
     /// Runs FLP from `seed` to convergence over a precomputed transition
     /// kernel — the flat fast path of [`Self::compute`].
-    pub fn compute_kernel<K: TransitionKernel>(kernel: &K, cfg: &PprConfig, seed: NodeId) -> Self {
+    pub fn compute_kernel<K: CsrRows>(kernel: &K, cfg: &PprConfig, seed: NodeId) -> Self {
         cfg.validate();
         let n = kernel.num_nodes();
         let mut state = ForwardPush {
@@ -132,7 +132,7 @@ impl ForwardPush {
     /// `spread × probs` multiply autovectorises into a stack buffer before
     /// the scatter pass applies it. Per-entry arithmetic and order are
     /// unchanged, so estimates stay bit-identical to the fused loop.
-    pub fn push_until_converged_kernel<K: TransitionKernel>(
+    pub fn push_until_converged_kernel<K: CsrRows>(
         &mut self,
         kernel: &K,
         cfg: &PprConfig,
@@ -159,7 +159,9 @@ impl ForwardPush {
                 while start < dsts.len() {
                     let end = (start + CHUNK).min(dsts.len());
                     for (j, &p) in probs[start..end].iter().enumerate() {
-                        add[j] = spread * p;
+                        // `to_f64` is the identity for f64 layouts, so the
+                        // reference path's arithmetic is unchanged.
+                        add[j] = spread * p.to_f64();
                     }
                     for (j, &v) in dsts[start..end].iter().enumerate() {
                         self.residuals[v as usize] += add[j];

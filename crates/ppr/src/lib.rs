@@ -44,7 +44,9 @@ pub mod workspace;
 
 pub use config::PprConfig;
 pub use forward::ForwardPush;
-pub use kernel::{PatchedCsr, RowCache, RowKey, TransitionCsr, TransitionKernel};
+pub use kernel::{
+    CompactCsr, CsrRows, PatchedCsr, Prob, RowCache, RowKey, TransitionCsr, TransitionKernel,
+};
 pub use monte_carlo::ppr_monte_carlo;
 pub use power::ppr_power;
 pub use reverse::ReversePush;

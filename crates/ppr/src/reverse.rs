@@ -16,7 +16,7 @@
 //! rooted at `WNI`.
 
 use crate::config::PprConfig;
-use crate::kernel::TransitionKernel;
+use crate::kernel::{CsrRows, Prob};
 use emigre_hin::{GraphView, NodeId};
 use std::collections::VecDeque;
 
@@ -107,7 +107,7 @@ impl ReversePush {
     /// weight sum for *every* edge visited; the kernel's reverse CSR has
     /// all `W(u, v)` entries materialised, so the inner loop is a flat
     /// slice walk.
-    pub fn compute_kernel<K: TransitionKernel>(
+    pub fn compute_kernel<K: CsrRows>(
         kernel: &K,
         cfg: &PprConfig,
         target: NodeId,
@@ -133,7 +133,7 @@ impl ReversePush {
     /// ε. Push order does not affect the Eq. (4) invariant or the ε
     /// guarantee, and sequential row access beats the FIFO queue's
     /// random-order traversal.
-    pub fn push_until_converged_kernel<K: TransitionKernel>(
+    pub fn push_until_converged_kernel<K: CsrRows>(
         &mut self,
         kernel: &K,
         cfg: &PprConfig,
@@ -155,7 +155,7 @@ impl ReversePush {
                 let spread = (1.0 - cfg.alpha) * r;
                 let (srcs, probs) = kernel.reverse_row(NodeId(v as u32));
                 for (&u, &p) in srcs.iter().zip(probs) {
-                    self.residuals[u as usize] += spread * p;
+                    self.residuals[u as usize] += spread * p.to_f64();
                 }
             }
             if !any {

@@ -26,7 +26,7 @@
 
 use crate::config::PprConfig;
 use crate::forward::ForwardPush;
-use crate::kernel::TransitionKernel;
+use crate::kernel::{CsrRows, Prob};
 use emigre_hin::NodeId;
 use std::collections::VecDeque;
 
@@ -198,12 +198,12 @@ impl PushWorkspace {
     /// Repairs the Eq. (3) invariant after `node`'s transition row changed
     /// from `old_row` to `new_row`, both as kernel row slices. Mirrors
     /// [`ForwardPush::repair_row_change`] on the workspace state.
-    pub fn repair_row_change(
+    pub fn repair_row_change<P: Prob>(
         &mut self,
         cfg: &PprConfig,
         node: NodeId,
-        old_row: (&[u32], &[f64]),
-        new_row: (&[u32], &[f64]),
+        old_row: (&[u32], &[P]),
+        new_row: (&[u32], &[P]),
     ) {
         let pu = self.estimates[node.index()];
         if pu == 0.0 {
@@ -212,11 +212,11 @@ impl PushWorkspace {
         let scale = (1.0 - cfg.alpha) / cfg.alpha * pu;
         let (dsts, probs) = new_row;
         for (&t, &p) in dsts.iter().zip(probs) {
-            self.add_residual(NodeId(t), scale * p);
+            self.add_residual(NodeId(t), scale * p.to_f64());
         }
         let (dsts, probs) = old_row;
         for (&t, &p) in dsts.iter().zip(probs) {
-            self.add_residual(NodeId(t), -scale * p);
+            self.add_residual(NodeId(t), -scale * p.to_f64());
         }
     }
 
@@ -226,7 +226,7 @@ impl PushWorkspace {
     /// the stage queue is seeded from the transaction's touched set only,
     /// which is exhaustive precisely because untouched base residuals
     /// already satisfy the base ε.
-    pub fn push_stage<K: TransitionKernel>(&mut self, kernel: &K, cfg: &PprConfig, eps: f64) {
+    pub fn push_stage<K: CsrRows>(&mut self, kernel: &K, cfg: &PprConfig, eps: f64) {
         debug_assert!(self.queue.is_empty());
         for i in 0..self.undo.len() {
             let n = self.undo[i].node as usize;
@@ -262,14 +262,14 @@ impl PushWorkspace {
     /// bit-identical to the fused scalar loop (rustc does not contract
     /// `a + b * c` into an FMA).
     #[inline]
-    fn spread_row(&mut self, dsts: &[u32], probs: &[f64], spread: f64, eps: f64) {
+    fn spread_row<P: Prob>(&mut self, dsts: &[u32], probs: &[P], spread: f64, eps: f64) {
         const CHUNK: usize = 32;
         let mut add = [0.0f64; CHUNK];
         let mut start = 0;
         while start < dsts.len() {
             let end = (start + CHUNK).min(dsts.len());
             for (j, &p) in probs[start..end].iter().enumerate() {
-                add[j] = spread * p;
+                add[j] = spread * p.to_f64();
             }
             for (j, &v) in dsts[start..end].iter().enumerate() {
                 let vi = v as usize;

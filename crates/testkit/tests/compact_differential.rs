@@ -1,0 +1,235 @@
+//! Differential suite, scale leg: `CompactCsr` ≡ `TransitionCsr`.
+//!
+//! The compact struct-of-arrays kernel promises to be a pure layout
+//! change: at `P = f64` every transition row — destinations and
+//! probabilities, forward and reverse — is *bit-identical* to the
+//! reference `TransitionCsr`, and every CHECK verdict reached through it
+//! is the same verdict the reference reaches. At `P = f32` rows agree up
+//! to one quantisation step. This suite pins both promises on seeded
+//! pathological worlds (dangling items, near-zero weights, twin-item PPR
+//! ties) and on the streaming power-law generator, whose chunked
+//! edge-stream build must match a kernel built over the fully
+//! materialised `Hin` bit for bit.
+
+use std::sync::Arc;
+
+use emigre_core::search::remove_search_space;
+use emigre_core::tester::{PreCheck, Tester};
+use emigre_core::{Action, ExplainContext};
+use emigre_data::{ScaleGen, ScaleSpec};
+use emigre_hin::GraphView;
+use emigre_obs::ObsHandle;
+use emigre_ppr::{CompactCsr, CsrRows, TransitionCsr, TransitionModel};
+use emigre_testkit::{viable_questions, WorldParams, WorldSpec};
+
+/// Pathology-heavy sampling envelope: small enough that 40 worlds build
+/// fast, rich enough that dangling items, near-zero weights, twins and
+/// follows all occur across the seed range.
+fn params() -> WorldParams {
+    WorldParams {
+        max_users: 8,
+        max_items: 10,
+        max_categories: 3,
+        density: 0.45,
+        pathologies: true,
+    }
+}
+
+/// Asserts both directions of `compact` agree with `reference` bitwise.
+fn assert_rows_bitwise<K: CsrRows<P = f64>>(reference: &TransitionCsr, compact: &K, tag: &str) {
+    assert_eq!(reference.num_nodes(), compact.num_nodes(), "{tag}: node count");
+    assert_eq!(reference.model(), compact.model(), "{tag}: model");
+    for u in 0..reference.num_nodes() {
+        let node = emigre_hin::NodeId(u as u32);
+        for (dir, (rd, rp), (cd, cp)) in [
+            ("fwd", reference.forward_row(node), compact.forward_row(node)),
+            ("rev", reference.reverse_row(node), compact.reverse_row(node)),
+        ] {
+            assert_eq!(rd, cd, "{tag}: {dir} dsts of node {u}");
+            for (i, (a, b)) in rp.iter().zip(cp).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{tag}: {dir} prob {i} of node {u}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Seeded worlds whose spec exercises the named pathologies; panics if the
+/// seed range fails to cover them (the differential would silently weaken).
+fn pathological_worlds() -> Vec<(u64, WorldSpec)> {
+    let p = params();
+    let specs: Vec<(u64, WorldSpec)> = (0..40u64)
+        .map(|seed| (seed, WorldSpec::sample_seeded(seed, &p)))
+        .collect();
+    assert!(
+        specs.iter().any(|(_, s)| !s.bidirectional),
+        "seed range must include a directed (all-items-dangling) world"
+    );
+    assert!(
+        specs.iter().any(|(_, s)| !s.twins.is_empty()),
+        "seed range must include a twin-item (exact PPR tie) world"
+    );
+    specs
+}
+
+#[test]
+fn compact_f64_rows_match_reference_bitwise() {
+    for (seed, spec) in pathological_worlds() {
+        let world = spec.build();
+        let model = world.cfg.rec.ppr.transition;
+        let reference = TransitionCsr::build(&world.graph, model);
+        let compact = CompactCsr::<f64>::build(&world.graph, model);
+        assert_eq!(reference.num_entries(), compact.num_entries(), "seed {seed}");
+        assert_rows_bitwise(&reference, &compact, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn compact_f32_rows_within_one_quantisation_step() {
+    // f32 round-to-nearest guarantees |q − p| ≤ 2⁻²⁴·|p|; allow 2 ulp of
+    // headroom for the widening back to f64 in the comparison.
+    const REL: f64 = 2.0 / (1u64 << 24) as f64;
+    for (seed, spec) in pathological_worlds() {
+        let world = spec.build();
+        let model = world.cfg.rec.ppr.transition;
+        let reference = TransitionCsr::build(&world.graph, model);
+        let compact = CompactCsr::<f32>::build(&world.graph, model);
+        for u in 0..reference.num_nodes() {
+            let node = emigre_hin::NodeId(u as u32);
+            for ((rd, rp), (cd, cp)) in [
+                (reference.forward_row(node), compact.forward_row(node)),
+                (reference.reverse_row(node), compact.reverse_row(node)),
+            ] {
+                assert_eq!(rd, cd, "seed {seed}: dsts of node {u}");
+                for (a, b) in rp.iter().zip(cp) {
+                    let q = *b as f64;
+                    assert!(
+                        (q - a).abs() <= REL * a.abs(),
+                        "seed {seed}: node {u}: f32 prob {q} vs f64 {a}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_build_matches_materialized_kernels_bitwise() {
+    for seed in [1u64, 7, 99] {
+        let spec = ScaleSpec::with_total_nodes(1_500, seed);
+        let gen = ScaleGen::new(spec);
+        let model = TransitionModel::RecWalk { beta: 0.5 };
+        // Chunked stream build vs. a reference kernel over the fully
+        // materialised Hin: same edges in the same order, so identical
+        // weight-sum accumulation and bit-identical probabilities.
+        let streamed = gen.build_compact::<f64>(model, 64);
+        let hin = gen.materialize_hin();
+        let reference = TransitionCsr::build(&hin, model);
+        assert_rows_bitwise(&reference, &streamed, &format!("scale seed {seed} (stream)"));
+        let view_built = CompactCsr::<f64>::build(&hin, model);
+        assert_rows_bitwise(&reference, &view_built, &format!("scale seed {seed} (view)"));
+    }
+}
+
+/// Candidate action sets for one question: every single-action removal in
+/// ranked order, then the ranked prefixes (the explainer's actual probe
+/// sequence). Generated once from the reference context so both kernels
+/// judge the exact same sets.
+fn candidate_sets<G: GraphView>(ctx: &ExplainContext<'_, G>) -> Vec<Vec<Action>> {
+    let space = remove_search_space(ctx);
+    let actions: Vec<Action> = space
+        .candidates
+        .iter()
+        .map(|c| Action {
+            edge: emigre_hin::EdgeKey {
+                src: ctx.user,
+                dst: c.node,
+                etype: c.etype,
+            },
+            weight: c.weight,
+            added: false,
+        })
+        .collect();
+    let mut sets: Vec<Vec<Action>> = actions.iter().map(|a| vec![*a]).collect();
+    for len in 2..=actions.len() {
+        sets.push(actions[..len].to_vec());
+    }
+    sets.truncate(16);
+    sets
+}
+
+#[test]
+fn tester_verdicts_match_on_compact_kernel_at_threads_1_and_8() {
+    let mut questions = 0usize;
+    for (seed, spec) in pathological_worlds() {
+        let world = spec.build();
+        let model = world.cfg.rec.ppr.transition;
+        let compact = Arc::new(CompactCsr::<f64>::build(&world.graph, model));
+        for (user, wni) in viable_questions(&world, 2) {
+            questions += 1;
+            for threads in [1usize, 8] {
+                let cfg = world.cfg.clone().with_parallelism(threads);
+                let ctx_ref = ExplainContext::build(&world.graph, cfg.clone(), user, wni)
+                    .expect("viable question stopped validating");
+                let ctx_cmp = ExplainContext::build_with_kernel(
+                    &world.graph,
+                    cfg,
+                    Arc::clone(&compact),
+                    user,
+                    wni,
+                    ObsHandle::disabled(),
+                )
+                .expect("viable question stopped validating on compact kernel");
+                let sets = candidate_sets(&ctx_ref);
+                if sets.is_empty() {
+                    continue;
+                }
+                let t_ref = Tester::new(&ctx_ref);
+                let t_cmp = Tester::new(&ctx_cmp);
+                for (i, set) in sets.iter().enumerate() {
+                    assert_eq!(
+                        t_ref.test(set),
+                        t_cmp.test(set),
+                        "seed {seed} user={user:?} wni={wni:?} set {i} \
+                         diverged at parallelism {threads}"
+                    );
+                }
+                let fp_ref = t_ref.first_passing(&sets, |_| PreCheck::Proceed);
+                let fp_cmp = t_cmp.first_passing(&sets, |_| PreCheck::Proceed);
+                assert_eq!(
+                    fp_ref.found, fp_cmp.found,
+                    "seed {seed} user={user:?} wni={wni:?}: first_passing \
+                     diverged at parallelism {threads}"
+                );
+                assert_eq!(fp_ref.stopped, fp_cmp.stopped);
+                assert_eq!(
+                    t_ref.checks_performed(),
+                    t_cmp.checks_performed(),
+                    "seed {seed}: CHECK budget accounting diverged"
+                );
+            }
+        }
+    }
+    assert!(questions >= 10, "only {questions} viable questions exercised");
+}
+
+/// The explain path itself, driven through the default context, stays the
+/// reference `TransitionCsr` — pin that the generic plumbing did not change
+/// its verdicts either (guards the `K = TransitionCsr` default).
+#[test]
+fn default_context_still_uses_reference_kernel() {
+    let world = WorldSpec::sample_seeded(3, &params()).build();
+    if let Some(&(user, wni)) = viable_questions(&world, 1).first() {
+        let ctx = ExplainContext::build(&world.graph, world.cfg.clone(), user, wni).unwrap();
+        let tester = Tester::new(&ctx);
+        let sets = candidate_sets(&ctx);
+        for set in &sets {
+            // Verdicts must be deterministic across repeated CHECKs of the
+            // same set on the same context (scratch-state reuse is clean).
+            assert_eq!(tester.test(set), tester.test(set));
+        }
+    }
+}

@@ -37,7 +37,9 @@ usage:
   emigre recommend --graph FILE --user ID [--top N]
   emigre explain --graph FILE --user ID --why-not ID|all
                  [--method NAME] [--minimise]
+  emigre snapshot --graph FILE --out FILE.snap    compile a text graph to a binary snapshot
   emigre serve --graph FILE [--port P] [--workers N] [--parallelism N]
+               [--graph-snapshot FILE.snap]       load a binary snapshot instead of --graph
                [--queue N] [--deadline-ms N]      HTTP explanation service
                [--event-log FILE]                 JSON-lines request event log
                [--feedback-log FILE]              replay edge updates before serving
@@ -268,8 +270,43 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
         }
-        Some("serve") => {
+        Some("snapshot") => {
             let g = load_graph(args)?;
+            let out = flag(args, "--out")?.ok_or("missing --out FILE.snap")?;
+            let image = emigre::hin::snapshot_to_bytes(&g);
+            emigre::hin::write_snapshot(&g, std::path::Path::new(&out))
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {out}: {} nodes, {} edges, {} bytes",
+                g.num_nodes(),
+                g.num_edges(),
+                image.len()
+            );
+            Ok(())
+        }
+        Some("serve") => {
+            // `--graph-snapshot` is the fast-start path: the checksummed
+            // binary image maps (or reads) straight into memory, skipping
+            // the text parse entirely.
+            let g = match flag(args, "--graph-snapshot")? {
+                Some(p) => {
+                    let t0 = std::time::Instant::now();
+                    let snap = emigre::hin::Snapshot::open(std::path::Path::new(&p))
+                        .map_err(|e| format!("opening snapshot {p}: {e}"))?;
+                    let g = snap.to_hin();
+                    println!(
+                        "emigre-serve snapshot {p}: {} nodes, {} edges, {} image bytes \
+                         ({}) loaded in {:.1} ms",
+                        g.num_nodes(),
+                        g.num_edges(),
+                        snap.image_bytes(),
+                        if snap.is_mapped() { "mmap" } else { "read" },
+                        t0.elapsed().as_secs_f64() * 1e3
+                    );
+                    g
+                }
+                None => load_graph(args)?,
+            };
             let cfg = config_for(&g)?;
             let port: u16 = flag(args, "--port")?
                 .map(|s| s.parse().map_err(|_| "bad --port"))
